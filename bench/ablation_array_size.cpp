@@ -1,0 +1,29 @@
+// Ablation: PE-array scaling. Larger arrays amortize control but deepen
+// systolic fill and stress bandwidth — the trade TensorLib's design space
+// exposes.
+#include <cstdio>
+
+#include "cost/asic.hpp"
+#include "sim/perf.hpp"
+#include "stt/enumerate.hpp"
+#include "tensor/workloads.hpp"
+
+int main() {
+  using namespace tensorlib;
+  std::printf("\n=== Ablation  array size sweep, GEMM 512^3, SST ===\n");
+  std::printf("  %-8s %-10s %-10s %-12s %s\n", "array", "util", "cycles",
+              "area(mm2)", "power(mW)");
+  const auto g = tensor::workloads::gemm(512, 512, 512);
+  for (std::int64_t p : {4, 8, 16, 32}) {
+    stt::ArrayConfig cfg;
+    cfg.rows = cfg.cols = p;
+    const auto spec = *stt::findDataflowByLabel(g, "MNK-SST");
+    const auto perf = sim::estimatePerformance(spec, cfg);
+    const auto asic = cost::estimateAsic(spec, cfg, 16);
+    std::printf("  %-2lldx%-5lld %-10.3f %-10lld %-12.3f %.1f\n",
+                static_cast<long long>(p), static_cast<long long>(p),
+                perf.utilization, static_cast<long long>(perf.totalCycles),
+                asic.areaMm2, asic.powerMw);
+  }
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Fig. 5(a): normalized performance of GEMM dataflows on a 16x16 array
+// (320 MHz, 32 GB/s scratchpad bandwidth, INT16), M=N=K=256.
+//
+// Paper shape to reproduce: multicast-input dataflows (MTM, MMT, ...) beat
+// systolic ones (SST, TSS) by the pipeline fill/drain overhead; all stay
+// compute-bound at this bandwidth.
+#include "bench_util.hpp"
+#include "tensor/workloads.hpp"
+
+int main() {
+  using namespace tensorlib;
+  bench::printHeader("Fig. 5(a)  GEMM 256x256x256, 16x16 PEs, INT16");
+  const auto g = tensor::workloads::gemm(256, 256, 256);
+  std::vector<bench::PerfRow> rows;
+  bench::evalAll(g,
+                 {"MNK-MTM", "MNK-MSM", "MNK-STM", "MNK-MMT", "MNK-MST",
+                  "MNK-SST", "MNK-TSS", "MNK-SSM", "MNK-MMS"},
+                 bench::paperArray(), &rows);
+
+  // Shape checks the paper reports in prose.
+  double bestMulticast = 0, bestSystolic = 0;
+  for (const auto& r : rows) {
+    if (r.label == "MNK-MTM" || r.label == "MNK-MMT")
+      bestMulticast = std::max(bestMulticast, r.perf.utilization);
+    if (r.label == "MNK-SST" || r.label == "MNK-TSS")
+      bestSystolic = std::max(bestSystolic, r.perf.utilization);
+  }
+  std::printf("\n  shape check: multicast best %.1f%% > systolic best %.1f%% : %s\n",
+              100 * bestMulticast, 100 * bestSystolic,
+              bestMulticast > bestSystolic ? "OK" : "MISMATCH");
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Fig. 5(b): Batched-GEMV dataflows. Tensor A is accessed exactly once per
+// MAC (no reuse), forcing unicast A in every design; the shared scratchpad
+// bandwidth (32 GB/s) caps performance well below the array peak.
+#include "bench_util.hpp"
+#include "tensor/workloads.hpp"
+
+int main() {
+  using namespace tensorlib;
+  bench::printHeader("Fig. 5(b)  Batched-GEMV 256x256x256, 16x16 PEs, INT16");
+  const auto bg = tensor::workloads::batchedGemv(256, 256, 256);
+  std::vector<bench::PerfRow> rows;
+  bench::evalAll(bg,
+                 {"MNK-USS", "MNK-UST", "MNK-UTS", "MNK-UMM", "MNK-UMT",
+                  "MNK-UMS"},
+                 bench::paperArray(), &rows);
+
+  bool allBandwidthBound = true;
+  for (const auto& r : rows)
+    if (r.perf.totalCycles > 0 && !r.perf.bandwidthBound)
+      allBandwidthBound = false;
+  std::printf("\n  shape check: every dataflow bandwidth-bound: %s\n",
+              allBandwidthBound ? "OK" : "MISMATCH");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Fig. 5(c): Depthwise-Conv2D dataflows (64 channels, 56x56 maps, 3x3).
+//
+// Paper shape: depthwise conv has no large reduction dimension, so the
+// GEMM-ized KCX-style mappings don't exist; selections that keep a kernel
+// loop spatial cap utilization at 15/16; channel-parallel multicast
+// dataflows (the paper's KPX-MMM / XYP-MMM) do best; fully-unicast
+// selections are bandwidth-bound.
+//
+// Note on labels: we print our strict Table-I letters, where any rank-2
+// reuse is 'B'; the paper's figure writes the dominant rank-1 component
+// (its XPQ-MMT is our XPQ-MMB, etc.). See EXPERIMENTS.md.
+#include "bench_util.hpp"
+#include "tensor/workloads.hpp"
+
+int main() {
+  using namespace tensorlib;
+  bench::printHeader("Fig. 5(c)  Depthwise-Conv 64ch 56x56 3x3, 16x16 PEs");
+  const auto dw = tensor::workloads::depthwiseConv(64, 56, 56, 3, 3);
+  std::vector<bench::PerfRow> rows;
+  bench::evalAll(dw,
+                 {"KYX-UBU", "KPQ-UUB", "XPQ-MMB", "XPQ-SSB", "YXP-MBM",
+                  "YXP-SBT", "KYP-SST", "KYP-MST", "KYP-MMM"},
+                 bench::paperArray(), &rows);
+
+  double bestMulticast = 0, bestUnicast = 1;
+  for (const auto& r : rows) {
+    if (r.perf.totalCycles == 0) continue;
+    if (r.label == "KYP-MMM" || r.label == "YXP-MBM")
+      bestMulticast = std::max(bestMulticast, r.perf.utilization);
+    if (r.label == "KYX-UBU" || r.label == "KPQ-UUB")
+      bestUnicast = std::min(bestUnicast, r.perf.utilization);
+  }
+  std::printf("\n  shape check: multicast-style %.1f%% > unicast-style %.1f%% : %s\n",
+              100 * bestMulticast, 100 * bestUnicast,
+              bestMulticast > bestUnicast ? "OK" : "MISMATCH");
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Fig. 5(d): MTTKRP dataflows, D[i,j] += A[i,k,l] * B[k,j] * C[l,j].
+//
+// Paper shape: the IKL selection makes the 3-D tensor A unicast
+// ("IKL-UBBB"), which saturates scratchpad bandwidth and loses badly to
+// the selections that keep A systolic.
+#include "bench_util.hpp"
+#include "tensor/workloads.hpp"
+
+int main() {
+  using namespace tensorlib;
+  bench::printHeader("Fig. 5(d)  MTTKRP 64^4, 16x16 PEs, INT16");
+  const auto mt = tensor::workloads::mttkrp(64, 64, 64, 64);
+  std::vector<bench::PerfRow> rows;
+  bench::evalAll(mt, {"IJK-SSBT", "IJL-SBST", "JKL-SSTB", "IKL-UBBB"},
+                 bench::paperArray(), &rows);
+
+  double unicast = 1.0, others = 0.0;
+  for (const auto& r : rows) {
+    if (r.perf.totalCycles == 0) continue;
+    if (r.label == "IKL-UBBB")
+      unicast = r.perf.utilization;
+    else
+      others = std::max(others, r.perf.utilization);
+  }
+  std::printf("\n  shape check: unicast IKL-UBBB %.1f%% < best reuse %.1f%% : %s\n",
+              100 * unicast, 100 * others,
+              unicast < others ? "OK" : "MISMATCH");
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Fig. 5(e): TTMc dataflows, D[i,j,k] += A[i,l,m] * B[l,j] * C[m,k].
+//
+// Paper shape: designs that stream a tensor with no reuse (IJK-BBBU's
+// unicast output D, ILM-UBBB's unicast input A) pay for it in bandwidth;
+// selections giving every tensor reuse sustain higher utilization.
+#include "bench_util.hpp"
+#include "tensor/workloads.hpp"
+
+int main() {
+  using namespace tensorlib;
+  bench::printHeader("Fig. 5(e)  TTMc 48^5-ish, 16x16 PEs, INT16");
+  const auto tt = tensor::workloads::ttmc(48, 48, 48, 48, 48);
+  std::vector<bench::PerfRow> rows;
+  bench::evalAll(tt, {"IJK-BBBU", "IJL-SSBT", "IKL-SBBS", "JKL-BSBS",
+                      "ILM-UBBB"},
+                 bench::paperArray(), &rows);
+
+  double unicastA = 1.0, best = 0.0;
+  for (const auto& r : rows) {
+    if (r.perf.totalCycles == 0) continue;
+    if (r.label == "ILM-UBBB") unicastA = r.perf.utilization;
+    best = std::max(best, r.perf.utilization);
+  }
+  std::printf("\n  shape check: unicast-A ILM-UBBB %.1f%% < best %.1f%% : %s\n",
+              100 * unicastA, 100 * best, unicastA < best ? "OK" : "MISMATCH");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Fig. 5(f)/(g): Conv2D dataflows on ResNet layer-2 (64ch, 56x56, 3x3) and
+// layer-5 (512ch, 7x7, 3x3).
+//
+// Paper shapes: (1) KCX selections (conv as GEMM over large channel loops)
+// win on both layers; (2) selections that map the 3-wide kernel loop
+// spatially idle 1/16 of the array; (3) layer-5's small 7x7 maps hurt the
+// XY-spatial selections further.
+#include "bench_util.hpp"
+#include "tensor/workloads.hpp"
+
+namespace {
+
+double runLayer(const char* title, const tensorlib::tensor::TensorAlgebra& conv,
+                double* kcxBest, double* xyBest) {
+  using namespace tensorlib;
+  bench::printHeader(title);
+  std::vector<bench::PerfRow> rows;
+  bench::evalAll(conv,
+                 {"KCX-SST", "KCX-STS", "KCX-STM", "KXY-SBU", "KPX-MST",
+                  "KPX-MMT", "XPQ-MMB", "YXP-MBM", "CPQ-UUB"},
+                 bench::paperArray(), &rows);
+  double best = 0;
+  for (const auto& r : rows) {
+    if (r.perf.totalCycles == 0) continue;
+    best = std::max(best, r.perf.utilization);
+    if (r.label.rfind("KCX", 0) == 0)
+      *kcxBest = std::max(*kcxBest, r.perf.utilization);
+    if (r.label == "XPQ-MMB" || r.label == "YXP-MBM")
+      *xyBest = std::max(*xyBest, r.perf.utilization);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  using namespace tensorlib;
+  double kcx2 = 0, xy2 = 0, kcx5 = 0, xy5 = 0;
+  runLayer("Fig. 5(f)  Conv2D ResNet layer-2 (64ch 56x56 3x3)",
+           tensor::workloads::conv2dResNetLayer2(), &kcx2, &xy2);
+  runLayer("Fig. 5(g)  Conv2D ResNet layer-5 (512ch 7x7 3x3)",
+           tensor::workloads::conv2dResNetLayer5(), &kcx5, &xy5);
+
+  std::printf("\n  shape checks:\n");
+  std::printf("    KCX beats XY-spatial on layer-2: %.1f%% > %.1f%% : %s\n",
+              100 * kcx2, 100 * xy2, kcx2 > xy2 ? "OK" : "MISMATCH");
+  std::printf("    KCX beats XY-spatial on layer-5: %.1f%% > %.1f%% : %s\n",
+              100 * kcx5, 100 * xy5, kcx5 > xy5 ? "OK" : "MISMATCH");
+  std::printf("    XY-spatial drops from layer-2 to layer-5: %.1f%% > %.1f%% : %s\n",
+              100 * xy2, 100 * xy5, xy2 > xy5 ? "OK" : "MISMATCH");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// google-benchmark microbenchmarks of the toolchain itself: STT analysis,
+// design-space enumeration, netlist generation, RTL simulation and the
+// behavioral simulator — the productivity claim of the paper ("TensorLib
+// remarkably improves the productivity for development and optimization")
+// quantified as generator throughput.
+#include <benchmark/benchmark.h>
+
+#include "arch/testbench.hpp"
+#include "hwir/verilog.hpp"
+#include "sim/dfsim.hpp"
+#include "stt/enumerate.hpp"
+#include "tensor/workloads.hpp"
+
+namespace {
+
+using namespace tensorlib;
+namespace wl = tensor::workloads;
+
+void BM_AnalyzeDataflow(benchmark::State& state) {
+  const auto g = wl::gemm(256, 256, 256);
+  const stt::LoopSelection sel(g, {0, 1, 2});
+  const stt::SpaceTimeTransform t(
+      linalg::IntMatrix{{1, 0, 0}, {0, 1, 0}, {1, 1, 1}});
+  for (auto _ : state)
+    benchmark::DoNotOptimize(stt::analyzeDataflow(g, sel, t));
+}
+BENCHMARK(BM_AnalyzeDataflow);
+
+void BM_EnumerateGemmSpace(benchmark::State& state) {
+  const auto g = wl::gemm(256, 256, 256);
+  const stt::LoopSelection sel(g, {0, 1, 2});
+  for (auto _ : state)
+    benchmark::DoNotOptimize(stt::enumerateTransforms(g, sel));
+}
+BENCHMARK(BM_EnumerateGemmSpace)->Unit(benchmark::kMillisecond);
+
+void BM_GenerateAccelerator(benchmark::State& state) {
+  const auto g = wl::gemm(16, 16, 16);
+  const auto spec = *stt::findDataflowByLabel(g, "MNK-SST");
+  stt::ArrayConfig cfg;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(arch::generateAccelerator(spec, cfg));
+}
+BENCHMARK(BM_GenerateAccelerator)->Unit(benchmark::kMillisecond);
+
+void BM_EmitVerilog16x16(benchmark::State& state) {
+  const auto g = wl::gemm(16, 16, 16);
+  const auto spec = *stt::findDataflowByLabel(g, "MNK-SST");
+  stt::ArrayConfig cfg;
+  const auto acc = arch::generateAccelerator(spec, cfg);
+  for (auto _ : state) benchmark::DoNotOptimize(hwir::emitVerilog(acc.netlist));
+}
+BENCHMARK(BM_EmitVerilog16x16)->Unit(benchmark::kMillisecond);
+
+void BM_RtlSimulateTile(benchmark::State& state) {
+  const auto g = wl::gemm(8, 8, 8);
+  const auto spec = *stt::findDataflowByLabel(g, "MNK-SST");
+  stt::ArrayConfig cfg;
+  cfg.rows = cfg.cols = 8;
+  const auto acc = arch::generateAccelerator(spec, cfg);
+  const auto env = tensor::makeRandomInputs(g, 3);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(arch::runAcceleratorTile(acc, env));
+}
+BENCHMARK(BM_RtlSimulateTile)->Unit(benchmark::kMillisecond);
+
+void BM_BehavioralSimGemm(benchmark::State& state) {
+  const auto g = wl::gemm(64, 64, 64);
+  const auto spec = *stt::findDataflowByLabel(g, "MNK-SST");
+  stt::ArrayConfig cfg;
+  sim::SimOptions opts;
+  opts.functional = false;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sim::simulate(spec, cfg, nullptr, opts));
+}
+BENCHMARK(BM_BehavioralSimGemm)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// Extensibility: define a tensor algebra that is NOT one of the paper's
+// Table-II workloads — the score part of attention,
+//     S[h,i,j] += Q[h,i,d] * K[h,j,d]
+// (batched by head h) — directly through the public IR, then let TensorLib
+// find dataflows, simulate them, and verify functional correctness.
+#include <cstdio>
+
+#include "sim/dfsim.hpp"
+#include "stt/enumerate.hpp"
+#include "tensor/reference.hpp"
+
+int main() {
+  using namespace tensorlib;
+  using tensor::accessFromTerms;
+
+  // loops: h=0, i=1, j=2, d=3
+  const tensor::TensorAlgebra attention(
+      "AttentionScore",
+      {{"h", 4}, {"i", 32}, {"j", 32}, {"d", 16}},
+      /*output=*/{"S", accessFromTerms(4, {{0}, {1}, {2}})},
+      /*inputs=*/
+      {{"Q", accessFromTerms(4, {{0}, {1}, {3}})},
+       {"K", accessFromTerms(4, {{0}, {2}, {3}})}});
+  std::printf("algebra: %s\n", attention.str().c_str());
+
+  // Enumerate dataflows over the (i, j, d) selection — h stays sequential.
+  const auto sel = stt::LoopSelection::byNames(attention, {"i", "j", "d"});
+  const auto specs = stt::enumerateTransforms(attention, sel);
+  std::printf("found %zu distinct dataflows; first few:\n", specs.size());
+
+  stt::ArrayConfig array;
+  array.rows = array.cols = 8;
+  const auto env = tensor::makeRandomInputs(attention);
+  const auto golden = tensor::referenceExecute(attention, env);
+
+  int shown = 0;
+  for (const auto& spec : specs) {
+    const auto result = sim::simulate(spec, array, &env);
+    const bool ok = result.output.maxAbsDiff(golden) == 0.0;
+    std::printf("  %-10s  cycles %-8lld util %5.1f%%  functional %s\n",
+                spec.label().c_str(),
+                static_cast<long long>(result.cycles),
+                100.0 * result.utilization, ok ? "PASS" : "FAIL");
+    if (!ok) return 1;
+    if (++shown >= 8) break;
+  }
+  std::printf("every simulated dataflow matches the software reference.\n");
+  return 0;
+}

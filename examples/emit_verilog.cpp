@@ -1,0 +1,55 @@
+// Generate real hardware: pick a dataflow by its paper-style label, build
+// the accelerator netlist (PE templates + interconnect + controller),
+// verify it cycle-by-cycle at register level against golden values, and
+// write synthesizable Verilog to disk — the artifact a user would hand to
+// Vivado or Design Compiler.
+//
+// Usage: ./examples/emit_verilog [LABEL] [ROWS] [COLS]
+//        default: MNK-SST 8 8
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "arch/testbench.hpp"
+#include "hwir/verilog.hpp"
+#include "stt/enumerate.hpp"
+#include "tensor/workloads.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tensorlib;
+  const std::string label = argc > 1 ? argv[1] : "MNK-SST";
+  const std::int64_t rows = argc > 2 ? std::atoll(argv[2]) : 8;
+  const std::int64_t cols = argc > 3 ? std::atoll(argv[3]) : 8;
+
+  const auto gemm = tensor::workloads::gemm(rows, cols, 16);
+  const auto spec = stt::findDataflowByLabel(gemm, label);
+  if (!spec) {
+    std::printf("no transform realizes %s for GEMM\n", label.c_str());
+    return 1;
+  }
+
+  stt::ArrayConfig array;
+  array.rows = rows;
+  array.cols = cols;
+  const auto acc = arch::generateAccelerator(*spec, array);
+  std::printf("generated %s: %zu netlist nodes, %lld register bits, "
+              "%lldx%lld PEs\n",
+              spec->label().c_str(), acc.netlist.size(),
+              static_cast<long long>(acc.netlist.regBits()),
+              static_cast<long long>(acc.grid.p1Span),
+              static_cast<long long>(acc.grid.p2Span));
+
+  // RTL-level verification (the paper's VCS step).
+  const auto env = tensor::makeRandomInputs(gemm);
+  const auto run = arch::runAcceleratorTile(acc, env);
+  std::printf("RTL simulation: %lld cycles, max |diff| vs golden = %g -> %s\n",
+              static_cast<long long>(run.cyclesRun), run.maxAbsDiff,
+              run.matches() ? "PASS" : "FAIL");
+
+  const std::string verilog = hwir::emitVerilog(acc.netlist);
+  const std::string path = "tensorlib_" + label + ".v";
+  std::ofstream(path) << verilog;
+  std::printf("wrote %zu bytes of Verilog to %s\n", verilog.size(),
+              path.c_str());
+  return run.matches() ? 0 : 1;
+}

@@ -1,0 +1,57 @@
+// Full-workload RTL execution: the generated accelerator runs an ENTIRE
+// problem — multiple tiles, remainder tiles, sequential outer loops — on
+// one netlist, with the controller's wrapping stage counter reloading the
+// stationary double buffers, clearing accumulators and draining outputs
+// between tiles. The collected result is checked against the complete
+// software reference.
+//
+// Usage: ./examples/full_workload_rtl [LABEL]   (default MNK-STS)
+#include <cstdio>
+
+#include "arch/testbench.hpp"
+#include "cost/netlist_cost.hpp"
+#include "stt/enumerate.hpp"
+#include "tensor/workloads.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tensorlib;
+  const std::string label = argc > 1 ? argv[1] : "MNK-STS";
+
+  // 7x9x6 GEMM on a 4x4 array: remainder tiles in both spatial dimensions.
+  const auto gemm = tensor::workloads::gemm(7, 9, 6);
+  const auto spec = stt::findDataflowByLabel(gemm, label);
+  if (!spec) {
+    std::printf("no transform realizes %s\n", label.c_str());
+    return 1;
+  }
+  stt::ArrayConfig array;
+  array.rows = array.cols = 4;
+  arch::HardwareConfig hw;
+  hw.injectEverywhere = true;  // remainder tiles inject at interior PEs
+
+  const auto acc = arch::generateAccelerator(*spec, array, hw);
+  std::printf("%s on a 4x4 array: stage period %lld cycles "
+              "(load %lld + compute %lld + tail %lld)\n",
+              spec->label().c_str(), static_cast<long long>(acc.stagePeriod),
+              static_cast<long long>(acc.loadCycles),
+              static_cast<long long>(acc.computeCycles),
+              static_cast<long long>(acc.drainCycles));
+
+  const auto price = cost::priceNetlist(acc.netlist);
+  std::printf("netlist: %zu nodes (%lld multipliers, %lld adders, %lld reg "
+              "bits)\n",
+              acc.netlist.size(), static_cast<long long>(price.multipliers),
+              static_cast<long long>(price.adders),
+              static_cast<long long>(price.regBits));
+
+  const auto env = tensor::makeRandomInputs(gemm);
+  const auto run = arch::runAcceleratorFull(acc, env);
+  const auto golden = tensor::referenceExecute(gemm, env);
+
+  std::printf("ran %lld RTL cycles across all tiles\n",
+              static_cast<long long>(run.cyclesRun));
+  std::printf("vs full software reference: max |diff| = %g -> %s\n",
+              run.collected.maxAbsDiff(golden),
+              run.collected.maxAbsDiff(golden) == 0.0 ? "PASS" : "FAIL");
+  return run.collected.maxAbsDiff(golden) == 0.0 ? 0 : 1;
+}

@@ -1,0 +1,80 @@
+#include "arch/array.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace tensorlib::arch {
+
+std::vector<PeCoord> PeGrid::all() const {
+  std::vector<PeCoord> out;
+  out.reserve(static_cast<std::size_t>(count()));
+  for (std::int64_t i = 0; i < p1Span; ++i)
+    for (std::int64_t j = 0; j < p2Span; ++j) out.push_back({i, j});
+  return out;
+}
+
+std::int64_t lineId(PeCoord pe, std::int64_t dp1, std::int64_t dp2) {
+  // The 2-D cross product p x d is constant along the line p + k*d.
+  return pe.p1 * dp2 - pe.p2 * dp1;
+}
+
+std::map<std::int64_t, std::vector<PeCoord>> linesAlong(const PeGrid& grid,
+                                                        std::int64_t dp1,
+                                                        std::int64_t dp2) {
+  TL_CHECK(dp1 != 0 || dp2 != 0, "linesAlong: zero direction");
+  std::map<std::int64_t, std::vector<PeCoord>> lines;
+  for (const PeCoord pe : grid.all()) lines[lineId(pe, dp1, dp2)].push_back(pe);
+  for (auto& [id, pes] : lines) {
+    std::sort(pes.begin(), pes.end(), [&](PeCoord a, PeCoord b) {
+      // ascending along the direction = ascending dot product with (dp1,dp2)
+      return a.p1 * dp1 + a.p2 * dp2 < b.p1 * dp1 + b.p2 * dp2;
+    });
+  }
+  return lines;
+}
+
+std::map<std::pair<std::int64_t, std::int64_t>, std::vector<PeCoord>>
+chainsAlong(const PeGrid& grid, std::int64_t dp1, std::int64_t dp2) {
+  TL_CHECK(dp1 != 0 || dp2 != 0, "chainsAlong: zero direction");
+  // Two PEs share a chain iff their difference is an integer multiple of
+  // (dp1,dp2): same geometric line AND same residue along the direction.
+  std::map<std::pair<std::int64_t, std::int64_t>, std::vector<PeCoord>> chains;
+  const std::int64_t a1 = std::abs(dp1), a2 = std::abs(dp2);
+  for (const PeCoord pe : grid.all()) {
+    const std::int64_t cross = lineId(pe, dp1, dp2);
+    // PE coordinates are non-negative, so plain remainders are safe.
+    const std::int64_t residue = a1 != 0 ? pe.p1 % a1 : pe.p2 % a2;
+    chains[{cross, residue}].push_back(pe);
+  }
+  for (auto& [key, pes] : chains) {
+    (void)key;
+    std::sort(pes.begin(), pes.end(), [&](PeCoord a, PeCoord b) {
+      return a.p1 * dp1 + a.p2 * dp2 < b.p1 * dp1 + b.p2 * dp2;
+    });
+  }
+  return chains;
+}
+
+std::int64_t stepsBetween(PeCoord from, PeCoord to, std::int64_t dp1,
+                          std::int64_t dp2) {
+  const std::int64_t d1 = to.p1 - from.p1;
+  const std::int64_t d2 = to.p2 - from.p2;
+  std::int64_t k = 0;
+  if (dp1 != 0) {
+    TL_CHECK(d1 % dp1 == 0, "stepsBetween: not on the line");
+    k = d1 / dp1;
+  } else {
+    TL_CHECK(d1 == 0, "stepsBetween: not on the line");
+  }
+  if (dp2 != 0) {
+    TL_CHECK(d2 % dp2 == 0 && (dp1 == 0 || d2 / dp2 == k),
+             "stepsBetween: not on the line");
+    k = d2 / dp2;
+  } else {
+    TL_CHECK(d2 == 0, "stepsBetween: not on the line");
+  }
+  return k;
+}
+
+}  // namespace tensorlib::arch

@@ -1,0 +1,57 @@
+// PE-array geometry utilities: grid indexing, reuse-direction lines (the
+// multicast groups / systolic chains of Fig. 3(2) and Fig. 4), and chain
+// traversal orders used when wiring neighbor links.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace tensorlib::arch {
+
+/// A PE coordinate within the generated array.
+struct PeCoord {
+  std::int64_t p1 = 0, p2 = 0;
+  bool operator<(const PeCoord& o) const {
+    return p1 != o.p1 ? p1 < o.p1 : p2 < o.p2;
+  }
+  bool operator==(const PeCoord& o) const { return p1 == o.p1 && p2 == o.p2; }
+};
+
+/// Rectangular PE grid of p1Span x p2Span.
+struct PeGrid {
+  std::int64_t p1Span = 0, p2Span = 0;
+
+  bool contains(PeCoord c) const {
+    return c.p1 >= 0 && c.p1 < p1Span && c.p2 >= 0 && c.p2 < p2Span;
+  }
+  std::int64_t count() const { return p1Span * p2Span; }
+  std::vector<PeCoord> all() const;
+};
+
+/// Identifier of the line through a PE along a spatial direction (dp1, dp2):
+/// invariant under steps of the direction, distinct across parallel lines.
+std::int64_t lineId(PeCoord pe, std::int64_t dp1, std::int64_t dp2);
+
+/// Groups the grid's PEs into lines along (dp1, dp2), each sorted in chain
+/// order (ascending along the direction). Lines are geometric: a stride-2
+/// direction still groups every PE on the line (used for multicast buses,
+/// which drive the whole line).
+std::map<std::int64_t, std::vector<PeCoord>> linesAlong(const PeGrid& grid,
+                                                        std::int64_t dp1,
+                                                        std::int64_t dp2);
+
+/// Groups the grid's PEs into exact reuse chains p0 + k*(dp1,dp2): unlike
+/// linesAlong, a stride-2 direction yields two interleaved chains per
+/// geometric line. Used for systolic register chains, where each hop must
+/// land exactly one reuse step away. Keys are opaque but stable.
+std::map<std::pair<std::int64_t, std::int64_t>, std::vector<PeCoord>>
+chainsAlong(const PeGrid& grid, std::int64_t dp1, std::int64_t dp2);
+
+/// Steps from `from` to `to` along (dp1,dp2); throws if not on the same line.
+std::int64_t stepsBetween(PeCoord from, PeCoord to, std::int64_t dp1,
+                          std::int64_t dp2);
+
+}  // namespace tensorlib::arch

@@ -1,0 +1,55 @@
+#include "arch/controller.hpp"
+
+#include "support/error.hpp"
+
+namespace tensorlib::arch {
+
+ControllerSignals buildController(hwir::Netlist& n, std::int64_t loadCycles,
+                                  std::int64_t computeCycles,
+                                  std::int64_t columns,
+                                  std::int64_t stagePeriod) {
+  TL_CHECK(computeCycles > 0, "controller: compute phase must be non-empty");
+  TL_CHECK(stagePeriod >= loadCycles + computeCycles,
+           "controller: stage period shorter than load + compute");
+  ControllerSignals sig;
+  sig.loadCycles = loadCycles;
+  sig.computeEnd = loadCycles + computeCycles;
+  sig.stagePeriod = stagePeriod;
+
+  const int w = 32;
+  // Wrapping stage counter: 0 .. stagePeriod-1, then repeat.
+  const hwir::NodeId counter = n.reg(w, hwir::DataKind::Bits, 0, "ctrl/cycle");
+  const hwir::NodeId atWrap =
+      n.eq(counter, n.constant(stagePeriod - 1, w), "ctrl/at_wrap");
+  n.connectRegInput(
+      counter, n.mux(atWrap, n.constant(0, w),
+                     n.add(counter, n.constant(1, w), "ctrl/cycle_inc"),
+                     "ctrl/cycle_next"));
+  sig.cycleCounter = counter;
+
+  const hwir::NodeId loadEndC = n.constant(loadCycles, w);
+  const hwir::NodeId computeEndC = n.constant(sig.computeEnd, w);
+
+  sig.inLoad = n.lt(counter, loadEndC, "ctrl/in_load");
+  sig.loadDone =
+      loadCycles > 0
+          ? n.eq(counter, n.constant(loadCycles - 1, w), "ctrl/load_done")
+          : n.constant(0, 1);
+  const hwir::NodeId beforeComputeEnd = n.lt(counter, computeEndC);
+  sig.inCompute = n.logicalAnd(n.logicalNot(sig.inLoad), beforeComputeEnd,
+                               "ctrl/in_compute");
+  sig.computeStart = n.eq(counter, loadEndC, "ctrl/compute_start");
+  sig.swap = n.eq(counter, computeEndC, "ctrl/swap");
+  sig.inDrain = n.lt(computeEndC, counter, "ctrl/in_drain");
+
+  sig.loadColumn.reserve(static_cast<std::size_t>(columns));
+  for (std::int64_t c = 0; c < columns; ++c) {
+    const hwir::NodeId match =
+        n.eq(counter, n.constant(c, w), "ctrl/load_col_eq" + std::to_string(c));
+    sig.loadColumn.push_back(
+        n.logicalAnd(match, sig.inLoad, "ctrl/load_col" + std::to_string(c)));
+  }
+  return sig;
+}
+
+}  // namespace tensorlib::arch

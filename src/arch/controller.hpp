@@ -1,0 +1,46 @@
+// System controller generation (the bottom-right box of Fig. 1(a)).
+//
+// The controller is a wrapping stage counter plus phase comparators: each
+// stage runs LOAD (stationary-input shadow buffers fill column by column),
+// COMPUTE (one tile's schedule executes) and a TAIL window (stationary
+// outputs drain / systolic outputs flush), then wraps so the next tile of a
+// multi-tile workload starts — the "control signals for both PE and memory
+// ports" of Section III. It produces per-column load enables, the
+// double-buffer swap pulse, the accumulator-clear pulse at compute start,
+// and the compute/drain phase gates the Fig. 3 PE modules need.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hwir/module.hpp"
+
+namespace tensorlib::arch {
+
+struct ControllerSignals {
+  hwir::NodeId cycleCounter = hwir::kInvalidNode;  ///< cycle within stage
+  hwir::NodeId inLoad = hwir::kInvalidNode;     ///< cycle <  loadCycles
+  hwir::NodeId loadDone = hwir::kInvalidNode;   ///< pulse at cycle == loadCycles-1
+  hwir::NodeId inCompute = hwir::kInvalidNode;  ///< loadCycles <= cycle < computeEnd
+  hwir::NodeId computeStart = hwir::kInvalidNode;  ///< pulse at cycle == loadCycles
+  hwir::NodeId swap = hwir::kInvalidNode;       ///< pulse at cycle == computeEnd
+  hwir::NodeId inDrain = hwir::kInvalidNode;    ///< cycle > computeEnd
+  /// loadColumn[c] pulses when column c of the shadow buffers should latch.
+  std::vector<hwir::NodeId> loadColumn;
+
+  std::int64_t loadCycles = 0;
+  std::int64_t computeEnd = 0;    ///< loadCycles + compute span
+  std::int64_t stagePeriod = 0;   ///< counter wraps here (one tile pass)
+};
+
+/// Builds the controller into the netlist. `columns` is the p2 span used by
+/// the load/drain chains. When stationary inputs exist, pass
+/// loadCycles = columns + 1: columns of shadow loading plus one swap cycle
+/// before compute starts (the shadow->active hand-off needs its own edge).
+/// `stagePeriod` must cover load + compute + the output tail; the counter
+/// wraps there so stages repeat for multi-tile workloads.
+ControllerSignals buildController(hwir::Netlist& netlist, std::int64_t loadCycles,
+                                  std::int64_t computeCycles, std::int64_t columns,
+                                  std::int64_t stagePeriod);
+
+}  // namespace tensorlib::arch

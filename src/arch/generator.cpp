@@ -1,0 +1,268 @@
+#include "arch/generator.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+#include "support/error.hpp"
+
+namespace tensorlib::arch {
+
+namespace {
+
+/// Exact reuse lattice step of a rank-1 tensor, sign-normalized so dt >= 0.
+linalg::IntVector latticeStep(const stt::TensorDataflow& df) {
+  TL_CHECK(df.reuseRank == 1, "latticeStep: tensor is not rank-1");
+  linalg::IntVector v = df.latticeBasis.col(0);
+  if (v[2] < 0 || (v[2] == 0 && (v[0] < 0 || (v[0] == 0 && v[1] < 0))))
+    for (auto& x : v) x = -x;
+  return v;
+}
+
+std::string sanitize(std::string s) {
+  for (char& c : s)
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  return s;
+}
+
+}  // namespace
+
+GeneratedAccelerator generateAccelerator(const stt::DataflowSpec& spec,
+                                         const stt::ArrayConfig& arrayConfig,
+                                         const HardwareConfig& hwConfig) {
+  TL_CHECK(spec.outputRole().dataflow.reuseRank <= 1,
+           "netlist generation supports rank-0/1 output dataflows; output " +
+               spec.outputRole().tensor + " has rank-" +
+               std::to_string(spec.outputRole().dataflow.reuseRank) +
+               " reuse (use the behavioral simulator)");
+
+  const stt::TileMapping mapping = stt::computeMapping(spec, arrayConfig);
+  const linalg::IntVector shape = mapping.fullTile;
+  sim::TileTrace trace = sim::buildTileTrace(spec, shape);
+
+  GeneratedAccelerator acc(hwir::Netlist("tensorlib_" + sanitize(spec.label())),
+                           spec, std::move(trace), shape);
+  acc.config = hwConfig;
+  acc.grid = PeGrid{acc.trace.p1Span, acc.trace.p2Span};
+  hwir::Netlist& n = acc.netlist;
+
+  const int w = hwConfig.dataKind == hwir::DataKind::Float32 ? 32
+                                                             : hwConfig.dataWidth;
+  const hwir::DataKind kind = hwConfig.dataKind;
+
+  // --- Phase plan.
+  bool stationaryInput = false;
+  for (const auto& role : spec.tensors())
+    if (!role.isOutput && (role.dataflow.dataflowClass ==
+                               stt::DataflowClass::Stationary ||
+                           role.dataflow.dataflowClass ==
+                               stt::DataflowClass::MulticastStationary))
+      stationaryInput = true;
+  const bool stationaryOutput = spec.outputRole().dataflow.dataflowClass ==
+                                stt::DataflowClass::Stationary;
+
+  acc.loadCycles = stationaryInput ? acc.grid.p2Span + 1 : 0;
+  acc.computeCycles = acc.trace.cycles;
+  // Output tail after the last MAC: stationary drain shift, systolic flush
+  // to the array edge, or a single register for tree/unicast outputs.
+  const auto& outDf = spec.outputRole().dataflow;
+  if (stationaryOutput) {
+    acc.drainCycles = acc.grid.p2Span + 1;
+  } else if (outDf.dataflowClass == stt::DataflowClass::Systolic) {
+    const linalg::IntVector step = latticeStep(outDf);
+    acc.drainCycles =
+        (std::max(acc.grid.p1Span, acc.grid.p2Span) + 1) * step[2];
+  } else {
+    acc.drainCycles = 2;
+  }
+  acc.stagePeriod = acc.loadCycles + acc.computeCycles + acc.drainCycles;
+  acc.controller = buildController(n, acc.loadCycles, acc.computeCycles,
+                                   acc.grid.p2Span, acc.stagePeriod);
+  const ControllerSignals& ctrl = acc.controller;
+
+  // --- Input structures (Fig. 3(1) modules (a)/(c)/(e)).
+  for (std::size_t i = 0; i + 1 < spec.tensors().size(); ++i) {
+    const auto& role = spec.tensors()[i];
+    const auto cls = role.dataflow.dataflowClass;
+    switch (cls) {
+      case stt::DataflowClass::Systolic: {
+        std::set<PeCoord> heads;
+        if (hwConfig.injectEverywhere) {
+          for (const PeCoord pe : acc.grid.all()) heads.insert(pe);
+        } else {
+          for (const auto& inj : acc.trace.injections)
+            if (inj.tensorIndex == i) heads.insert({inj.p1, inj.p2});
+        }
+        acc.inputs.push_back(buildSystolicInput(
+            n, acc.grid, role.tensor, w, kind, latticeStep(role.dataflow),
+            std::vector<PeCoord>(heads.begin(), heads.end())));
+        break;
+      }
+      case stt::DataflowClass::Stationary:
+      case stt::DataflowClass::MulticastStationary:
+        // The multicast+stationary plane resides like plain stationary data
+        // (one element per PE for the whole pass); only the loading network
+        // differs, which the memory system handles.
+        acc.inputs.push_back(
+            buildStationaryInput(n, acc.grid, role.tensor, w, kind, ctrl));
+        break;
+      case stt::DataflowClass::Multicast:
+        acc.inputs.push_back(buildMulticastInput(n, acc.grid, role.tensor, w,
+                                                 kind,
+                                                 role.dataflow.direction));
+        break;
+      case stt::DataflowClass::Broadcast2D:
+      case stt::DataflowClass::FullReuse:
+        acc.inputs.push_back(
+            buildBroadcastInput(n, acc.grid, role.tensor, w, kind));
+        break;
+      case stt::DataflowClass::SystolicMulticast: {
+        const sim::Movement mv = sim::deriveMovement(role.dataflow);
+        TL_CHECK(mv.hasStep && mv.bus == sim::Movement::Bus::Line,
+                 "inconsistent systolic+multicast movement");
+        acc.inputs.push_back(buildSystolicMulticastInput(
+            n, acc.grid, role.tensor, w, kind, mv.step, mv.busDir));
+        break;
+      }
+      case stt::DataflowClass::Unicast: {
+        std::set<PeCoord> active;
+        if (hwConfig.injectEverywhere) {
+          for (const PeCoord pe : acc.grid.all()) active.insert(pe);
+        } else {
+          for (const auto& ap : acc.trace.active) active.insert({ap.p1, ap.p2});
+        }
+        acc.inputs.push_back(buildUnicastInput(
+            n, role.tensor, w, kind,
+            std::vector<PeCoord>(active.begin(), active.end())));
+        break;
+      }
+      default:
+        fail("unsupported input dataflow class in netlist generation");
+    }
+  }
+
+  // --- Computation cells: MAC per PE where every operand is wired.
+  const hwir::NodeId zero = n.constant(0, w, kind);
+  std::map<PeCoord, hwir::NodeId> prodGated;
+  for (const PeCoord pe : acc.grid.all()) {
+    bool complete = true;
+    for (const auto& in : acc.inputs)
+      if (!in.operand.count(pe)) complete = false;
+    if (!complete || acc.inputs.empty()) continue;
+
+    const std::string base =
+        "pe_" + std::to_string(pe.p1) + "_" + std::to_string(pe.p2);
+    hwir::NodeId prod = acc.inputs[0].operand.at(pe);
+    hwir::NodeId valid = acc.inputs[0].valid.at(pe);
+    for (std::size_t i = 1; i < acc.inputs.size(); ++i) {
+      prod = n.mul(prod, acc.inputs[i].operand.at(pe),
+                   base + "/mul" + std::to_string(i));
+      valid = n.logicalAnd(valid, acc.inputs[i].valid.at(pe));
+    }
+    valid = n.logicalAnd(valid, ctrl.inCompute, base + "/mac_en");
+    prodGated[pe] = n.mux(valid, prod, zero, base + "/prod");
+  }
+
+  // --- Output structure (modules (b)/(d)/(f) + Fig. 3(2) interconnect).
+  const auto& outRole = spec.outputRole();
+  acc.output.dataflowClass = outRole.dataflow.dataflowClass;
+  switch (outRole.dataflow.dataflowClass) {
+    case stt::DataflowClass::Stationary: {
+      // Module (d): accumulator + drain register; drain regs form a shift
+      // chain along each row toward the p2Span-1 edge.
+      std::map<PeCoord, hwir::NodeId> drainRegs;
+      for (std::int64_t r = 0; r < acc.grid.p1Span; ++r) {
+        hwir::NodeId prev = zero;
+        for (std::int64_t c = 0; c < acc.grid.p2Span; ++c) {
+          const PeCoord pe{r, c};
+          const std::string base =
+              "pe_" + std::to_string(r) + "_" + std::to_string(c) + "/out";
+          hwir::NodeId accIn = prodGated.count(pe) ? prodGated.at(pe) : zero;
+          const hwir::NodeId accReg = n.reg(w, kind, 0, base + "/acc");
+          // Clear at each stage's first compute cycle so tiles don't bleed
+          // into each other (module (d)'s per-stage accumulate).
+          n.connectRegInput(
+              accReg, n.mux(ctrl.computeStart, accIn,
+                            n.add(accReg, accIn, base + "/acc_add")));
+
+          const hwir::NodeId drain = n.reg(w, kind, 0, base + "/drain");
+          n.connectRegInput(drain, n.mux(ctrl.swap, accReg, prev));
+          n.connectRegEnable(drain, n.logicalOr(ctrl.swap, ctrl.inDrain));
+          drainRegs[pe] = drain;
+          prev = drain;
+        }
+        acc.output.rowDrainPorts[r] = n.output(
+            outRole.tensor + "_drain_" + std::to_string(r), prev);
+      }
+      break;
+    }
+    case stt::DataflowClass::Systolic: {
+      const linalg::IntVector step = latticeStep(outRole.dataflow);
+      acc.output.direction = step;
+      const std::int64_t dt = step[2];
+      TL_CHECK(dt > 0, "systolic output with zero time step");
+      int chainIdx = 0;
+      for (const auto& [key, pes] : chainsAlong(acc.grid, step[0], step[1])) {
+        (void)key;
+        hwir::NodeId psum = zero;
+        for (const PeCoord pe : pes) {
+          const std::string base = "pe_" + std::to_string(pe.p1) + "_" +
+                                   std::to_string(pe.p2) + "/out";
+          const hwir::NodeId contrib =
+              prodGated.count(pe) ? prodGated.at(pe) : zero;
+          const hwir::NodeId sum = n.add(psum, contrib, base + "/psum_add");
+          const hwir::NodeId outReg = n.reg(w, kind, 0, base + "/psum");
+          n.connectRegInput(outReg, sum);
+          psum = dt > 1 ? n.pipeline(outReg, static_cast<int>(dt - 1),
+                                     base + "/psum_pipe")
+                        : outReg;
+        }
+        // Port at the chain's exit PE; keyed by the exit PE coordinate.
+        const PeCoord exit = pes.back();
+        acc.output.linePorts[lineId(exit, step[0], step[1])] = n.output(
+            outRole.tensor + "_out_" + std::to_string(chainIdx), psum);
+        ++chainIdx;
+      }
+      break;
+    }
+    case stt::DataflowClass::Multicast: {
+      // Module (f) + reduction tree per reuse line (Fig. 4(d)).
+      const linalg::IntVector& dir = outRole.dataflow.direction;
+      acc.output.direction = dir;
+      for (const auto& [id, pes] : linesAlong(acc.grid, dir[0], dir[1])) {
+        std::vector<hwir::NodeId> leaves;
+        for (const PeCoord pe : pes)
+          if (prodGated.count(pe)) leaves.push_back(prodGated.at(pe));
+        if (leaves.empty()) continue;
+        const std::string base =
+            outRole.tensor + "_tree_" + std::to_string(id);
+        const hwir::NodeId root = n.adderTree(leaves, base);
+        const hwir::NodeId rootReg = n.reg(w, kind, 0, base + "/root");
+        n.connectRegInput(rootReg, root);
+        acc.output.linePorts[id] =
+            n.output(outRole.tensor + "_out_" + std::to_string(id), rootReg);
+      }
+      break;
+    }
+    case stt::DataflowClass::Unicast: {
+      for (const auto& [pe, prod] : prodGated) {
+        const std::string base = "pe_" + std::to_string(pe.p1) + "_" +
+                                 std::to_string(pe.p2) + "/out";
+        const hwir::NodeId outReg = n.reg(w, kind, 0, base + "/reg");
+        n.connectRegInput(outReg, prod);
+        acc.output.pePorts[pe] =
+            n.output(outRole.tensor + "_out_" + std::to_string(pe.p1) + "_" +
+                         std::to_string(pe.p2),
+                     outReg);
+      }
+      break;
+    }
+    default:
+      fail("unsupported output dataflow class in netlist generation");
+  }
+
+  n.validate();
+  return acc;
+}
+
+}  // namespace tensorlib::arch

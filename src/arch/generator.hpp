@@ -1,0 +1,84 @@
+// Top-level hardware generation: DataflowSpec -> complete accelerator
+// netlist (Section V of the paper).
+//
+// The generator selects the PE-internal module template for each tensor
+// from its dataflow class, wires the PE array with the matching
+// interconnect pattern (neighbor links, buses, reduction trees, memory
+// ports), instantiates the computation cells (MAC chains), and attaches the
+// controller. The result simulates cycle-accurately under hwir::RtlSimulator
+// and serializes to Verilog.
+//
+// Supported at the netlist level: all rank-0/rank-1 dataflow classes
+// (Unicast / Stationary / Systolic / Multicast), i.e. every U/T/S/M letter
+// combination. Rank-2 ("B") tensors are evaluated by the behavioral
+// simulator; generating their composed structures in RTL is future work the
+// paper also treats as a composition of the rank-1 modules.
+#pragma once
+
+#include <memory>
+
+#include "arch/controller.hpp"
+#include "arch/pe.hpp"
+#include "sim/trace.hpp"
+#include "stt/mapping.hpp"
+
+namespace tensorlib::arch {
+
+struct HardwareConfig {
+  /// Datapath width. The whole Bits datapath (including accumulators) runs
+  /// at this width in two's complement, which is end-to-end exact modulo
+  /// 2^width — results are bit-correct whenever the true values fit.
+  int dataWidth = 16;  ///< 16 for INT16; 32 for Float32
+  hwir::DataKind dataKind = hwir::DataKind::Bits;
+  /// Give every PE a systolic injection port instead of only the full
+  /// tile's chain heads. Required for multi-tile execution: remainder tiles
+  /// have chain heads at interior PEs.
+  bool injectEverywhere = false;
+};
+
+/// Output-side wiring: where results leave the array and when to sample.
+struct OutputBundle {
+  stt::DataflowClass dataflowClass = stt::DataflowClass::Stationary;
+  linalg::IntVector direction;
+  /// Stationary: one drain port per row (shift chain along p2).
+  std::map<std::int64_t, hwir::NodeId> rowDrainPorts;
+  /// Systolic: one port per chain line (at the line's exit PE).
+  std::map<std::int64_t, hwir::NodeId> linePorts;
+  /// Multicast: one reduction-tree root port per line.
+  /// Unicast: one port per active PE.
+  std::map<PeCoord, hwir::NodeId> pePorts;
+};
+
+/// A generated accelerator: netlist + everything the testbench needs to
+/// drive it (port maps, schedule, phase boundaries).
+struct GeneratedAccelerator {
+  hwir::Netlist netlist;
+  stt::DataflowSpec spec;
+  sim::TileTrace trace;       ///< schedule of the generated tile
+  linalg::IntVector tileShape;
+  PeGrid grid;
+  ControllerSignals controller;
+  std::vector<InputBundle> inputs;  ///< label order (inputs only)
+  OutputBundle output;
+  HardwareConfig config;
+
+  std::int64_t loadCycles = 0;     ///< LOAD phase length
+  std::int64_t computeCycles = 0;  ///< COMPUTE phase length (= trace.cycles)
+  std::int64_t drainCycles = 0;    ///< output tail (drain / flush) length
+  std::int64_t stagePeriod = 0;    ///< cycles per stage (controller wrap)
+
+  GeneratedAccelerator(hwir::Netlist nl, stt::DataflowSpec sp, sim::TileTrace tr,
+                       linalg::IntVector shape)
+      : netlist(std::move(nl)),
+        spec(std::move(sp)),
+        trace(std::move(tr)),
+        tileShape(std::move(shape)) {}
+};
+
+/// Generates the accelerator for one tile of `spec` (tile shape from the
+/// mapping onto `arrayConfig`). Throws tensorlib::Error for rank-2 tensors.
+GeneratedAccelerator generateAccelerator(const stt::DataflowSpec& spec,
+                                         const stt::ArrayConfig& arrayConfig,
+                                         const HardwareConfig& hwConfig = {});
+
+}  // namespace tensorlib::arch

@@ -1,0 +1,76 @@
+#include "arch/memory.hpp"
+
+#include <algorithm>
+
+#include "stt/mapping.hpp"
+#include "support/error.hpp"
+
+namespace tensorlib::arch {
+
+namespace {
+
+/// Number of parallel memory ports a tensor's dataflow needs on a
+/// rows x cols array (Fig. 3(2)): one per multicast bus line, one per
+/// systolic chain head line, one per row for stationary loads, one per PE
+/// for unicast.
+std::int64_t portCount(const stt::TensorDataflow& df, std::int64_t rows,
+                       std::int64_t cols) {
+  using stt::DataflowClass;
+  switch (df.dataflowClass) {
+    case DataflowClass::Unicast:
+      return rows * cols;
+    case DataflowClass::Stationary:
+      return rows;
+    case DataflowClass::Systolic:
+    case DataflowClass::Multicast: {
+      const std::int64_t dp1 = std::abs(df.direction[0]);
+      const std::int64_t dp2 = std::abs(df.direction[1]);
+      // Lines along (dp1,dp2) covering a rows x cols grid.
+      if (dp1 == 0) return rows;
+      if (dp2 == 0) return cols;
+      return rows * dp2 + cols * dp1 - dp1 * dp2;  // skewed lines
+    }
+    case DataflowClass::Broadcast2D:
+      return 1;  // one bus for the whole array
+    case DataflowClass::MulticastStationary:
+    case DataflowClass::SystolicMulticast:
+      return std::max(rows, cols);  // one bus per line of the spatial axis
+    case DataflowClass::FullReuse:
+      return 1;
+  }
+  fail("unknown dataflow class");
+}
+
+}  // namespace
+
+std::vector<BankSpec> deriveBanks(const stt::DataflowSpec& spec,
+                                  const stt::ArrayConfig& config,
+                                  std::int64_t wordBits) {
+  const stt::TileMapping mapping = stt::computeMapping(spec, config);
+  // Footprints of the full tile shape (first tile group is the full one).
+  const auto& tile = mapping.tiles.front();
+
+  std::vector<BankSpec> out;
+  for (std::size_t i = 0; i < spec.tensors().size(); ++i) {
+    const auto& role = spec.tensors()[i];
+    BankSpec b;
+    b.tensor = role.tensor;
+    b.isOutput = role.isOutput;
+    b.banks = portCount(role.dataflow, config.rows, config.cols);
+    // Double buffering (module (c)/(d) in Fig. 3) needs two tile footprints
+    // resident per tensor, spread across its banks.
+    const std::int64_t footprint = tile.tensorFootprints[i];
+    b.wordsPerBank = std::max<std::int64_t>(1, 2 * footprint / std::max<std::int64_t>(1, b.banks));
+    b.wordBits = wordBits;
+    out.push_back(b);
+  }
+  return out;
+}
+
+std::int64_t totalBufferBits(const std::vector<BankSpec>& banks) {
+  std::int64_t total = 0;
+  for (const auto& b : banks) total += b.totalBits();
+  return total;
+}
+
+}  // namespace tensorlib::arch

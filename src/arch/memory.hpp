@@ -1,0 +1,37 @@
+// On-chip memory generation (Section V-B): "each group of PEs that reuse
+// the same tensor indexes is assigned with a particular memory bank".
+//
+// The netlist exposes one port per bank (bus line / chain head / PE); this
+// module derives the bank inventory — count, width, depth — from the
+// dataflow spec and tile mapping. The RTL testbench plays the role of the
+// bank contents (a behavioral memory preloaded with the tensor and indexed
+// by the generated access pattern), and the cost models price the banks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stt/mapping.hpp"
+
+namespace tensorlib::arch {
+
+struct BankSpec {
+  std::string tensor;
+  bool isOutput = false;
+  std::int64_t banks = 0;         ///< parallel ports into the array
+  std::int64_t wordsPerBank = 0;  ///< double-buffered tile footprint share
+  std::int64_t wordBits = 0;
+
+  std::int64_t totalBits() const { return banks * wordsPerBank * wordBits; }
+};
+
+/// Derives the per-tensor bank inventory for a spec mapped onto an array.
+std::vector<BankSpec> deriveBanks(const stt::DataflowSpec& spec,
+                                  const stt::ArrayConfig& config,
+                                  std::int64_t wordBits);
+
+/// Total on-chip buffer bits across tensors.
+std::int64_t totalBufferBits(const std::vector<BankSpec>& banks);
+
+}  // namespace tensorlib::arch

@@ -1,0 +1,237 @@
+#include "arch/pe.hpp"
+
+#include <set>
+
+#include "support/error.hpp"
+
+namespace tensorlib::arch {
+
+namespace {
+std::string peName(const std::string& tensor, PeCoord pe) {
+  return "pe_" + std::to_string(pe.p1) + "_" + std::to_string(pe.p2) + "/" +
+         tensor;
+}
+}  // namespace
+
+InputBundle buildSystolicInput(hwir::Netlist& n, const PeGrid& grid,
+                               const std::string& tensor, int width,
+                               hwir::DataKind kind,
+                               const linalg::IntVector& direction,
+                               const std::vector<PeCoord>& injectionPes) {
+  TL_CHECK(direction.size() == 3 && direction[2] > 0,
+           "systolic input needs a (dp1,dp2,dt>0) direction");
+  const std::int64_t dp1 = direction[0], dp2 = direction[1], dt = direction[2];
+  TL_CHECK(dp1 != 0 || dp2 != 0, "systolic direction must move spatially");
+
+  InputBundle bundle;
+  bundle.dataflowClass = stt::DataflowClass::Systolic;
+  bundle.direction = direction;
+  const std::set<PeCoord> heads(injectionPes.begin(), injectionPes.end());
+
+  const hwir::NodeId zero = n.constant(0, width, kind);
+  const hwir::NodeId validZero = n.constant(0, 1);
+
+  for (const auto& [id, pes] : chainsAlong(grid, dp1, dp2)) {
+    (void)id;
+    hwir::NodeId prevData = hwir::kInvalidNode;
+    hwir::NodeId prevValid = hwir::kInvalidNode;
+    for (const PeCoord pe : pes) {
+      const std::string base = peName(tensor, pe);
+      // Incoming from the neighbor, delayed dt cycles (module (a)'s register
+      // plus dt-1 pipeline stages for strided schedules).
+      hwir::NodeId chainData = zero;
+      hwir::NodeId chainValid = validZero;
+      if (prevData != hwir::kInvalidNode) {
+        chainData = n.pipeline(prevData, static_cast<int>(dt), base + "/chain");
+        chainValid =
+            n.pipeline(prevValid, static_cast<int>(dt), base + "/chain_v");
+      }
+      hwir::NodeId data = chainData;
+      hwir::NodeId valid = chainValid;
+      if (heads.count(pe)) {
+        const hwir::NodeId port = n.input(tensor + "_in_" + std::to_string(pe.p1) +
+                                              "_" + std::to_string(pe.p2),
+                                          width, kind);
+        const hwir::NodeId vport = n.input(tensor + "_vld_" +
+                                               std::to_string(pe.p1) + "_" +
+                                               std::to_string(pe.p2),
+                                           1);
+        bundle.peDataPorts[pe] = port;
+        bundle.peValidPorts[pe] = vport;
+        data = n.mux(vport, port, chainData, base + "/inject_mux");
+        valid = n.logicalOr(vport, chainValid, base + "/inject_vld");
+      }
+      bundle.operand[pe] = data;
+      bundle.valid[pe] = valid;
+      prevData = data;
+      prevValid = valid;
+    }
+  }
+  return bundle;
+}
+
+InputBundle buildStationaryInput(hwir::Netlist& n, const PeGrid& grid,
+                                 const std::string& tensor, int width,
+                                 hwir::DataKind kind,
+                                 const ControllerSignals& ctrl) {
+  InputBundle bundle;
+  bundle.dataflowClass = stt::DataflowClass::Stationary;
+  TL_CHECK(static_cast<std::int64_t>(ctrl.loadColumn.size()) >= grid.p2Span,
+           "controller load columns don't cover the array");
+
+  for (std::int64_t r = 0; r < grid.p1Span; ++r) {
+    bundle.rowLoadPorts[r] =
+        n.input(tensor + "_load_" + std::to_string(r), width, kind);
+    bundle.rowLoadValidPorts[r] =
+        n.input(tensor + "_loadvld_" + std::to_string(r), 1);
+  }
+
+  for (const PeCoord pe : grid.all()) {
+    const std::string base = peName(tensor, pe);
+    // Module (c): shadow register fills during LOAD, active register swaps
+    // in at the stage boundary so compute and (next-tile) loading overlap.
+    // A 1-bit occupancy flag rides along so PEs that receive no element
+    // this stage (remainder tiles) stay gated off.
+    const hwir::NodeId loadEn =
+        ctrl.loadColumn[static_cast<std::size_t>(pe.p2)];
+    const hwir::NodeId shadow = n.reg(width, kind, 0, base + "/shadow");
+    n.connectRegInput(shadow, bundle.rowLoadPorts[pe.p1]);
+    n.connectRegEnable(shadow, loadEn);
+    const hwir::NodeId shadowVld = n.reg(1, hwir::DataKind::Bits, 0,
+                                         base + "/shadow_vld");
+    n.connectRegInput(shadowVld, bundle.rowLoadValidPorts[pe.p1]);
+    n.connectRegEnable(shadowVld, loadEn);
+
+    const hwir::NodeId active = n.reg(width, kind, 0, base + "/active");
+    n.connectRegInput(active, shadow);
+    // The active regs latch one cycle after the last column load (the
+    // controller's loadDone pulse), so every shadow is stable first.
+    n.connectRegEnable(active, ctrl.loadDone);
+    const hwir::NodeId activeVld = n.reg(1, hwir::DataKind::Bits, 0,
+                                         base + "/active_vld");
+    n.connectRegInput(activeVld, shadowVld);
+    n.connectRegEnable(activeVld, ctrl.loadDone);
+
+    bundle.operand[pe] = active;
+    bundle.valid[pe] = n.logicalAnd(activeVld, ctrl.inCompute, base + "/vld");
+  }
+  return bundle;
+}
+
+InputBundle buildMulticastInput(hwir::Netlist& n, const PeGrid& grid,
+                                const std::string& tensor, int width,
+                                hwir::DataKind kind,
+                                const linalg::IntVector& direction) {
+  TL_CHECK(direction.size() == 3 && direction[2] == 0,
+           "multicast input needs a (dp1,dp2,0) direction");
+  InputBundle bundle;
+  bundle.dataflowClass = stt::DataflowClass::Multicast;
+  bundle.direction = direction;
+
+  for (const auto& [id, pes] : linesAlong(grid, direction[0], direction[1])) {
+    const hwir::NodeId port =
+        n.input(tensor + "_bus_" + std::to_string(id), width, kind);
+    const hwir::NodeId vport = n.input(tensor + "_busvld_" + std::to_string(id), 1);
+    bundle.lineDataPorts[id] = port;
+    bundle.lineValidPorts[id] = vport;
+    for (const PeCoord pe : pes) {
+      bundle.operand[pe] = port;  // module (e): direct wire from the bus
+      bundle.valid[pe] = vport;
+    }
+  }
+  return bundle;
+}
+
+InputBundle buildBroadcastInput(hwir::Netlist& n, const PeGrid& grid,
+                                const std::string& tensor, int width,
+                                hwir::DataKind kind) {
+  InputBundle bundle;
+  bundle.dataflowClass = stt::DataflowClass::Broadcast2D;
+  const hwir::NodeId port = n.input(tensor + "_bus_0", width, kind);
+  const hwir::NodeId vport = n.input(tensor + "_busvld_0", 1);
+  bundle.lineDataPorts[0] = port;
+  bundle.lineValidPorts[0] = vport;
+  for (const PeCoord pe : grid.all()) {
+    bundle.operand[pe] = port;
+    bundle.valid[pe] = vport;
+  }
+  return bundle;
+}
+
+InputBundle buildSystolicMulticastInput(hwir::Netlist& n, const PeGrid& grid,
+                                        const std::string& tensor, int width,
+                                        hwir::DataKind kind,
+                                        const linalg::IntVector& step,
+                                        const linalg::IntVector& busDir) {
+  TL_CHECK(step.size() == 3 && step[2] > 0,
+           "systolic+multicast needs a (dp1,dp2,dt>0) register step");
+  TL_CHECK(busDir.size() == 3 && busDir[2] == 0 &&
+               (busDir[0] != 0 || busDir[1] != 0),
+           "systolic+multicast needs a spatial bus direction");
+  InputBundle bundle;
+  bundle.dataflowClass = stt::DataflowClass::SystolicMulticast;
+  bundle.direction = step;
+  bundle.busDirection = busDir;
+
+  // One bus per line along busDir.
+  for (const auto& [id, pes] : linesAlong(grid, busDir[0], busDir[1])) {
+    (void)pes;
+    bundle.lineDataPorts[id] =
+        n.input(tensor + "_bus_" + std::to_string(id), width, kind);
+    bundle.lineValidPorts[id] =
+        n.input(tensor + "_busvld_" + std::to_string(id), 1);
+  }
+
+  // Register chains along the step direction; every PE can (re)load from
+  // its line's bus — the broadcast half of the composed dataflow.
+  const hwir::NodeId zero = n.constant(0, width, kind);
+  const hwir::NodeId validZero = n.constant(0, 1);
+  const std::int64_t dt = step[2];
+  for (const auto& [key, pes] : chainsAlong(grid, step[0], step[1])) {
+    (void)key;
+    hwir::NodeId prevData = hwir::kInvalidNode;
+    hwir::NodeId prevValid = hwir::kInvalidNode;
+    for (const PeCoord pe : pes) {
+      const std::string base = peName(tensor, pe);
+      hwir::NodeId chainData = zero;
+      hwir::NodeId chainValid = validZero;
+      if (prevData != hwir::kInvalidNode) {
+        chainData = n.pipeline(prevData, static_cast<int>(dt), base + "/chain");
+        chainValid =
+            n.pipeline(prevValid, static_cast<int>(dt), base + "/chain_v");
+      }
+      const std::int64_t line = lineId(pe, busDir[0], busDir[1]);
+      const hwir::NodeId busData = bundle.lineDataPorts.at(line);
+      const hwir::NodeId busValid = bundle.lineValidPorts.at(line);
+      const hwir::NodeId data =
+          n.mux(busValid, busData, chainData, base + "/bus_mux");
+      const hwir::NodeId valid =
+          n.logicalOr(busValid, chainValid, base + "/bus_vld");
+      bundle.operand[pe] = data;
+      bundle.valid[pe] = valid;
+      prevData = data;
+      prevValid = valid;
+    }
+  }
+  return bundle;
+}
+
+InputBundle buildUnicastInput(hwir::Netlist& n, const std::string& tensor,
+                              int width, hwir::DataKind kind,
+                              const std::vector<PeCoord>& activePes) {
+  InputBundle bundle;
+  bundle.dataflowClass = stt::DataflowClass::Unicast;
+  for (const PeCoord pe : activePes) {
+    const std::string suffix =
+        std::to_string(pe.p1) + "_" + std::to_string(pe.p2);
+    const hwir::NodeId port = n.input(tensor + "_in_" + suffix, width, kind);
+    const hwir::NodeId vport = n.input(tensor + "_vld_" + suffix, 1);
+    bundle.peDataPorts[pe] = port;
+    bundle.peValidPorts[pe] = vport;
+    bundle.operand[pe] = port;
+    bundle.valid[pe] = vport;
+  }
+  return bundle;
+}
+
+}  // namespace tensorlib::arch

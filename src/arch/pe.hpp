@@ -1,0 +1,84 @@
+// PE-internal module templates (Fig. 3(1) of the paper) and their
+// array-level wiring (Fig. 3(2)).
+//
+// Each input tensor contributes one of the paper's module templates to
+// every PE:
+//   (a) systolic input   — register chain between neighbor PEs (dt-deep)
+//   (c) stationary input — double buffer (shadow + active) with column load
+//   (e) multicast/unicast input — direct wire from a bus / memory port
+// Output templates (b)/(d)/(f) are built by the generator: systolic
+// partial-sum chains, stationary accumulator + drain shift, and reduction
+// trees for multicast outputs.
+#pragma once
+
+#include <map>
+
+#include "arch/array.hpp"
+#include "arch/controller.hpp"
+#include "hwir/module.hpp"
+#include "stt/classify.hpp"
+
+namespace tensorlib::arch {
+
+/// Wiring of one input tensor across the array: per-PE operand/valid nets
+/// plus the external ports the memory system (testbench) drives.
+struct InputBundle {
+  stt::DataflowClass dataflowClass = stt::DataflowClass::Unicast;
+  linalg::IntVector direction;  ///< (dp1, dp2, dt) for systolic/multicast
+  linalg::IntVector busDirection;  ///< bus-line orientation (rank-2 combos)
+
+  std::map<PeCoord, hwir::NodeId> operand;  ///< value feeding the MAC
+  std::map<PeCoord, hwir::NodeId> valid;    ///< operand validity
+
+  std::map<PeCoord, hwir::NodeId> peDataPorts;   ///< systolic heads / unicast
+  std::map<PeCoord, hwir::NodeId> peValidPorts;
+  std::map<std::int64_t, hwir::NodeId> lineDataPorts;   ///< multicast buses
+  std::map<std::int64_t, hwir::NodeId> lineValidPorts;
+  std::map<std::int64_t, hwir::NodeId> rowLoadPorts;    ///< stationary loads
+  std::map<std::int64_t, hwir::NodeId> rowLoadValidPorts;  ///< occupancy bits
+};
+
+/// Systolic input (module (a)): data enters at `injectionPes` and hops along
+/// `direction` with a dt-cycle register delay per hop.
+InputBundle buildSystolicInput(hwir::Netlist& n, const PeGrid& grid,
+                               const std::string& tensor, int width,
+                               hwir::DataKind kind,
+                               const linalg::IntVector& direction,
+                               const std::vector<PeCoord>& injectionPes);
+
+/// Stationary input (module (c)): per-PE double buffer; shadow regs load
+/// column-by-column from one bus per row during the LOAD phase, and swap
+/// into the active regs when the controller pulses `swap`.
+InputBundle buildStationaryInput(hwir::Netlist& n, const PeGrid& grid,
+                                 const std::string& tensor, int width,
+                                 hwir::DataKind kind,
+                                 const ControllerSignals& ctrl);
+
+/// Multicast input (module (e)): one bus per reuse line drives every PE on
+/// the line in the same cycle.
+InputBundle buildMulticastInput(hwir::Netlist& n, const PeGrid& grid,
+                                const std::string& tensor, int width,
+                                hwir::DataKind kind,
+                                const linalg::IntVector& direction);
+
+/// Unicast input (module (e/f)): a private memory port per active PE.
+InputBundle buildUnicastInput(hwir::Netlist& n, const std::string& tensor,
+                              int width, hwir::DataKind kind,
+                              const std::vector<PeCoord>& activePes);
+
+/// 2-D broadcast / full-reuse input: one array-global bus drives every PE
+/// in the same cycle (the rank-2 "vertical to t-axis" case of Table I).
+InputBundle buildBroadcastInput(hwir::Netlist& n, const PeGrid& grid,
+                                const std::string& tensor, int width,
+                                hwir::DataKind kind);
+
+/// Systolic+multicast input (rank-2 "intersect with t-axis"): a bus per
+/// line along `busDir` broadcasts into a line of registers, which then
+/// traverse the array systolically along `step` (paper Section IV).
+InputBundle buildSystolicMulticastInput(hwir::Netlist& n, const PeGrid& grid,
+                                        const std::string& tensor, int width,
+                                        hwir::DataKind kind,
+                                        const linalg::IntVector& step,
+                                        const linalg::IntVector& busDir);
+
+}  // namespace tensorlib::arch

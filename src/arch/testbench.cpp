@@ -1,0 +1,353 @@
+#include "arch/testbench.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "hwir/rtlsim.hpp"
+#include "support/error.hpp"
+
+namespace tensorlib::arch {
+
+namespace {
+
+using hwir::NodeId;
+using hwir::RtlSimulator;
+
+std::uint64_t encode(double v, const HardwareConfig& cfg) {
+  if (cfg.dataKind == hwir::DataKind::Float32)
+    return RtlSimulator::encodeFloat(static_cast<float>(v));
+  return RtlSimulator::encodeInt(static_cast<std::int64_t>(v), cfg.dataWidth);
+}
+
+double decode(std::uint64_t bits, const HardwareConfig& cfg) {
+  if (cfg.dataKind == hwir::DataKind::Float32)
+    return static_cast<double>(RtlSimulator::decodeFloat(bits));
+  return static_cast<double>(RtlSimulator::decodeInt(bits, cfg.dataWidth));
+}
+
+struct Sample {
+  NodeId port;
+  linalg::IntVector element;
+};
+
+/// Everything a testbench (in-process or emitted Verilog) needs: per-cycle
+/// input pokes, per-cycle output samples, golden values and the run length.
+struct TbSchedule {
+  std::map<std::int64_t, std::vector<std::pair<NodeId, std::uint64_t>>> stimulus;
+  std::map<std::int64_t, std::vector<Sample>> samples;
+  tensor::DenseTensor expected;
+  std::int64_t lastCycle = 0;
+};
+
+
+void appendTbSchedule(const GeneratedAccelerator& acc,
+                      const tensor::TensorEnv& env,
+                      const linalg::IntVector& shape,
+                      const linalg::IntVector& origin,
+                      const linalg::IntVector& outerFixed,
+                      std::int64_t baseCycle, TbSchedule& sched) {
+  const auto& spec = acc.spec;
+  const sim::TileTrace trace =
+      sim::buildTileTrace(spec, shape, origin, outerFixed);
+  const std::int64_t computeEnd = baseCycle + acc.loadCycles + acc.computeCycles;
+  const std::int64_t loadBase = baseCycle;
+  const std::int64_t computeBase = baseCycle + acc.loadCycles;
+
+  // ---- Stimulus: cycle -> (port, value) pokes.
+  auto& stimulus = sched.stimulus;
+  const auto& selIdxStim = spec.selection().indices();
+
+  // Stationary-family tensors (incl. multicast+stationary): every PE holds
+  // exactly one element for the whole pass; derive the PE -> element map
+  // from the active points and feed the row load buses column by column.
+  for (std::size_t i = 0; i + 1 < spec.tensors().size(); ++i) {
+    const auto& bundle = acc.inputs[i];
+    if (bundle.rowLoadPorts.empty()) continue;
+    const auto& role = spec.tensors()[i];
+    std::map<PeCoord, linalg::IntVector> resident;
+    for (const auto& ap : trace.active) {
+      linalg::IntVector x = outerFixed;
+      for (std::size_t j = 0; j < 3; ++j)
+        x[selIdxStim[j]] = origin[j] + ap.iteration[j];
+      const linalg::IntVector element = role.fullAccess.evaluate(x);
+      const PeCoord pe{ap.p1, ap.p2};
+      const auto it = resident.find(pe);
+      if (it == resident.end()) {
+        resident.emplace(pe, element);
+      } else {
+        TL_CHECK(it->second == element,
+                 "stationary tensor " + role.tensor +
+                     " maps two elements to one PE");
+      }
+    }
+    for (const auto& [pe, element] : resident) {
+      const double value = env.at(role.tensor).at(element);
+      stimulus[loadBase + pe.p2].push_back(
+          {bundle.rowLoadPorts.at(pe.p1), encode(value, acc.config)});
+      stimulus[loadBase + pe.p2].push_back(
+          {bundle.rowLoadValidPorts.at(pe.p1), 1});
+    }
+  }
+
+  for (const auto& inj : trace.injections) {
+    const auto& role = spec.tensors()[inj.tensorIndex];
+    const auto& bundle = acc.inputs[inj.tensorIndex];
+    if (!bundle.rowLoadPorts.empty()) continue;  // handled above
+    const double value = env.at(role.tensor).at(inj.element);
+    const std::uint64_t bits = encode(value, acc.config);
+    const PeCoord pe{inj.p1, inj.p2};
+    const std::int64_t cycle = computeBase + inj.cycle;
+
+    switch (bundle.dataflowClass) {
+      case stt::DataflowClass::Systolic:
+      case stt::DataflowClass::Unicast: {
+        stimulus[cycle].push_back({bundle.peDataPorts.at(pe), bits});
+        stimulus[cycle].push_back({bundle.peValidPorts.at(pe), 1});
+        break;
+      }
+      case stt::DataflowClass::Multicast: {
+        const std::int64_t line =
+            lineId(pe, bundle.direction[0], bundle.direction[1]);
+        stimulus[cycle].push_back({bundle.lineDataPorts.at(line), bits});
+        stimulus[cycle].push_back({bundle.lineValidPorts.at(line), 1});
+        break;
+      }
+      case stt::DataflowClass::SystolicMulticast: {
+        const std::int64_t line =
+            lineId(pe, bundle.busDirection[0], bundle.busDirection[1]);
+        stimulus[cycle].push_back({bundle.lineDataPorts.at(line), bits});
+        stimulus[cycle].push_back({bundle.lineValidPorts.at(line), 1});
+        break;
+      }
+      case stt::DataflowClass::Broadcast2D:
+      case stt::DataflowClass::FullReuse: {
+        stimulus[cycle].push_back({bundle.lineDataPorts.at(0), bits});
+        stimulus[cycle].push_back({bundle.lineValidPorts.at(0), 1});
+        break;
+      }
+      default:
+        fail("testbench: unsupported input class");
+    }
+  }
+
+  // ---- Sampling plan: cycle -> (port, output element).
+  auto& samples = sched.samples;
+  const auto& out = acc.output;
+  switch (out.dataflowClass) {
+    case stt::DataflowClass::Stationary: {
+      for (const auto& ev : trace.outputs) {
+        // PE (p1,p2) drains through the row chain: it reaches the row port
+        // after (p2Span-1 - p2) shifts, first visible at computeEnd+1.
+        const std::int64_t cycle =
+            computeEnd + 1 + (acc.grid.p2Span - 1 - ev.p2);
+        samples[cycle].push_back(
+            {out.rowDrainPorts.at(ev.p1), ev.element});
+      }
+      break;
+    }
+    case stt::DataflowClass::Systolic: {
+      const auto& step = out.direction;
+      const auto chains = chainsAlong(acc.grid, step[0], step[1]);
+      for (const auto& ev : trace.outputs) {
+        const PeCoord pe{ev.p1, ev.p2};
+        // Find the chain's exit PE and the hop count to it.
+        const std::int64_t a1 = std::abs(step[0]);
+        const std::pair<std::int64_t, std::int64_t> key{
+            lineId(pe, step[0], step[1]),
+            a1 != 0 ? pe.p1 % a1 : pe.p2 % std::abs(step[1])};
+        const PeCoord exit = chains.at(key).back();
+        const std::int64_t s = stepsBetween(pe, exit, step[0], step[1]);
+        const std::int64_t cycle = computeBase + ev.cycle + (s + 1) * step[2];
+        samples[cycle].push_back(
+            {out.linePorts.at(lineId(exit, step[0], step[1])), ev.element});
+      }
+      break;
+    }
+    case stt::DataflowClass::Multicast: {
+      for (const auto& ev : trace.outputs) {
+        const std::int64_t line =
+            lineId({ev.p1, ev.p2}, out.direction[0], out.direction[1]);
+        samples[computeBase + ev.cycle + 1].push_back(
+            {out.linePorts.at(line), ev.element});
+      }
+      break;
+    }
+    case stt::DataflowClass::Unicast: {
+      for (const auto& ev : trace.outputs)
+        samples[computeBase + ev.cycle + 1].push_back(
+            {out.pePorts.at({ev.p1, ev.p2}), ev.element});
+      break;
+    }
+    default:
+      fail("testbench: unsupported output class");
+  }
+
+  // ---- Golden values: direct evaluation of the tile's active points.
+  const auto& selIdx = spec.selection().indices();
+  for (const auto& ap : trace.active) {
+    linalg::IntVector x = outerFixed;
+    for (std::size_t j = 0; j < 3; ++j)
+      x[selIdx[j]] = origin[j] + ap.iteration[j];
+    double prod = 1.0;
+    for (const auto& role : spec.tensors()) {
+      if (role.isOutput) continue;
+      prod *= env.at(role.tensor).at(role.fullAccess.evaluate(x));
+    }
+    sched.expected.at(spec.outputRole().fullAccess.evaluate(x)) += prod;
+  }
+
+  sched.lastCycle = std::max(sched.lastCycle, computeEnd + acc.drainCycles);
+  if (!samples.empty())
+    sched.lastCycle = std::max(sched.lastCycle, samples.rbegin()->first);
+}
+
+/// Single-tile schedule at origin 0 / outer 0 (the acc's own trace).
+TbSchedule buildTbSchedule(const GeneratedAccelerator& acc,
+                           const tensor::TensorEnv& env) {
+  TbSchedule sched;
+  const auto& algebra = acc.spec.algebra();
+  sched.expected = tensor::DenseTensor(algebra.tensorShape(algebra.output()));
+  appendTbSchedule(acc, env, acc.tileShape, linalg::IntVector(3, 0),
+                   linalg::IntVector(algebra.loopCount(), 0), 0, sched);
+  return sched;
+}
+
+/// Shared simulator loop over a prepared schedule.
+RtlRunResult runSchedule(const GeneratedAccelerator& acc,
+                         const TbSchedule& sched) {
+  RtlRunResult result;
+  result.expected = sched.expected;
+  result.collected = tensor::DenseTensor(
+      acc.spec.algebra().tensorShape(acc.spec.algebra().output()));
+
+  RtlSimulator sim(acc.netlist);
+  for (std::int64_t cycle = 0; cycle <= sched.lastCycle; ++cycle) {
+    sim.clearInputs();
+    const auto st = sched.stimulus.find(cycle);
+    if (st != sched.stimulus.end())
+      for (const auto& [port, bits] : st->second) sim.poke(port, bits);
+    sim.evaluate();
+    const auto sp = sched.samples.find(cycle);
+    if (sp != sched.samples.end())
+      for (const auto& s : sp->second)
+        result.collected.at(s.element) += decode(sim.peek(s.port), acc.config);
+    sim.step();
+  }
+  result.cyclesRun = sched.lastCycle + 1;
+  result.maxAbsDiff = result.collected.maxAbsDiff(result.expected);
+  return result;
+}
+
+}  // namespace
+
+RtlRunResult runAcceleratorTile(const GeneratedAccelerator& acc,
+                                const tensor::TensorEnv& env) {
+  return runSchedule(acc, buildTbSchedule(acc, env));
+}
+
+RtlRunResult runAcceleratorFull(const GeneratedAccelerator& acc,
+                                const tensor::TensorEnv& env) {
+  const auto& spec = acc.spec;
+  const auto& algebra = spec.algebra();
+  const linalg::IntVector extents = spec.selection().extents();
+
+  TbSchedule sched;
+  sched.expected = tensor::DenseTensor(algebra.tensorShape(algebra.output()));
+
+  // Tile origins per selected loop.
+  std::vector<std::vector<std::int64_t>> origins(3);
+  for (std::size_t j = 0; j < 3; ++j)
+    for (std::int64_t o = 0; o < extents[j]; o += acc.tileShape[j])
+      origins[j].push_back(o);
+
+  const auto& outerIdx = spec.selection().outerIndices();
+  linalg::IntVector outerFixed(algebra.loopCount(), 0);
+  std::int64_t stage = 0;
+  while (true) {
+    for (std::int64_t o0 : origins[0])
+      for (std::int64_t o1 : origins[1])
+        for (std::int64_t o2 : origins[2]) {
+          const linalg::IntVector origin{o0, o1, o2};
+          linalg::IntVector shape(3);
+          for (std::size_t j = 0; j < 3; ++j)
+            shape[j] = std::min(acc.tileShape[j], extents[j] - origin[j]);
+          appendTbSchedule(acc, env, shape, origin, outerFixed,
+                           stage * acc.stagePeriod, sched);
+          ++stage;
+        }
+    bool done = outerIdx.empty();
+    for (std::size_t d = outerIdx.size(); d-- > 0;) {
+      if (++outerFixed[outerIdx[d]] < algebra.loops()[outerIdx[d]].extent)
+        break;
+      outerFixed[outerIdx[d]] = 0;
+      if (d == 0) done = true;
+    }
+    if (done) break;
+  }
+  // Run to the end of the last stage so final drains complete.
+  sched.lastCycle = std::max(sched.lastCycle, stage * acc.stagePeriod - 1);
+  return runSchedule(acc, sched);
+}
+
+std::string emitVerilogTestbench(const GeneratedAccelerator& acc,
+                                 const tensor::TensorEnv& env) {
+  const TbSchedule sched = buildTbSchedule(acc, env);
+  const hwir::Netlist& n = acc.netlist;
+
+  std::ostringstream os;
+  os << "// Self-checking testbench generated by TensorLib-cpp for "
+     << n.name() << "\n";
+  os << "`timescale 1ns/1ps\n";
+  os << "module tb_" << n.name() << ";\n";
+  os << "  reg clk = 1'b0;\n  always #5 clk = ~clk;\n";
+  os << "  integer errors = 0;\n\n";
+  for (NodeId id : n.inputs()) {
+    const auto& nd = n.node(id);
+    os << "  reg " << (nd.width > 1 ? "[" + std::to_string(nd.width - 1) + ":0] " : "")
+       << nd.name << " = 0;\n";
+  }
+  for (NodeId id : n.outputs()) {
+    const auto& nd = n.node(id);
+    os << "  wire " << (nd.width > 1 ? "[" + std::to_string(nd.width - 1) + ":0] " : "")
+       << nd.name << ";\n";
+  }
+  os << "\n  " << n.name() << " dut (\n    .clk(clk)";
+  for (NodeId id : n.inputs())
+    os << ",\n    ." << n.node(id).name << "(" << n.node(id).name << ")";
+  for (NodeId id : n.outputs())
+    os << ",\n    ." << n.node(id).name << "(" << n.node(id).name << ")";
+  os << "\n  );\n\n  initial begin\n";
+
+  for (std::int64_t cycle = 0; cycle <= sched.lastCycle; ++cycle) {
+    os << "    // cycle " << cycle << "\n";
+    // Default-drive every input low, then apply the cycle's stimulus.
+    for (NodeId id : n.inputs()) os << "    " << n.node(id).name << " = 0;\n";
+    const auto st = sched.stimulus.find(cycle);
+    if (st != sched.stimulus.end())
+      for (const auto& [port, bits] : st->second)
+        os << "    " << n.node(port).name << " = " << n.node(port).width
+           << "'h" << std::hex << bits << std::dec << ";\n";
+    const auto sp = sched.samples.find(cycle);
+    if (sp != sched.samples.end()) {
+      os << "    #4;\n";  // sample just before the latching edge
+      for (const auto& s : sp->second) {
+        const std::uint64_t expect =
+            encode(sched.expected.at(s.element), acc.config);
+        const auto& port = n.node(s.port);
+        os << "    if (" << port.name << " !== " << port.width << "'h"
+           << std::hex << expect << std::dec << ") begin errors = errors + 1; "
+           << "$display(\"MISMATCH cycle " << cycle << " port " << port.name
+           << ": got %h\", " << port.name << "); end\n";
+      }
+      os << "    #6;\n";
+    } else {
+      os << "    #10;\n";
+    }
+  }
+  os << "    if (errors == 0) $display(\"TB PASS\");\n";
+  os << "    else $display(\"TB FAIL: %0d mismatches\", errors);\n";
+  os << "    $finish;\n  end\nendmodule\n";
+  return os.str();
+}
+
+}  // namespace tensorlib::arch

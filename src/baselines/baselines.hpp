@@ -1,0 +1,64 @@
+// Prior-work comparators for Table III and the generality comparison
+// (Section VI-C): PolySA (ICCAD'18) and Susy (ICCAD'20).
+//
+// Both generate systolic arrays only. We model them two ways:
+//  1. capability models — which dataflows/algebras each can generate,
+//     implemented as restrictions over TensorLib's own design space
+//     (systolic/stationary letters only, no multicast/reduction/unicast,
+//     no rank-2 reuse); used for design-space-coverage comparisons.
+//  2. reported metrics — the published Table III numbers (device, LUT/DSP/
+//     BRAM utilization, frequency, Gop/s), carried as literature constants
+//     since the closed-source toolchains cannot be rerun here.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stt/spec.hpp"
+
+namespace tensorlib::baselines {
+
+/// Published Table III row.
+struct ReportedMetrics {
+  std::string generator;
+  std::string device;
+  std::string workload;  // "MM" or "Conv"
+  double lutPct = 0.0, dspPct = 0.0, bramPct = 0.0;
+  double frequencyMHz = 0.0;
+  double gops = 0.0;
+};
+
+/// The paper's Table III constants for PolySA and Susy.
+std::vector<ReportedMetrics> reportedBaselineMetrics();
+
+/// Capability model shared by both systolic-only generators.
+class SystolicOnlyGenerator {
+ public:
+  SystolicOnlyGenerator(std::string name, bool supportsConv)
+      : name_(std::move(name)), supportsConv_(supportsConv) {}
+
+  const std::string& name() const { return name_; }
+
+  /// True if the generator can realize this dataflow: every tensor must be
+  /// systolic or stationary (the classic systolic-array space; no multicast
+  /// buses, no reduction trees, no unicast fabrics, no 2-D reuse).
+  bool supportsDataflow(const stt::DataflowSpec& spec) const;
+
+  /// True if the generator handles the algebra at all (PolySA/Susy target
+  /// GEMM-like kernels and convolution; neither handles depthwise conv
+  /// efficiently — the paper's generality argument).
+  bool supportsAlgebra(const tensor::TensorAlgebra& algebra) const;
+
+  /// Counts how many of `specs` the generator could have produced.
+  std::size_t coverageOf(const std::vector<stt::DataflowSpec>& specs) const;
+
+ private:
+  std::string name_;
+  bool supportsConv_;
+};
+
+SystolicOnlyGenerator polysa();
+SystolicOnlyGenerator susy();
+
+}  // namespace tensorlib::baselines

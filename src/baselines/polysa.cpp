@@ -1,0 +1,48 @@
+#include "baselines/baselines.hpp"
+
+namespace tensorlib::baselines {
+
+std::vector<ReportedMetrics> reportedBaselineMetrics() {
+  // Table III of the paper (Susy on Arria-10, PolySA on VU9P).
+  return {
+      {"Susy", "Arria-10", "MM", 40.0, 93.0, 32.0, 202.0, 547.0},
+      {"Susy", "Arria-10", "Conv", 35.0, 84.0, 30.0, 220.0, 551.0},
+      {"PolySA", "VU9P", "MM", 49.0, 89.0, 89.0, 229.0, 555.0},
+      {"PolySA", "VU9P", "Conv", 49.0, 89.0, 71.0, 229.0, 548.0},
+  };
+}
+
+bool SystolicOnlyGenerator::supportsDataflow(const stt::DataflowSpec& spec) const {
+  for (const auto& role : spec.tensors()) {
+    switch (role.dataflow.dataflowClass) {
+      case stt::DataflowClass::Systolic:
+      case stt::DataflowClass::Stationary:
+        continue;
+      default:
+        return false;
+    }
+  }
+  return true;
+}
+
+bool SystolicOnlyGenerator::supportsAlgebra(
+    const tensor::TensorAlgebra& algebra) const {
+  if (algebra.name() == "GEMM") return true;
+  if (algebra.name() == "Conv2D") return supportsConv_;
+  // Depthwise conv, batched GEMV, MTTKRP, TTMc: no pure systolic/stationary
+  // mapping keeps the array busy (paper: "they fail to generate hardware for
+  // algorithms that don't fit well in systolic architecture").
+  return false;
+}
+
+std::size_t SystolicOnlyGenerator::coverageOf(
+    const std::vector<stt::DataflowSpec>& specs) const {
+  std::size_t n = 0;
+  for (const auto& s : specs)
+    if (supportsDataflow(s)) ++n;
+  return n;
+}
+
+SystolicOnlyGenerator polysa() { return SystolicOnlyGenerator("PolySA", true); }
+
+}  // namespace tensorlib::baselines

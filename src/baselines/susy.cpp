@@ -1,0 +1,11 @@
+#include "baselines/baselines.hpp"
+
+namespace tensorlib::baselines {
+
+SystolicOnlyGenerator susy() {
+  // Susy (ICCAD'20) programs systolic arrays from an STT-like notation but,
+  // like PolySA, is restricted to the systolic/stationary subspace.
+  return SystolicOnlyGenerator("Susy", true);
+}
+
+}  // namespace tensorlib::baselines

@@ -1,0 +1,167 @@
+#include "cost/asic.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "arch/memory.hpp"
+#include "support/error.hpp"
+
+namespace tensorlib::cost {
+
+namespace {
+
+/// Lines along a spatial direction covering a rows x cols grid.
+std::int64_t lineCount(const linalg::IntVector& dir, std::int64_t rows,
+                       std::int64_t cols) {
+  const std::int64_t d1 = std::abs(dir[0]);
+  const std::int64_t d2 = std::abs(dir[1]);
+  if (d1 == 0) return rows;
+  if (d2 == 0) return cols;
+  return rows * d2 + cols * d1 - d1 * d2;
+}
+
+}  // namespace
+
+StructureInventory deriveInventory(const stt::DataflowSpec& spec,
+                                   const stt::ArrayConfig& config,
+                                   int dataWidth) {
+  using stt::DataflowClass;
+  StructureInventory inv;
+  inv.pes = config.rows * config.cols;
+  // A k-input product needs k-1 multipliers per PE (at least one).
+  const std::int64_t mulsPerPe = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(spec.algebra().inputs().size()) - 1);
+  inv.multipliers = inv.pes * mulsPerPe;
+
+  const std::int64_t w = dataWidth;
+
+  for (const auto& role : spec.tensors()) {
+    const auto& df = role.dataflow;
+    const bool isOut = role.isOutput;
+    switch (df.dataflowClass) {
+      case DataflowClass::Systolic: {
+        const std::int64_t dt = std::abs(df.latticeBasis.at(2, 0));
+        const std::int64_t heads = lineCount(df.direction, config.rows, config.cols);
+        // Module (a)/(b): dt-deep data (+1-bit valid) pipeline per hop; the
+        // chain heads consume ports, interior PEs the registers. The output
+        // variant also owns the accumulation adder per PE.
+        inv.dataRegBits += (inv.pes - heads) * dt * (w + 1);
+        if (isOut) inv.accumAdders += inv.pes;
+        inv.muxes += heads;  // injection muxes at chain heads
+        inv.memPorts += heads;
+        break;
+      }
+      case DataflowClass::Stationary: {
+        // Module (c)/(d): double buffer per PE.
+        inv.dataRegBits += inv.pes * 2 * w;
+        inv.muxes += inv.pes;  // swap / drain-shift muxing
+        inv.stationaryPes += inv.pes;
+        if (isOut) inv.accumAdders += inv.pes;
+        inv.memPorts += config.rows;  // row load/drain buses
+        break;
+      }
+      case DataflowClass::Multicast: {
+        const std::int64_t lines =
+            lineCount(df.direction, config.rows, config.cols);
+        inv.memPorts += lines;
+        if (isOut) {
+          // Reduction tree (Fig. 4(d)): local adder wiring, not a broadcast
+          // net — the paper observes trees are cheap relative to multicast.
+          inv.treeAdders += inv.pes - lines;
+          inv.dataRegBits += lines * 2 * w;  // widened tree root registers
+        } else {
+          inv.busLines += lines;
+          inv.busTaps += inv.pes;
+        }
+        break;
+      }
+      case DataflowClass::Unicast: {
+        inv.unicastPorts += inv.pes;
+        inv.memPorts += inv.pes;
+        if (isOut) inv.dataRegBits += inv.pes * w;  // output registers
+        break;
+      }
+      case DataflowClass::Broadcast2D: {
+        inv.busLines += 1;
+        inv.busTaps += inv.pes;
+        inv.memPorts += 1;
+        if (isOut) inv.treeAdders += inv.pes - 1;
+        break;
+      }
+      case DataflowClass::MulticastStationary: {
+        // Broadcast into stationary registers: bus + double buffer.
+        const std::int64_t lines = std::max(config.rows, config.cols);
+        inv.busLines += lines;
+        inv.busTaps += inv.pes;
+        inv.dataRegBits += inv.pes * 2 * w;
+        inv.stationaryPes += inv.pes;
+        inv.memPorts += lines;
+        if (isOut) inv.accumAdders += inv.pes;
+        break;
+      }
+      case DataflowClass::SystolicMulticast: {
+        // Broadcast into a line of registers, then systolic traversal.
+        const std::int64_t lines = std::max(config.rows, config.cols);
+        inv.busLines += lines;
+        inv.busTaps += inv.pes;
+        inv.dataRegBits += inv.pes * (w + 1);
+        inv.memPorts += lines;
+        if (isOut) inv.accumAdders += inv.pes;
+        break;
+      }
+      case DataflowClass::FullReuse: {
+        inv.busLines += 1;
+        inv.busTaps += inv.pes;
+        inv.memPorts += 1;
+        break;
+      }
+    }
+  }
+  return inv;
+}
+
+std::string AsicReport::str() const {
+  std::ostringstream os;
+  os << "area=" << areaMm2 << "mm2 power=" << powerMw << "mW (pes="
+     << inventory.pes << ", regBits=" << inventory.dataRegBits
+     << ", busTaps=" << inventory.busTaps << ", treeAdders="
+     << inventory.treeAdders << ")";
+  return os.str();
+}
+
+AsicReport estimateAsic(const stt::DataflowSpec& spec,
+                        const stt::ArrayConfig& config, int dataWidth,
+                        const AsicCostTable& t) {
+  AsicReport rep;
+  rep.inventory = deriveInventory(spec, config, dataWidth);
+  const auto& inv = rep.inventory;
+  const double w = dataWidth;
+  const double accW = 2.0 * w;  // widened accumulators
+
+  double areaUm2 = 0.0;
+  areaUm2 += inv.multipliers * t.mulAreaPerBit2 * w * w;
+  areaUm2 += inv.accumAdders * t.addAreaPerBit * accW;
+  areaUm2 += inv.treeAdders * t.addAreaPerBit * accW;
+  areaUm2 += inv.dataRegBits * t.regAreaPerBit;
+  areaUm2 += inv.muxes * t.muxAreaPerBit * w;
+  areaUm2 += inv.pes * t.ctrlAreaPerPe + inv.stationaryPes * t.ctrlAreaStationaryPe;
+  areaUm2 += inv.busTaps * t.busAreaPerTap;
+  areaUm2 += inv.memPorts * t.memPortArea;
+  areaUm2 += inv.pes * t.peOverheadArea;
+  rep.areaMm2 = areaUm2 / 1e6;
+
+  double mw = 0.0;
+  mw += inv.multipliers * t.mulPowerPerBit2 * w * w;
+  mw += inv.accumAdders * t.addPowerPerBit * accW;
+  mw += inv.treeAdders * t.addPowerPerBit * accW;
+  mw += inv.dataRegBits * t.regPowerPerBit;
+  mw += inv.muxes * t.muxPowerPerBit * w;
+  mw += inv.pes * t.ctrlPowerPerPe + inv.stationaryPes * t.ctrlPowerStationaryPe;
+  mw += inv.busTaps * w * t.busPowerPerTapBit;
+  mw += inv.memPorts * t.memPortPower;
+  mw += inv.pes * t.clockTreePowerPerPe;
+  rep.powerMw = mw;
+  return rep;
+}
+
+}  // namespace tensorlib::cost

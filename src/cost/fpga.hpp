@@ -1,0 +1,49 @@
+// FPGA resource / frequency / throughput model (the Vivado role for
+// Table III).
+//
+// Targets the paper's board, a Xilinx VU9P (1182k LUTs, 6840 DSPs, 2160
+// BRAM36). Resource counts derive from the same structural inventory as the
+// ASIC model plus a floating-point unit cost table; frequency comes from a
+// simple interconnect-style model with the paper's AutoBridge-style
+// placement optimization as an opt-in (+25% on systolic designs, §VI-C).
+#pragma once
+
+#include <string>
+
+#include "cost/asic.hpp"
+#include "sim/perf.hpp"
+
+namespace tensorlib::cost {
+
+struct FpgaDevice {
+  std::string name = "VU9P";
+  std::int64_t luts = 1182000;
+  std::int64_t dsps = 6840;
+  std::int64_t bram36 = 2160;
+};
+
+struct FpgaConfig {
+  FpgaDevice device;
+  bool fp32 = true;       ///< FP32 datapath (Table III) vs INT16
+  std::int64_t vectorLanes = 8;  ///< per-PE SIMD vectorization (paper: 8)
+  bool placementOptimized = false;  ///< AutoBridge-style floorplanning
+};
+
+struct FpgaReport {
+  std::int64_t luts = 0;
+  std::int64_t dsps = 0;
+  std::int64_t bram = 0;
+  double lutPct = 0.0, dspPct = 0.0, bramPct = 0.0;
+  double frequencyMHz = 0.0;
+  double gops = 0.0;  ///< 2 * MACs/s at achieved frequency and utilization
+  std::string str() const;
+};
+
+/// Estimates the FPGA implementation of `spec` mapped on `arrayConfig`
+/// (rows x cols PEs, each with cfg.vectorLanes MAC lanes) running the
+/// spec's own workload for utilization.
+FpgaReport estimateFpga(const stt::DataflowSpec& spec,
+                        const stt::ArrayConfig& arrayConfig,
+                        const FpgaConfig& cfg);
+
+}  // namespace tensorlib::cost

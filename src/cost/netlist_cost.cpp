@@ -1,0 +1,55 @@
+#include "cost/netlist_cost.hpp"
+
+namespace tensorlib::cost {
+
+NetlistAsicReport priceNetlist(const hwir::Netlist& netlist,
+                               const AsicCostTable& t) {
+  NetlistAsicReport rep;
+  double areaUm2 = 0.0;
+  double mw = 0.0;
+  for (const auto& node : netlist.nodes()) {
+    const double w = node.width;
+    switch (node.op) {
+      case hwir::Op::Mul:
+        ++rep.multipliers;
+        areaUm2 += t.mulAreaPerBit2 * w * w;
+        mw += t.mulPowerPerBit2 * w * w;
+        break;
+      case hwir::Op::Add:
+      case hwir::Op::Sub:
+        ++rep.adders;
+        areaUm2 += t.addAreaPerBit * w;
+        mw += t.addPowerPerBit * w;
+        break;
+      case hwir::Op::Reg:
+        rep.regBits += node.width;
+        areaUm2 += t.regAreaPerBit * w;
+        mw += t.regPowerPerBit * w;
+        break;
+      case hwir::Op::Mux:
+        ++rep.muxes;
+        areaUm2 += t.muxAreaPerBit * w;
+        mw += t.muxPowerPerBit * w;
+        break;
+      case hwir::Op::Eq:
+      case hwir::Op::Lt:
+      case hwir::Op::And:
+      case hwir::Op::Or:
+      case hwir::Op::Not:
+        ++rep.gateOps;
+        // Comparator/logic fabric: priced like a narrow adder.
+        areaUm2 += t.addAreaPerBit * w * 0.5;
+        mw += t.addPowerPerBit * w * 0.5;
+        break;
+      case hwir::Op::Input:
+      case hwir::Op::Output:
+      case hwir::Op::Const:
+        break;
+    }
+  }
+  rep.areaMm2 = areaUm2 / 1e6;
+  rep.powerMw = mw;
+  return rep;
+}
+
+}  // namespace tensorlib::cost

@@ -1,0 +1,29 @@
+// Netlist-derived ASIC pricing: an independent cross-check of the analytic
+// structural inventory. Where deriveInventory() predicts what the generator
+// *will* build, this walks what it *did* build (the hwir netlist) and
+// prices the primitives directly. The two disagree only on structures the
+// netlist doesn't carry (bus wire length, bank internals), which tests
+// bound explicitly.
+#pragma once
+
+#include "cost/asic.hpp"
+#include "hwir/module.hpp"
+
+namespace tensorlib::cost {
+
+struct NetlistAsicReport {
+  double areaMm2 = 0.0;
+  double powerMw = 0.0;
+  std::int64_t multipliers = 0;
+  std::int64_t adders = 0;
+  std::int64_t muxes = 0;
+  std::int64_t regBits = 0;
+  std::int64_t gateOps = 0;  ///< comparators / logic (controller fabric)
+};
+
+/// Prices a generated netlist with the same unit-cost table as the
+/// analytic model (datapath primitives only; no bus/bank terms).
+NetlistAsicReport priceNetlist(const hwir::Netlist& netlist,
+                               const AsicCostTable& table = {});
+
+}  // namespace tensorlib::cost

@@ -1,0 +1,108 @@
+#include "driver/session.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "arch/testbench.hpp"
+#include "hwir/verilog.hpp"
+#include "sim/dfsim.hpp"
+#include "support/error.hpp"
+#include "tensor/reference.hpp"
+
+namespace tensorlib::driver {
+
+std::string DesignReport::summary() const {
+  std::ostringstream os;
+  os << spec.label() << ": util " << 100.0 * perf.utilization << "%, "
+     << perf.totalCycles << " cycles, " << asic.powerMw << " mW, "
+     << asic.areaMm2 << " mm2"
+     << (perf.bandwidthBound ? " [bandwidth-bound]" : "");
+  return os.str();
+}
+
+Session::Session(tensor::TensorAlgebra algebra, stt::ArrayConfig array,
+                 int dataWidth)
+    : algebra_(std::move(algebra)), array_(array), dataWidth_(dataWidth) {}
+
+DesignReport Session::evaluate(stt::DataflowSpec spec) const {
+  const auto perf = sim::estimatePerformance(spec, array_);
+  auto asic = cost::estimateAsic(spec, array_, dataWidth_);
+  return DesignReport(std::move(spec), perf, std::move(asic));
+}
+
+std::optional<DesignReport> Session::compileLabel(const std::string& label) const {
+  auto spec = stt::findDataflowByLabel(algebra_, label);
+  if (!spec) return std::nullopt;
+  return evaluate(std::move(*spec));
+}
+
+std::vector<DesignReport> Session::exploreAll() const {
+  std::vector<DesignReport> out;
+  for (const auto& sel : stt::allLoopSelections(algebra_))
+    for (auto& spec : stt::enumerateTransforms(algebra_, sel))
+      out.push_back(evaluate(std::move(spec)));
+  return out;
+}
+
+DesignReport Session::compileBest(Objective objective) const {
+  std::vector<DesignReport> all = exploreAll();
+  TL_CHECK(!all.empty(), "design space is empty for " + algebra_.name());
+
+  switch (objective) {
+    case Objective::Performance: {
+      auto it = std::max_element(all.begin(), all.end(),
+                                 [](const DesignReport& a, const DesignReport& b) {
+                                   return a.perf.utilization < b.perf.utilization;
+                                 });
+      return std::move(*it);
+    }
+    case Objective::Power: {
+      const double bestUtil =
+          std::max_element(all.begin(), all.end(),
+                           [](const DesignReport& a, const DesignReport& b) {
+                             return a.perf.utilization < b.perf.utilization;
+                           })
+              ->perf.utilization;
+      DesignReport* pick = nullptr;
+      for (auto& r : all) {
+        if (r.perf.utilization < 0.9 * bestUtil) continue;
+        if (!pick || r.asic.powerMw < pick->asic.powerMw) pick = &r;
+      }
+      TL_CHECK(pick != nullptr, "no design within 10% of best performance");
+      return std::move(*pick);
+    }
+    case Objective::EnergyDelay: {
+      auto it = std::min_element(all.begin(), all.end(),
+                                 [](const DesignReport& a, const DesignReport& b) {
+                                   return a.energyDelay() < b.energyDelay();
+                                 });
+      return std::move(*it);
+    }
+  }
+  fail("unknown objective");
+}
+
+std::string Session::emitVerilog(const DesignReport& report) const {
+  arch::HardwareConfig hw;
+  hw.dataWidth = dataWidth_;
+  const auto acc = arch::generateAccelerator(report.spec, array_, hw);
+  return hwir::emitVerilog(acc.netlist);
+}
+
+bool Session::verifyRtl(const DesignReport& report, std::uint64_t seed) const {
+  arch::HardwareConfig hw;
+  hw.dataWidth = dataWidth_;
+  const auto acc = arch::generateAccelerator(report.spec, array_, hw);
+  const auto env = tensor::makeRandomInputs(algebra_, seed);
+  return arch::runAcceleratorTile(acc, env).matches();
+}
+
+bool Session::verifyBehavioral(const DesignReport& report,
+                               std::uint64_t seed) const {
+  const auto env = tensor::makeRandomInputs(algebra_, seed);
+  const auto result = sim::simulate(report.spec, array_, &env);
+  const auto golden = tensor::referenceExecute(algebra_, env);
+  return result.output.maxAbsDiff(golden) == 0.0;
+}
+
+}  // namespace tensorlib::driver

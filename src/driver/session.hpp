@@ -1,0 +1,83 @@
+// High-level driver: the one-call interface a downstream user starts with.
+//
+// A Session owns a workload + target configuration and exposes the
+// end-to-end flows of Fig. 2 of the paper:
+//   compileLabel("MNK-SST")  — dataflow generation + hardware implementation
+//   compileBest(objective)   — design-space exploration, pick the winner
+//   exploreAll()             — the full evaluated space (Fig. 5/6 material)
+// plus artifact generation (Verilog) and verification (RTL and behavioral)
+// for any produced design.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cost/asic.hpp"
+#include "sim/perf.hpp"
+#include "stt/enumerate.hpp"
+
+namespace tensorlib::driver {
+
+/// What to optimize during exploration.
+enum class Objective {
+  Performance,  ///< max utilization (min cycles)
+  Power,        ///< min mW among designs within 10% of best performance
+  EnergyDelay,  ///< min (power x cycles) product
+};
+
+/// One evaluated design point: the spec plus its measured performance and
+/// ASIC cost on the session's array.
+struct DesignReport {
+  stt::DataflowSpec spec;
+  sim::PerfResult perf;
+  cost::AsicReport asic;
+
+  DesignReport(stt::DataflowSpec s, sim::PerfResult p, cost::AsicReport a)
+      : spec(std::move(s)), perf(p), asic(std::move(a)) {}
+
+  double energyDelay() const {
+    return asic.powerMw * static_cast<double>(perf.totalCycles);
+  }
+  std::string summary() const;
+};
+
+class Session {
+ public:
+  Session(tensor::TensorAlgebra algebra, stt::ArrayConfig array,
+          int dataWidth = 16);
+
+  const tensor::TensorAlgebra& algebra() const { return algebra_; }
+  const stt::ArrayConfig& array() const { return array_; }
+
+  /// Analyzes and evaluates one named dataflow; nullopt if unrealizable.
+  std::optional<DesignReport> compileLabel(const std::string& label) const;
+
+  /// Evaluates the whole enumerated design space (all loop selections).
+  std::vector<DesignReport> exploreAll() const;
+
+  /// Runs exploration and returns the best design per the objective.
+  /// Throws if the design space is empty.
+  DesignReport compileBest(Objective objective) const;
+
+  /// Emits synthesizable Verilog for a design (throws for rank-2 outputs,
+  /// which the netlist generator does not support).
+  std::string emitVerilog(const DesignReport& report) const;
+
+  /// Generates the design's netlist and verifies one tile at RTL level
+  /// against golden values; returns true on exact match.
+  bool verifyRtl(const DesignReport& report, std::uint64_t seed = 1) const;
+
+  /// Verifies the full workload with the behavioral simulator against the
+  /// software reference; returns true on exact match.
+  bool verifyBehavioral(const DesignReport& report, std::uint64_t seed = 1) const;
+
+ private:
+  DesignReport evaluate(stt::DataflowSpec spec) const;
+
+  tensor::TensorAlgebra algebra_;
+  stt::ArrayConfig array_;
+  int dataWidth_;
+};
+
+}  // namespace tensorlib::driver

@@ -1,0 +1,222 @@
+#include "hwir/module.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace tensorlib::hwir {
+
+const Node& Netlist::node(NodeId id) const {
+  TL_CHECK(id < nodes_.size(), "node id out of range");
+  return nodes_[id];
+}
+
+NodeId Netlist::inputByName(const std::string& name) const {
+  const auto it = inputNames_.find(name);
+  TL_CHECK(it != inputNames_.end(), "no input port named " + name);
+  return it->second;
+}
+
+NodeId Netlist::outputByName(const std::string& name) const {
+  const auto it = outputNames_.find(name);
+  TL_CHECK(it != outputNames_.end(), "no output port named " + name);
+  return it->second;
+}
+
+NodeId Netlist::addNode(Node n) {
+  for (NodeId a : n.args)
+    TL_CHECK(a < nodes_.size(), "node arg references a later node");
+  nodes_.push_back(std::move(n));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+int Netlist::maxWidth(NodeId a, NodeId b) const {
+  return std::max(node(a).width, node(b).width);
+}
+
+DataKind Netlist::kindOf(NodeId a) const { return node(a).kind; }
+
+NodeId Netlist::input(const std::string& name, int width, DataKind kind) {
+  TL_CHECK(!inputNames_.count(name), "duplicate input port " + name);
+  Node n;
+  n.op = Op::Input;
+  n.width = width;
+  n.kind = kind;
+  n.name = name;
+  const NodeId id = addNode(std::move(n));
+  inputs_.push_back(id);
+  inputNames_[name] = id;
+  return id;
+}
+
+NodeId Netlist::output(const std::string& name, NodeId value) {
+  TL_CHECK(!outputNames_.count(name), "duplicate output port " + name);
+  Node n;
+  n.op = Op::Output;
+  n.width = node(value).width;
+  n.kind = node(value).kind;
+  n.args = {value};
+  n.name = name;
+  const NodeId id = addNode(std::move(n));
+  outputs_.push_back(id);
+  outputNames_[name] = id;
+  return id;
+}
+
+NodeId Netlist::constant(std::int64_t value, int width, DataKind kind) {
+  Node n;
+  n.op = Op::Const;
+  n.width = width;
+  n.kind = kind;
+  n.value = value;
+  return addNode(std::move(n));
+}
+
+NodeId Netlist::reg(int width, DataKind kind, std::int64_t init,
+                    const std::string& name) {
+  Node n;
+  n.op = Op::Reg;
+  n.width = width;
+  n.kind = kind;
+  n.value = init;
+  n.name = name;
+  return addNode(std::move(n));  // D input connected later
+}
+
+void Netlist::connectRegInput(NodeId reg, NodeId d) {
+  TL_CHECK(reg < nodes_.size() && nodes_[reg].op == Op::Reg,
+           "connectRegInput: not a register");
+  TL_CHECK(d < nodes_.size(), "connectRegInput: bad source");
+  TL_CHECK(nodes_[reg].args.empty(), "register D already connected");
+  nodes_[reg].args.push_back(d);
+}
+
+void Netlist::connectRegEnable(NodeId reg, NodeId enable) {
+  TL_CHECK(reg < nodes_.size() && nodes_[reg].op == Op::Reg,
+           "connectRegEnable: not a register");
+  TL_CHECK(nodes_[reg].args.size() == 1, "connect D before enable");
+  nodes_[reg].args.push_back(enable);
+}
+
+namespace {
+Node binary(Op op, NodeId a, NodeId b, int width, DataKind kind,
+            const std::string& name) {
+  Node n;
+  n.op = op;
+  n.width = width;
+  n.kind = kind;
+  n.args = {a, b};
+  n.name = name;
+  return n;
+}
+}  // namespace
+
+NodeId Netlist::add(NodeId a, NodeId b, const std::string& name) {
+  return addNode(binary(Op::Add, a, b, maxWidth(a, b), kindOf(a), name));
+}
+NodeId Netlist::sub(NodeId a, NodeId b, const std::string& name) {
+  return addNode(binary(Op::Sub, a, b, maxWidth(a, b), kindOf(a), name));
+}
+NodeId Netlist::mul(NodeId a, NodeId b, const std::string& name) {
+  return addNode(binary(Op::Mul, a, b, maxWidth(a, b), kindOf(a), name));
+}
+NodeId Netlist::mux(NodeId sel, NodeId whenTrue, NodeId whenFalse,
+                    const std::string& name) {
+  Node n;
+  n.op = Op::Mux;
+  n.width = maxWidth(whenTrue, whenFalse);
+  n.kind = kindOf(whenTrue);
+  n.args = {sel, whenTrue, whenFalse};
+  n.name = name;
+  return addNode(std::move(n));
+}
+NodeId Netlist::eq(NodeId a, NodeId b, const std::string& name) {
+  return addNode(binary(Op::Eq, a, b, 1, DataKind::Bits, name));
+}
+NodeId Netlist::lt(NodeId a, NodeId b, const std::string& name) {
+  return addNode(binary(Op::Lt, a, b, 1, DataKind::Bits, name));
+}
+NodeId Netlist::logicalAnd(NodeId a, NodeId b, const std::string& name) {
+  return addNode(binary(Op::And, a, b, maxWidth(a, b), DataKind::Bits, name));
+}
+NodeId Netlist::logicalOr(NodeId a, NodeId b, const std::string& name) {
+  return addNode(binary(Op::Or, a, b, maxWidth(a, b), DataKind::Bits, name));
+}
+NodeId Netlist::logicalNot(NodeId a, const std::string& name) {
+  Node n;
+  n.op = Op::Not;
+  n.width = node(a).width;
+  n.kind = DataKind::Bits;
+  n.args = {a};
+  n.name = name;
+  return addNode(std::move(n));
+}
+
+NodeId Netlist::pipeline(NodeId d, int depth, const std::string& name) {
+  NodeId cur = d;
+  for (int i = 0; i < depth; ++i) {
+    const NodeId r = reg(node(d).width, node(d).kind, 0,
+                         name + "/stage" + std::to_string(i));
+    connectRegInput(r, cur);
+    cur = r;
+  }
+  return cur;
+}
+
+NodeId Netlist::adderTree(const std::vector<NodeId>& leaves,
+                          const std::string& name) {
+  TL_CHECK(!leaves.empty(), "adderTree needs at least one leaf");
+  std::vector<NodeId> level = leaves;
+  int depth = 0;
+  while (level.size() > 1) {
+    std::vector<NodeId> next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2)
+      next.push_back(add(level[i], level[i + 1],
+                         name + "/l" + std::to_string(depth)));
+    if (level.size() % 2) next.push_back(level.back());
+    level = std::move(next);
+    ++depth;
+  }
+  return level[0];
+}
+
+std::vector<NodeId> Netlist::validate() const {
+  // Kahn topological sort over combinational edges; Reg outputs are sources
+  // (their D inputs are consumed at the cycle boundary, not combinationally).
+  const std::size_t n = nodes_.size();
+  std::vector<int> pending(n, 0);
+  std::vector<std::vector<NodeId>> users(n);
+  for (NodeId id = 0; id < n; ++id) {
+    const Node& nd = nodes_[id];
+    if (nd.op == Op::Reg)
+      TL_CHECK(!nd.args.empty(), "register " + nd.name + " has no D input");
+    if (isSource(nd.op)) continue;
+    pending[id] = static_cast<int>(nd.args.size());
+    for (NodeId a : nd.args) users[a].push_back(id);
+  }
+  std::vector<NodeId> order;
+  order.reserve(n);
+  for (NodeId id = 0; id < n; ++id)
+    if (isSource(nodes_[id].op)) order.push_back(id);
+  for (std::size_t head = 0; head < order.size(); ++head)
+    for (NodeId u : users[order[head]])
+      if (--pending[u] == 0) order.push_back(u);
+  TL_CHECK(order.size() == n,
+           "combinational cycle detected in netlist " + name_);
+  return order;
+}
+
+std::map<Op, std::int64_t> Netlist::opCounts() const {
+  std::map<Op, std::int64_t> out;
+  for (const auto& n : nodes_) ++out[n.op];
+  return out;
+}
+
+std::int64_t Netlist::regBits() const {
+  std::int64_t bits = 0;
+  for (const auto& n : nodes_)
+    if (n.op == Op::Reg) bits += n.width;
+  return bits;
+}
+
+}  // namespace tensorlib::hwir

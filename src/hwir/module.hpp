@@ -1,0 +1,79 @@
+// Netlist container + builder API (the generator's construction surface).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hwir/node.hpp"
+
+namespace tensorlib::hwir {
+
+/// A flat netlist under construction or ready for simulation/emission.
+class Netlist {
+ public:
+  explicit Netlist(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const Node& node(NodeId id) const;
+  std::size_t size() const { return nodes_.size(); }
+
+  /// Port lists in creation order.
+  const std::vector<NodeId>& inputs() const { return inputs_; }
+  const std::vector<NodeId>& outputs() const { return outputs_; }
+  /// Looks up a port by name; throws if absent.
+  NodeId inputByName(const std::string& name) const;
+  NodeId outputByName(const std::string& name) const;
+
+  // --- construction -------------------------------------------------------
+  NodeId input(const std::string& name, int width, DataKind kind = DataKind::Bits);
+  NodeId output(const std::string& name, NodeId value);
+  NodeId constant(std::int64_t value, int width, DataKind kind = DataKind::Bits);
+
+  /// Creates a register with a dangling D input (connect later, enabling
+  /// feedback such as accumulators). Optional enable connected later too.
+  NodeId reg(int width, DataKind kind, std::int64_t init, const std::string& name);
+  void connectRegInput(NodeId reg, NodeId d);
+  void connectRegEnable(NodeId reg, NodeId enable);
+
+  NodeId add(NodeId a, NodeId b, const std::string& name = "");
+  NodeId sub(NodeId a, NodeId b, const std::string& name = "");
+  NodeId mul(NodeId a, NodeId b, const std::string& name = "");
+  NodeId mux(NodeId sel, NodeId whenTrue, NodeId whenFalse,
+             const std::string& name = "");
+  NodeId eq(NodeId a, NodeId b, const std::string& name = "");
+  NodeId lt(NodeId a, NodeId b, const std::string& name = "");
+  NodeId logicalAnd(NodeId a, NodeId b, const std::string& name = "");
+  NodeId logicalOr(NodeId a, NodeId b, const std::string& name = "");
+  NodeId logicalNot(NodeId a, const std::string& name = "");
+
+  /// d -> chain of `depth` registers (pipeline); returns the last stage.
+  NodeId pipeline(NodeId d, int depth, const std::string& name);
+
+  /// Balanced binary adder tree over the given leaves (>=1).
+  NodeId adderTree(const std::vector<NodeId>& leaves, const std::string& name);
+
+  /// Verifies structural sanity: every arg exists, every Reg has a D input,
+  /// no combinational cycles. Returns the topological order of evaluation.
+  std::vector<NodeId> validate() const;
+
+  /// Inventory by op for the cost model; Reg entries are keyed separately.
+  std::map<Op, std::int64_t> opCounts() const;
+  /// Total register bits.
+  std::int64_t regBits() const;
+
+ private:
+  NodeId addNode(Node n);
+  int maxWidth(NodeId a, NodeId b) const;
+  DataKind kindOf(NodeId a) const;
+
+  std::string name_;
+  std::vector<Node> nodes_;
+  std::vector<NodeId> inputs_;
+  std::vector<NodeId> outputs_;
+  std::map<std::string, NodeId> inputNames_;
+  std::map<std::string, NodeId> outputNames_;
+};
+
+}  // namespace tensorlib::hwir

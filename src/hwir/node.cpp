@@ -1,0 +1,30 @@
+#include "hwir/node.hpp"
+
+#include "support/error.hpp"
+
+namespace tensorlib::hwir {
+
+const char* opName(Op op) {
+  switch (op) {
+    case Op::Input: return "input";
+    case Op::Const: return "const";
+    case Op::Reg: return "reg";
+    case Op::Add: return "add";
+    case Op::Sub: return "sub";
+    case Op::Mul: return "mul";
+    case Op::Mux: return "mux";
+    case Op::Eq: return "eq";
+    case Op::Lt: return "lt";
+    case Op::And: return "and";
+    case Op::Or: return "or";
+    case Op::Not: return "not";
+    case Op::Output: return "output";
+  }
+  fail("unknown op");
+}
+
+bool isSource(Op op) {
+  return op == Op::Input || op == Op::Const || op == Op::Reg;
+}
+
+}  // namespace tensorlib::hwir

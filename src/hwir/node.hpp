@@ -1,0 +1,58 @@
+// Hardware IR primitives.
+//
+// TensorLib's templates are written in Chisel; this IR plays the same role
+// in C++: a structural netlist of registers, arithmetic and muxes that the
+// generator composes, a cycle-accurate simulator evaluates (the VCS role),
+// and a Verilog backend serializes. The netlist is flat; hierarchy lives in
+// node names ("pe_3_4/a_reg"), which is also how flattened Chisel-generated
+// Verilog looks in practice.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tensorlib::hwir {
+
+/// Primitive operations. Reg is the only sequential element; Input/Output
+/// are the top-level ports the testbench drives/samples.
+enum class Op {
+  Input,   // external input port (no args)
+  Const,   // constant (value attr)
+  Reg,     // D flip-flop: args = {d} or {d, enable}; value attr = init
+  Add,     // args = {a, b}
+  Sub,     // args = {a, b}
+  Mul,     // args = {a, b}
+  Mux,     // args = {sel, whenTrue, whenFalse}
+  Eq,      // args = {a, b} -> 1 bit
+  Lt,      // args = {a, b} -> 1 bit (unsigned compare)
+  And,     // args = {a, b}
+  Or,      // args = {a, b}
+  Not,     // args = {a} (bitwise)
+  Output,  // external output port: args = {value}
+};
+
+/// Value interpretation for Add/Sub/Mul: two's-complement integers of the
+/// node width (exact wrap) or IEEE-754 single precision (the FPGA path's
+/// "Floating-Point IP as a BlackBox" — here a simulated primitive).
+enum class DataKind { Bits, Float32 };
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = 0xffffffffu;
+
+struct Node {
+  Op op = Op::Const;
+  int width = 1;
+  DataKind kind = DataKind::Bits;
+  std::vector<NodeId> args;
+  std::int64_t value = 0;  ///< Const value / Reg init
+  std::string name;        ///< hierarchical instance name (may be empty)
+};
+
+/// Human-readable op mnemonic (used by the Verilog backend and diagnostics).
+const char* opName(Op op);
+
+/// True for ops with no combinational inputs (sources of the eval order).
+bool isSource(Op op);
+
+}  // namespace tensorlib::hwir

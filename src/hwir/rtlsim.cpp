@@ -1,0 +1,134 @@
+#include "hwir/rtlsim.hpp"
+
+#include <cstring>
+
+#include "support/error.hpp"
+
+namespace tensorlib::hwir {
+
+namespace {
+
+std::uint64_t maskTo(std::uint64_t v, int width) {
+  if (width >= 64) return v;
+  return v & ((1ull << width) - 1);
+}
+
+float asFloat(std::uint64_t bits) {
+  const std::uint32_t w = static_cast<std::uint32_t>(bits);
+  float f;
+  std::memcpy(&f, &w, sizeof(f));
+  return f;
+}
+
+std::uint64_t fromFloat(float f) {
+  std::uint32_t w;
+  std::memcpy(&w, &f, sizeof(w));
+  return w;
+}
+
+}  // namespace
+
+RtlSimulator::RtlSimulator(const Netlist& netlist)
+    : netlist_(netlist),
+      order_(netlist.validate()),
+      value_(netlist.size(), 0),
+      regState_(netlist.size(), 0),
+      inputValue_(netlist.size(), 0) {
+  for (NodeId id = 0; id < netlist_.size(); ++id)
+    if (netlist_.node(id).op == Op::Reg)
+      regState_[id] = maskTo(static_cast<std::uint64_t>(netlist_.node(id).value),
+                             netlist_.node(id).width);
+}
+
+void RtlSimulator::poke(NodeId input, std::uint64_t value) {
+  TL_CHECK(netlist_.node(input).op == Op::Input, "poke target is not an input");
+  inputValue_[input] = maskTo(value, netlist_.node(input).width);
+  evaluated_ = false;
+}
+
+void RtlSimulator::poke(const std::string& inputName, std::uint64_t value) {
+  poke(netlist_.inputByName(inputName), value);
+}
+
+void RtlSimulator::clearInputs() {
+  for (NodeId id : netlist_.inputs()) inputValue_[id] = 0;
+  evaluated_ = false;
+}
+
+void RtlSimulator::evaluate() {
+  for (NodeId id : order_) {
+    const Node& n = netlist_.node(id);
+    std::uint64_t v = 0;
+    switch (n.op) {
+      case Op::Input: v = inputValue_[id]; break;
+      case Op::Const: v = static_cast<std::uint64_t>(n.value); break;
+      case Op::Reg: v = regState_[id]; break;
+      case Op::Add:
+      case Op::Sub:
+      case Op::Mul: {
+        const std::uint64_t a = value_[n.args[0]];
+        const std::uint64_t b = value_[n.args[1]];
+        if (n.kind == DataKind::Float32) {
+          float r = 0.f;
+          if (n.op == Op::Add) r = asFloat(a) + asFloat(b);
+          else if (n.op == Op::Sub) r = asFloat(a) - asFloat(b);
+          else r = asFloat(a) * asFloat(b);
+          v = fromFloat(r);
+        } else {
+          if (n.op == Op::Add) v = a + b;
+          else if (n.op == Op::Sub) v = a - b;
+          else v = a * b;
+        }
+        break;
+      }
+      case Op::Mux:
+        v = value_[n.args[0]] != 0 ? value_[n.args[1]] : value_[n.args[2]];
+        break;
+      case Op::Eq: v = value_[n.args[0]] == value_[n.args[1]]; break;
+      case Op::Lt: v = value_[n.args[0]] < value_[n.args[1]]; break;
+      case Op::And: v = value_[n.args[0]] & value_[n.args[1]]; break;
+      case Op::Or: v = value_[n.args[0]] | value_[n.args[1]]; break;
+      case Op::Not: v = ~value_[n.args[0]]; break;
+      case Op::Output: v = value_[n.args[0]]; break;
+    }
+    value_[id] = maskTo(v, n.width);
+  }
+  evaluated_ = true;
+}
+
+void RtlSimulator::step() {
+  TL_CHECK(evaluated_, "step() without evaluate()");
+  for (NodeId id = 0; id < netlist_.size(); ++id) {
+    const Node& n = netlist_.node(id);
+    if (n.op != Op::Reg) continue;
+    const bool enabled = n.args.size() < 2 || value_[n.args[1]] != 0;
+    if (enabled) regState_[id] = value_[n.args[0]];
+  }
+  ++cycle_;
+  evaluated_ = false;
+}
+
+std::uint64_t RtlSimulator::peek(NodeId node) const {
+  TL_CHECK(evaluated_, "peek() before evaluate()");
+  return value_[node];
+}
+
+std::uint64_t RtlSimulator::peekOutput(const std::string& outputName) const {
+  return peek(netlist_.outputByName(outputName));
+}
+
+std::uint64_t RtlSimulator::encodeFloat(float f) { return fromFloat(f); }
+float RtlSimulator::decodeFloat(std::uint64_t bits) { return asFloat(bits); }
+
+std::uint64_t RtlSimulator::encodeInt(std::int64_t v, int width) {
+  return maskTo(static_cast<std::uint64_t>(v), width);
+}
+
+std::int64_t RtlSimulator::decodeInt(std::uint64_t bits, int width) {
+  if (width >= 64) return static_cast<std::int64_t>(bits);
+  const std::uint64_t sign = 1ull << (width - 1);
+  if (bits & sign) return static_cast<std::int64_t>(bits) - (1ll << width);
+  return static_cast<std::int64_t>(bits);
+}
+
+}  // namespace tensorlib::hwir

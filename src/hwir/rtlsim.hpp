@@ -1,0 +1,58 @@
+// Cycle-accurate simulator for hwir netlists (the Synopsys-VCS role).
+//
+// Values are width-masked uint64 words; Bits arithmetic is two's-complement
+// modular (bit-exact with hardware), Float32 arithmetic bit-casts through
+// IEEE single precision exactly like the Xilinx FP blackbox the paper
+// instantiates.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hwir/module.hpp"
+
+namespace tensorlib::hwir {
+
+class RtlSimulator {
+ public:
+  explicit RtlSimulator(const Netlist& netlist);
+
+  /// Drives an input port for the current cycle (until overwritten).
+  void poke(NodeId input, std::uint64_t value);
+  void poke(const std::string& inputName, std::uint64_t value);
+  /// Drives all inputs to zero (between stimulus cycles).
+  void clearInputs();
+
+  /// Evaluates combinational logic for the current cycle.
+  void evaluate();
+  /// Latches registers (call after evaluate) and advances the cycle count.
+  void step();
+
+  /// Reads any node's post-evaluate value.
+  std::uint64_t peek(NodeId node) const;
+  std::uint64_t peekOutput(const std::string& outputName) const;
+
+  std::int64_t cycle() const { return cycle_; }
+
+  /// Helpers for numeric ports.
+  static std::uint64_t encodeFloat(float f);
+  static float decodeFloat(std::uint64_t bits);
+  /// Encodes a signed integer into `width` bits (two's complement).
+  static std::uint64_t encodeInt(std::int64_t v, int width);
+  /// Decodes a `width`-bit two's-complement value.
+  static std::int64_t decodeInt(std::uint64_t bits, int width);
+
+ private:
+  const Netlist& netlist_;
+  std::vector<NodeId> order_;      ///< topological evaluation order
+  std::vector<std::uint64_t> value_;
+  std::vector<std::uint64_t> regState_;
+  std::vector<std::uint64_t> inputValue_;
+  std::int64_t cycle_ = 0;
+  bool evaluated_ = false;
+};
+
+}  // namespace tensorlib::hwir

@@ -1,0 +1,19 @@
+// Verilog backend: serializes a netlist to synthesizable Verilog-2001.
+//
+// This is the artifact a user would hand to Vivado / DC — the same hand-off
+// point the paper has after Chisel elaboration. Float32 multiply/add nodes
+// are emitted as blackbox instantiations (fp32_mul / fp32_add), mirroring
+// the paper's use of Xilinx Floating-Point IP as a Chisel BlackBox.
+#pragma once
+
+#include <string>
+
+#include "hwir/module.hpp"
+
+namespace tensorlib::hwir {
+
+/// Emits the complete Verilog for the netlist (one module, plus blackbox
+/// declarations for fp32 primitives when used).
+std::string emitVerilog(const Netlist& netlist);
+
+}  // namespace tensorlib::hwir

@@ -1,0 +1,176 @@
+#include "linalg/matrix.hpp"
+
+#include <sstream>
+
+namespace tensorlib::linalg {
+
+template <typename T>
+Matrix<T>::Matrix(std::initializer_list<std::initializer_list<T>> rows)
+    : rows_(rows.size()), cols_(rows.size() ? rows.begin()->size() : 0) {
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    TL_CHECK(r.size() == cols_, "Matrix initializer rows have unequal lengths");
+    for (const auto& x : r) data_.push_back(x);
+  }
+}
+
+template <typename T>
+Matrix<T> Matrix<T>::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = T(1);
+  return m;
+}
+
+template <typename T>
+Matrix<T> Matrix<T>::operator*(const Matrix& o) const {
+  TL_CHECK(cols_ == o.rows_, "Matrix multiply: dimension mismatch");
+  Matrix out(rows_, o.cols_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const T& a = at(i, k);
+      if (a == T(0)) continue;
+      for (std::size_t j = 0; j < o.cols_; ++j) out.at(i, j) += a * o.at(k, j);
+    }
+  return out;
+}
+
+template <typename T>
+std::vector<T> Matrix<T>::operator*(const std::vector<T>& v) const {
+  TL_CHECK(cols_ == v.size(), "Matrix-vector multiply: dimension mismatch");
+  std::vector<T> out(rows_, T(0));
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) out[i] += at(i, j) * v[j];
+  return out;
+}
+
+template <typename T>
+Matrix<T> Matrix<T>::operator+(const Matrix& o) const {
+  TL_CHECK(rows_ == o.rows_ && cols_ == o.cols_, "Matrix add: shape mismatch");
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] + o.data_[i];
+  return out;
+}
+
+template <typename T>
+Matrix<T> Matrix<T>::operator-(const Matrix& o) const {
+  TL_CHECK(rows_ == o.rows_ && cols_ == o.cols_, "Matrix sub: shape mismatch");
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] - o.data_[i];
+  return out;
+}
+
+template <typename T>
+Matrix<T> Matrix<T>::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) out.at(j, i) = at(i, j);
+  return out;
+}
+
+template <typename T>
+std::vector<T> Matrix<T>::row(std::size_t r) const {
+  TL_CHECK(r < rows_, "row index out of range");
+  return std::vector<T>(data_.begin() + r * cols_, data_.begin() + (r + 1) * cols_);
+}
+
+template <typename T>
+std::vector<T> Matrix<T>::col(std::size_t c) const {
+  TL_CHECK(c < cols_, "col index out of range");
+  std::vector<T> out(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) out[i] = at(i, c);
+  return out;
+}
+
+template <typename T>
+void Matrix<T>::setRow(std::size_t r, const std::vector<T>& v) {
+  TL_CHECK(r < rows_ && v.size() == cols_, "setRow: shape mismatch");
+  for (std::size_t j = 0; j < cols_; ++j) at(r, j) = v[j];
+}
+
+template <typename T>
+Matrix<T> Matrix<T>::selectColumns(const std::vector<std::size_t>& columns) const {
+  Matrix out(rows_, columns.size());
+  for (std::size_t j = 0; j < columns.size(); ++j) {
+    TL_CHECK(columns[j] < cols_, "selectColumns: column out of range");
+    for (std::size_t i = 0; i < rows_; ++i) out.at(i, j) = at(i, columns[j]);
+  }
+  return out;
+}
+
+template <typename T>
+std::string Matrix<T>::str() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < rows_; ++i) {
+    os << (i ? "; " : "");
+    for (std::size_t j = 0; j < cols_; ++j) {
+      if (j) os << " ";
+      if constexpr (std::is_same_v<T, Rational>)
+        os << at(i, j).str();
+      else
+        os << at(i, j);
+    }
+  }
+  os << "]";
+  return os.str();
+}
+
+template class Matrix<Rational>;
+template class Matrix<std::int64_t>;
+
+RatMatrix toRational(const IntMatrix& m) {
+  RatMatrix out(m.rows(), m.cols());
+  for (std::size_t i = 0; i < m.rows(); ++i)
+    for (std::size_t j = 0; j < m.cols(); ++j) out.at(i, j) = Rational(m.at(i, j));
+  return out;
+}
+
+IntMatrix toInteger(const RatMatrix& m) {
+  IntMatrix out(m.rows(), m.cols());
+  for (std::size_t i = 0; i < m.rows(); ++i)
+    for (std::size_t j = 0; j < m.cols(); ++j) out.at(i, j) = m.at(i, j).toInteger();
+  return out;
+}
+
+IntVector primitive(const IntVector& v) {
+  std::int64_t g = 0;
+  for (auto x : v) g = gcd64(g, x);
+  if (g == 0) return v;
+  IntVector out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) out[i] = v[i] / g;
+  for (auto x : out) {
+    if (x == 0) continue;
+    if (x < 0)
+      for (auto& y : out) y = -y;
+    break;
+  }
+  return out;
+}
+
+IntVector clearDenominators(const RatVector& v) {
+  std::int64_t l = 1;
+  for (const auto& x : v)
+    if (!x.isZero()) l = lcm64(l, x.den());
+  IntVector out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i)
+    out[i] = checkedMul(v[i].num(), l / v[i].den());
+  return primitive(out);
+}
+
+std::string str(const IntVector& v) {
+  std::ostringstream os;
+  os << "(";
+  for (std::size_t i = 0; i < v.size(); ++i) os << (i ? "," : "") << v[i];
+  os << ")";
+  return os.str();
+}
+
+std::string str(const RatVector& v) {
+  std::ostringstream os;
+  os << "(";
+  for (std::size_t i = 0; i < v.size(); ++i) os << (i ? "," : "") << v[i].str();
+  os << ")";
+  return os.str();
+}
+
+}  // namespace tensorlib::linalg

@@ -1,0 +1,107 @@
+// Dense matrices and vectors over exact scalar types (Rational / int64).
+//
+// Sizes in STT analysis are tiny (3x3 transforms, access matrices with a
+// handful of rows), so a simple row-major dense representation is both
+// adequate and the easiest to reason about.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "linalg/rational.hpp"
+#include "support/error.hpp"
+
+namespace tensorlib::linalg {
+
+/// Dense row-major matrix over scalar T (Rational or std::int64_t).
+template <typename T>
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, T(0)) {}
+  /// Builds from nested initializer lists: Matrix<T>{{1,2},{3,4}}.
+  Matrix(std::initializer_list<std::initializer_list<T>> rows);
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  T& at(std::size_t r, std::size_t c) {
+    TL_CHECK(r < rows_ && c < cols_, "Matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+  const T& at(std::size_t r, std::size_t c) const {
+    TL_CHECK(r < rows_ && c < cols_, "Matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+  T& operator()(std::size_t r, std::size_t c) { return at(r, c); }
+  const T& operator()(std::size_t r, std::size_t c) const { return at(r, c); }
+
+  Matrix operator*(const Matrix& o) const;
+  std::vector<T> operator*(const std::vector<T>& v) const;
+  Matrix operator+(const Matrix& o) const;
+  Matrix operator-(const Matrix& o) const;
+  bool operator==(const Matrix& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_ && data_ == o.data_;
+  }
+
+  Matrix transposed() const;
+
+  std::vector<T> row(std::size_t r) const;
+  std::vector<T> col(std::size_t c) const;
+  void setRow(std::size_t r, const std::vector<T>& v);
+  /// Returns a new matrix keeping only the listed columns, in order.
+  Matrix selectColumns(const std::vector<std::size_t>& columns) const;
+
+  std::string str() const;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<T> data_;
+};
+
+using RatMatrix = Matrix<Rational>;
+using IntMatrix = Matrix<std::int64_t>;
+using RatVector = std::vector<Rational>;
+using IntVector = std::vector<std::int64_t>;
+
+/// Exact conversions between integer and rational matrices.
+RatMatrix toRational(const IntMatrix& m);
+/// Requires every entry to be an integer.
+IntMatrix toInteger(const RatMatrix& m);
+
+/// Dot product of equally sized vectors.
+template <typename T>
+T dot(const std::vector<T>& a, const std::vector<T>& b) {
+  TL_CHECK(a.size() == b.size(), "dot: size mismatch");
+  T acc(0);
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+/// True if every component is zero.
+template <typename T>
+bool isZeroVector(const std::vector<T>& v) {
+  for (const auto& x : v)
+    if (!(x == T(0))) return false;
+  return true;
+}
+
+/// Divides an integer vector by the gcd of its entries and canonicalizes the
+/// sign so the first nonzero entry is positive. Zero vector stays zero.
+IntVector primitive(const IntVector& v);
+
+/// Exact integer vector from a rational one by clearing denominators and
+/// reducing to primitive form (direction only; length is not meaningful).
+IntVector clearDenominators(const RatVector& v);
+
+std::string str(const IntVector& v);
+std::string str(const RatVector& v);
+
+}  // namespace tensorlib::linalg

@@ -1,0 +1,47 @@
+// Exact linear solvers over rationals: RREF, rank, determinant, inverse,
+// nullspace bases, and membership tests used by the STT reuse analysis.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace tensorlib::linalg {
+
+/// Result of Gauss-Jordan elimination.
+struct Rref {
+  RatMatrix matrix;               ///< reduced row echelon form
+  std::vector<std::size_t> pivots;  ///< pivot column per pivot row
+  std::size_t rank = 0;
+};
+
+/// Reduced row echelon form via exact Gauss-Jordan elimination.
+Rref rref(const RatMatrix& m);
+
+/// Rank of a rational matrix.
+std::size_t rank(const RatMatrix& m);
+std::size_t rank(const IntMatrix& m);
+
+/// Determinant of a square rational matrix (exact, by elimination).
+Rational determinant(const RatMatrix& m);
+std::int64_t determinant(const IntMatrix& m);
+
+/// Inverse of a square matrix; nullopt if singular.
+std::optional<RatMatrix> inverse(const RatMatrix& m);
+std::optional<RatMatrix> inverse(const IntMatrix& m);
+
+/// Basis of the (right) nullspace {x : m*x = 0}, one primitive integer vector
+/// per column of the returned matrix. Empty matrix (cols()==0) if trivial.
+IntMatrix nullspaceBasis(const RatMatrix& m);
+IntMatrix nullspaceBasis(const IntMatrix& m);
+
+/// True if v lies in the column span of basis (both exact).
+bool inSpan(const RatMatrix& basis, const RatVector& v);
+bool inSpan(const IntMatrix& basis, const IntVector& v);
+
+/// Solves m*x = b exactly; nullopt if inconsistent. If the system is
+/// under-determined, free variables are set to zero.
+std::optional<RatVector> solve(const RatMatrix& m, const RatVector& b);
+
+}  // namespace tensorlib::linalg

@@ -1,0 +1,147 @@
+#include "sim/dfsim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "support/error.hpp"
+
+namespace tensorlib::sim {
+
+std::int64_t serveCycles(const std::vector<std::int64_t>& demandPerCycle,
+                         double wordsPerCycle) {
+  TL_CHECK(wordsPerCycle > 0, "serveCycles: capacity must be positive");
+  double backlogWords = 0.0;
+  std::int64_t finish = 0;
+  for (std::size_t t = 0; t < demandPerCycle.size(); ++t) {
+    backlogWords += static_cast<double>(demandPerCycle[t]);
+    const double drainCycles = backlogWords / wordsPerCycle;
+    finish = std::max<std::int64_t>(
+        finish, static_cast<std::int64_t>(t) +
+                    static_cast<std::int64_t>(std::ceil(drainCycles)));
+    backlogWords = std::max(0.0, backlogWords - wordsPerCycle);
+  }
+  return std::max<std::int64_t>(finish, static_cast<std::int64_t>(demandPerCycle.size()));
+}
+
+namespace {
+
+/// Scales a demand profile by the replication factor (concurrent tiles).
+std::vector<std::int64_t> scaledDemand(const std::vector<std::int64_t>& d,
+                                       std::int64_t factor) {
+  std::vector<std::int64_t> out(d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) out[i] = d[i] * factor;
+  return out;
+}
+
+void checkTileInvariants(const TileTrace& trace, const stt::ArrayConfig& config,
+                         bool checkCollisions) {
+  TL_CHECK(trace.p1Span <= config.rows && trace.p2Span <= config.cols,
+           "tile trace exceeds array bounds");
+  if (!checkCollisions) return;
+  std::set<std::tuple<std::int64_t, std::int64_t, std::int64_t>> seen;
+  for (const auto& ap : trace.active)
+    TL_CHECK(seen.insert({ap.p1, ap.p2, ap.t}).second,
+             "two MACs mapped to the same (PE, cycle): T is not injective on "
+             "the tile");
+}
+
+}  // namespace
+
+SimResult simulate(const stt::DataflowSpec& spec, const stt::ArrayConfig& config,
+                   const tensor::TensorEnv* env, const SimOptions& options) {
+  TL_CHECK(!options.functional || env != nullptr,
+           "functional simulation needs a tensor environment");
+
+  const stt::TileMapping mapping = stt::computeMapping(spec, config);
+  const double wordsPerCycle = config.wordsPerCycle();
+  const auto& algebra = spec.algebra();
+  const auto& selIdx = spec.selection().indices();
+  const linalg::IntVector extents = spec.selection().extents();
+
+  SimResult result;
+  result.tensorTrafficWords.assign(spec.tensors().size(), 0);
+
+  // --- Cycle accounting per distinct tile shape (traces are identical for
+  // identical shapes; replication runs R tiles concurrently and multiplies
+  // the bandwidth demand).
+  for (const auto& tc : mapping.tiles) {
+    const TileTrace trace = buildTileTrace(spec, tc.shape);
+    checkTileInvariants(trace, config, options.checkCollisions);
+    TL_CHECK(static_cast<std::int64_t>(trace.active.size()) == tc.macs,
+             "trace active-point count disagrees with mapping");
+    TL_CHECK(trace.cycles == tc.computeCycles,
+             "trace cycle span disagrees with mapping");
+
+    const std::int64_t tilesTotal = tc.count * mapping.outerIterations;
+    const std::int64_t passes =
+        (tilesTotal + mapping.replication - 1) / mapping.replication;
+    const std::int64_t passCycles = serveCycles(
+        scaledDemand(trace.demandPerCycle, mapping.replication), wordsPerCycle);
+
+    result.computeCycles += passes * trace.cycles;
+    result.cycles += passes * passCycles;
+    result.macs += tilesTotal * tc.macs;
+    result.trafficWords += tilesTotal * trace.totalWords();
+    for (std::size_t i = 0; i < trace.injectionWords.size(); ++i)
+      result.tensorTrafficWords[i] += tilesTotal * trace.injectionWords[i];
+    result.peakDemandWords =
+        std::max(result.peakDemandWords, mapping.replication * trace.peakDemand());
+  }
+  result.utilization =
+      static_cast<double>(result.macs) /
+      (static_cast<double>(config.rows * config.cols) *
+       static_cast<double>(result.cycles));
+
+  if (!options.functional) return result;
+
+  // --- Functional replay: walk every tile at every outer iteration and
+  // accumulate output values from the trace's active points.
+  result.output = tensor::DenseTensor(algebra.tensorShape(algebra.output()));
+  const auto& outRole = spec.outputRole();
+
+  // Tile origin grid per selected loop.
+  std::vector<std::vector<std::int64_t>> origins(3);
+  for (std::size_t j = 0; j < 3; ++j)
+    for (std::int64_t o = 0; o < extents[j]; o += mapping.fullTile[j])
+      origins[j].push_back(o);
+
+  // Outer-loop odometer.
+  const auto& outerIdx = spec.selection().outerIndices();
+  linalg::IntVector outerFixed(algebra.loopCount(), 0);
+  while (true) {
+    for (std::int64_t o0 : origins[0])
+      for (std::int64_t o1 : origins[1])
+        for (std::int64_t o2 : origins[2]) {
+          const linalg::IntVector origin{o0, o1, o2};
+          linalg::IntVector shape(3);
+          for (std::size_t j = 0; j < 3; ++j)
+            shape[j] = std::min(mapping.fullTile[j], extents[j] - origin[j]);
+          const TileTrace trace =
+              buildTileTrace(spec, shape, origin, outerFixed);
+          for (const auto& ap : trace.active) {
+            linalg::IntVector x = outerFixed;
+            for (std::size_t j = 0; j < 3; ++j)
+              x[selIdx[j]] = origin[j] + ap.iteration[j];
+            double prod = 1.0;
+            for (const auto& role : spec.tensors()) {
+              if (role.isOutput) continue;
+              prod *= env->at(role.tensor).at(role.fullAccess.evaluate(x));
+            }
+            result.output.at(outRole.fullAccess.evaluate(x)) += prod;
+          }
+        }
+    // Advance the outer odometer.
+    bool done = outerIdx.empty();
+    for (std::size_t d = outerIdx.size(); d-- > 0;) {
+      if (++outerFixed[outerIdx[d]] < algebra.loops()[outerIdx[d]].extent) break;
+      outerFixed[outerIdx[d]] = 0;
+      if (d == 0) done = true;
+    }
+    if (done) break;
+  }
+  return result;
+}
+
+}  // namespace tensorlib::sim

@@ -1,0 +1,52 @@
+#include "sim/perf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace tensorlib::sim {
+
+std::string PerfResult::str() const {
+  std::ostringstream os;
+  os << "cycles=" << totalCycles << " (compute=" << computeCycles
+     << ", bw=" << bandwidthCycles << ") macs=" << macs
+     << " traffic=" << trafficWords << " util=" << utilization
+     << (bandwidthBound ? " [bandwidth-bound]" : " [compute-bound]");
+  return os.str();
+}
+
+PerfResult estimatePerformance(const stt::DataflowSpec& spec,
+                               const stt::ArrayConfig& config) {
+  const stt::TileMapping mapping = stt::computeMapping(spec, config);
+  const double wordsPerCycle = config.wordsPerCycle();
+
+  PerfResult out;
+  for (const auto& tc : mapping.tiles) {
+    const std::int64_t tilesTotal = tc.count * mapping.outerIterations;
+    const std::int64_t passes =
+        (tilesTotal + mapping.replication - 1) / mapping.replication;
+
+    const std::int64_t bwCycles = static_cast<std::int64_t>(std::ceil(
+        static_cast<double>(tc.trafficWords * mapping.replication) /
+        wordsPerCycle));
+    const std::int64_t passCycles = std::max(tc.computeCycles, bwCycles);
+
+    out.computeCycles += passes * tc.computeCycles;
+    out.bandwidthCycles += passes * bwCycles;
+    out.totalCycles += passes * passCycles;
+    out.macs += tilesTotal * tc.macs;
+    out.trafficWords += tilesTotal * tc.trafficWords;
+  }
+  out.bandwidthBound = out.bandwidthCycles > out.computeCycles;
+  out.utilization = static_cast<double>(out.macs) /
+                    (static_cast<double>(config.rows * config.cols) *
+                     static_cast<double>(out.totalCycles));
+  const double seconds =
+      static_cast<double>(out.totalCycles) / (config.frequencyMHz * 1e6);
+  out.throughputGops = 2.0 * static_cast<double>(out.macs) / seconds / 1e9;
+  return out;
+}
+
+}  // namespace tensorlib::sim

@@ -1,0 +1,35 @@
+// Analytic performance model for large design-space sweeps (Fig. 5).
+//
+// Uses the exact same per-tile quantities as the behavioral simulator
+// (time-row span, per-tensor footprints, replication, bandwidth budget) but
+// aggregates them in closed form instead of replaying traces, so a 16x16
+// array running ResNet-sized convolutions evaluates in microseconds. The
+// test suite pins this model to the behavioral simulator on configurations
+// small enough to replay.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "stt/mapping.hpp"
+
+namespace tensorlib::sim {
+
+struct PerfResult {
+  std::int64_t totalCycles = 0;
+  std::int64_t computeCycles = 0;    ///< bandwidth-unconstrained
+  std::int64_t bandwidthCycles = 0;  ///< compute-unconstrained
+  std::int64_t macs = 0;
+  std::int64_t trafficWords = 0;
+  double utilization = 0.0;  ///< macs / (PEs * totalCycles); Fig. 5's metric
+  double throughputGops = 0.0;  ///< 2 * macs / time at config frequency
+  bool bandwidthBound = false;
+
+  std::string str() const;
+};
+
+/// Closed-form performance estimate of `spec` on `config`.
+PerfResult estimatePerformance(const stt::DataflowSpec& spec,
+                               const stt::ArrayConfig& config);
+
+}  // namespace tensorlib::sim

@@ -1,0 +1,110 @@
+#include "stt/classify.hpp"
+
+#include "support/error.hpp"
+
+namespace tensorlib::stt {
+
+namespace {
+
+/// Sign-canonicalizes a rank-1 direction: prefer dt > 0; for dt == 0 make the
+/// first nonzero spatial component positive.
+linalg::IntVector canonicalDirection(linalg::IntVector v) {
+  if (v[2] != 0) {
+    if (v[2] < 0)
+      for (auto& x : v) x = -x;
+    return v;
+  }
+  for (auto x : v) {
+    if (x == 0) continue;
+    if (x < 0)
+      for (auto& y : v) y = -y;
+    break;
+  }
+  return v;
+}
+
+/// True if the time axis e_t = (0,0,1) lies in the span of the basis.
+bool containsTimeAxis(const linalg::IntMatrix& basis) {
+  return linalg::inSpan(basis, linalg::IntVector{0, 0, 1});
+}
+
+/// True if every vector in the span has zero time component, i.e. all basis
+/// columns have dt == 0.
+bool orthogonalToTimeAxis(const linalg::IntMatrix& basis) {
+  for (std::size_t j = 0; j < basis.cols(); ++j)
+    if (basis.at(2, j) != 0) return false;
+  return true;
+}
+
+}  // namespace
+
+TensorDataflow classify(const ReuseAnalysis& reuse) {
+  TensorDataflow out;
+  out.reuseRank = reuse.rank;
+  out.reuseBasis = reuse.spaceTimeBasis;
+  out.latticeBasis = reuse.latticeBasis;
+
+  switch (reuse.rank) {
+    case 0:
+      out.dataflowClass = DataflowClass::Unicast;
+      break;
+    case 1: {
+      out.direction = canonicalDirection(reuse.spaceTimeBasis.col(0));
+      const bool spatialZero = out.direction[0] == 0 && out.direction[1] == 0;
+      const bool timeZero = out.direction[2] == 0;
+      TL_CHECK(!(spatialZero && timeZero), "rank-1 reuse with zero direction");
+      if (spatialZero)
+        out.dataflowClass = DataflowClass::Stationary;
+      else if (timeZero)
+        out.dataflowClass = DataflowClass::Multicast;
+      else
+        out.dataflowClass = DataflowClass::Systolic;
+      break;
+    }
+    case 2: {
+      if (orthogonalToTimeAxis(reuse.spaceTimeBasis))
+        out.dataflowClass = DataflowClass::Broadcast2D;
+      else if (containsTimeAxis(reuse.spaceTimeBasis))
+        out.dataflowClass = DataflowClass::MulticastStationary;
+      else
+        out.dataflowClass = DataflowClass::SystolicMulticast;
+      break;
+    }
+    case 3:
+      out.dataflowClass = DataflowClass::FullReuse;
+      break;
+    default:
+      fail("impossible reuse rank");
+  }
+  return out;
+}
+
+char dataflowLetter(DataflowClass c) {
+  switch (c) {
+    case DataflowClass::Unicast: return 'U';
+    case DataflowClass::Stationary: return 'T';
+    case DataflowClass::Systolic: return 'S';
+    case DataflowClass::Multicast: return 'M';
+    case DataflowClass::Broadcast2D:
+    case DataflowClass::MulticastStationary:
+    case DataflowClass::SystolicMulticast:
+    case DataflowClass::FullReuse: return 'B';
+  }
+  fail("unknown dataflow class");
+}
+
+std::string dataflowClassName(DataflowClass c) {
+  switch (c) {
+    case DataflowClass::Unicast: return "Unicast";
+    case DataflowClass::Stationary: return "Stationary";
+    case DataflowClass::Systolic: return "Systolic";
+    case DataflowClass::Multicast: return "Multicast";
+    case DataflowClass::Broadcast2D: return "Broadcast";
+    case DataflowClass::MulticastStationary: return "Multicast & Stationary";
+    case DataflowClass::SystolicMulticast: return "Systolic & Multicast";
+    case DataflowClass::FullReuse: return "Full reuse";
+  }
+  fail("unknown dataflow class");
+}
+
+}  // namespace tensorlib::stt

@@ -1,0 +1,73 @@
+// Table-I dataflow classification.
+//
+// Maps a tensor's reuse subspace (rank + basis in space-time) to one of the
+// paper's dataflow classes. Rank-1 classes depend on the reuse direction
+// (dp, dt); rank-2 classes on the plane's relationship with the time axis.
+// Output tensors reinterpret Multicast as a reduction tree but keep the same
+// class (and the same 'M' letter in labels).
+#pragma once
+
+#include <string>
+
+#include "linalg/matrix.hpp"
+#include "stt/reuse.hpp"
+
+namespace tensorlib::stt {
+
+/// Dataflow classes from Table I of the paper. The first four are the rank-0
+/// and rank-1 cases; the next three are the rank-2 cases (all written as 'B'
+/// in dataflow labels); FullReuse covers the degenerate rank-3 case (tensor
+/// invariant over all three selected loops).
+enum class DataflowClass {
+  Unicast,              // rank 0: no reuse
+  Stationary,           // rank 1, dp=0, dt!=0
+  Systolic,             // rank 1, dp!=0, dt!=0
+  Multicast,            // rank 1, dp!=0, dt=0 (reduction tree for outputs)
+  Broadcast2D,          // rank 2, plane orthogonal to t-axis (all dt = 0)
+  MulticastStationary,  // rank 2, plane contains the t-axis
+  SystolicMulticast,    // rank 2, plane intersects the t-axis obliquely
+  FullReuse,            // rank 3
+};
+
+/// Classified dataflow of one tensor.
+struct TensorDataflow {
+  DataflowClass dataflowClass = DataflowClass::Unicast;
+  std::size_t reuseRank = 0;
+  /// Basis of the reuse subspace in space-time (3 x rank), primitive columns.
+  linalg::IntMatrix reuseBasis;
+  /// Exact reuse lattice basis (3 x rank), strides preserved (see
+  /// ReuseAnalysis::latticeBasis).
+  linalg::IntMatrix latticeBasis;
+  /// Rank-1 only: the primitive reuse direction (dp1, dp2, dt), sign-
+  /// canonicalized so dt >= 0 (and the first nonzero spatial component > 0
+  /// when dt == 0).
+  linalg::IntVector direction;
+
+  bool isSystolicLike() const {
+    return dataflowClass == DataflowClass::Systolic ||
+           dataflowClass == DataflowClass::SystolicMulticast;
+  }
+  bool hasStationaryComponent() const {
+    return dataflowClass == DataflowClass::Stationary ||
+           dataflowClass == DataflowClass::MulticastStationary ||
+           dataflowClass == DataflowClass::FullReuse;
+  }
+  bool hasMulticastComponent() const {
+    return dataflowClass == DataflowClass::Multicast ||
+           dataflowClass == DataflowClass::Broadcast2D ||
+           dataflowClass == DataflowClass::MulticastStationary ||
+           dataflowClass == DataflowClass::SystolicMulticast ||
+           dataflowClass == DataflowClass::FullReuse;
+  }
+};
+
+/// Classifies a reuse analysis result per Table I.
+TensorDataflow classify(const ReuseAnalysis& reuse);
+
+/// Paper letter for labels: U, T (stationary), S, M, B (any rank>=2 class).
+char dataflowLetter(DataflowClass c);
+
+/// Human-readable class name ("Systolic & Multicast", ...).
+std::string dataflowClassName(DataflowClass c);
+
+}  // namespace tensorlib::stt

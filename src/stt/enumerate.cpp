@@ -1,0 +1,199 @@
+#include "stt/enumerate.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cstdlib>
+#include <set>
+
+#include "support/error.hpp"
+
+namespace tensorlib::stt {
+
+namespace {
+
+/// Flips a row's sign so its first nonzero entry is positive.
+void canonicalizeRowSign(linalg::IntMatrix& m, std::size_t row) {
+  for (std::size_t j = 0; j < 3; ++j) {
+    const std::int64_t v = m.at(row, j);
+    if (v == 0) continue;
+    if (v < 0)
+      for (std::size_t k = 0; k < 3; ++k) m.at(row, k) = -m.at(row, k);
+    return;
+  }
+}
+
+/// Mirror symmetry (negating a space row), time reversal (negating the time
+/// row) and array transpose (swapping space rows) all describe the same
+/// hardware; pick one representative.
+linalg::IntMatrix canonicalize(linalg::IntMatrix m) {
+  canonicalizeRowSign(m, 0);
+  canonicalizeRowSign(m, 1);
+  canonicalizeRowSign(m, 2);
+  const linalg::IntVector r0 = m.row(0);
+  const linalg::IntVector r1 = m.row(1);
+  if (std::lexicographical_compare(r1.begin(), r1.end(), r0.begin(), r0.end())) {
+    m.setRow(0, r1);
+    m.setRow(1, r0);
+  }
+  return m;
+}
+
+int nonzeroCount(const linalg::IntMatrix& m) {
+  int n = 0;
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      if (m.at(i, j) != 0) ++n;
+  return n;
+}
+
+std::int64_t absSum(const linalg::IntMatrix& m) {
+  std::int64_t s = 0;
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) s += std::abs(m.at(i, j));
+  return s;
+}
+
+std::array<std::int64_t, 9> flat(const linalg::IntMatrix& m) {
+  std::array<std::int64_t, 9> out{};
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) out[i * 3 + j] = m.at(i, j);
+  return out;
+}
+
+/// All full-rank (optionally unimodular) matrices in entry range, canonical
+/// representatives only, sorted simplest-first for deterministic search.
+std::vector<linalg::IntMatrix> candidateMatrices(const EnumerationOptions& options) {
+  const std::int64_t lo = -options.maxEntry;
+  const std::int64_t hi = options.maxEntry;
+  const std::int64_t radix = hi - lo + 1;
+  std::int64_t total = 1;
+  for (int i = 0; i < 9; ++i) total *= radix;
+
+  std::set<std::array<std::int64_t, 9>> seen;
+  std::vector<linalg::IntMatrix> out;
+  for (std::int64_t code = 0; code < total; ++code) {
+    linalg::IntMatrix m(3, 3);
+    std::int64_t c = code;
+    for (std::size_t i = 0; i < 3; ++i)
+      for (std::size_t j = 0; j < 3; ++j) {
+        m.at(i, j) = lo + (c % radix);
+        c /= radix;
+      }
+    const std::int64_t det = linalg::determinant(m);
+    if (det == 0) continue;
+    if (options.requireUnimodular && det != 1 && det != -1) continue;
+    if (options.canonicalize) m = canonicalize(m);
+    if (!seen.insert(flat(m)).second) continue;
+    out.push_back(std::move(m));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const linalg::IntMatrix& a, const linalg::IntMatrix& b) {
+              const int na = nonzeroCount(a), nb = nonzeroCount(b);
+              if (na != nb) return na < nb;
+              const std::int64_t sa = absSum(a), sb = absSum(b);
+              if (sa != sb) return sa < sb;
+              return flat(a) < flat(b);
+            });
+  return out;
+}
+
+bool passesFilters(const DataflowSpec& spec, const EnumerationOptions& options) {
+  if (options.dropFullReuse) {
+    for (const auto& t : spec.tensors())
+      if (t.dataflow.dataflowClass == DataflowClass::FullReuse) return false;
+  }
+  if (options.dropAllUnicast) {
+    const bool outputUnicast =
+        spec.outputRole().dataflow.dataflowClass == DataflowClass::Unicast;
+    if (outputUnicast) {
+      for (const auto& t : spec.tensors())
+        if (!t.isOutput && t.dataflow.dataflowClass == DataflowClass::Unicast)
+          return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<LoopSelection> allLoopSelections(const tensor::TensorAlgebra& algebra) {
+  const std::size_t n = algebra.loopCount();
+  TL_CHECK(n >= 3, "algebra needs at least 3 loops for a 2D PE array");
+  std::vector<LoopSelection> out;
+  for (std::size_t a = 0; a < n; ++a)
+    for (std::size_t b = a + 1; b < n; ++b)
+      for (std::size_t c = b + 1; c < n; ++c)
+        out.emplace_back(algebra, std::vector<std::size_t>{a, b, c});
+  return out;
+}
+
+std::vector<DataflowSpec> enumerateTransforms(const tensor::TensorAlgebra& algebra,
+                                              const LoopSelection& selection,
+                                              const EnumerationOptions& options) {
+  std::vector<DataflowSpec> out;
+  std::set<std::string> signatures;
+  for (const auto& m : candidateMatrices(options)) {
+    DataflowSpec spec =
+        analyzeDataflow(algebra, selection, SpaceTimeTransform(m));
+    if (!passesFilters(spec, options)) continue;
+    if (options.dedupeBySignature && !signatures.insert(spec.signature()).second)
+      continue;
+    out.push_back(std::move(spec));
+  }
+  return out;
+}
+
+std::vector<DataflowSpec> enumerateDesignSpace(const tensor::TensorAlgebra& algebra,
+                                               const EnumerationOptions& options) {
+  std::vector<DataflowSpec> out;
+  for (const auto& sel : allLoopSelections(algebra)) {
+    auto specs = enumerateTransforms(algebra, sel, options);
+    out.insert(out.end(), std::make_move_iterator(specs.begin()),
+               std::make_move_iterator(specs.end()));
+  }
+  return out;
+}
+
+std::optional<DataflowSpec> findDataflow(const tensor::TensorAlgebra& algebra,
+                                         const LoopSelection& selection,
+                                         const std::string& letters,
+                                         const EnumerationOptions& options) {
+  TL_CHECK(letters.size() == algebra.inputs().size() + 1,
+           "findDataflow: need one letter per tensor (inputs then output)");
+  for (const auto& m : candidateMatrices(options)) {
+    DataflowSpec spec =
+        analyzeDataflow(algebra, selection, SpaceTimeTransform(m));
+    if (spec.letters() == letters) return spec;
+  }
+  return std::nullopt;
+}
+
+std::optional<DataflowSpec> findDataflowByLabel(const tensor::TensorAlgebra& algebra,
+                                                const std::string& label,
+                                                const EnumerationOptions& options) {
+  const auto dash = label.find('-');
+  TL_CHECK(dash != std::string::npos && dash == 3,
+           "label must look like 'MNK-SST': " + label);
+  const std::string sel = label.substr(0, dash);
+  const std::string letters = label.substr(dash + 1);
+
+  std::vector<std::size_t> indices;
+  for (char ch : sel) {
+    const char want = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+    std::optional<std::size_t> found;
+    for (std::size_t i = 0; i < algebra.loopCount(); ++i) {
+      if (algebra.loops()[i].name[0] == want) {
+        TL_CHECK(!found.has_value(),
+                 std::string("ambiguous loop initial '") + ch + "' in " + label);
+        found = i;
+      }
+    }
+    TL_CHECK(found.has_value(), std::string("no loop with initial '") + ch +
+                                    "' in algebra " + algebra.name());
+    indices.push_back(*found);
+  }
+  return findDataflow(algebra, LoopSelection(algebra, indices), letters, options);
+}
+
+}  // namespace tensorlib::stt

@@ -1,0 +1,58 @@
+// Design-space enumeration (the engine behind Fig. 6 and dataflow search).
+//
+// Enumerates 3x3 integer STT matrices with entries in [-maxEntry, maxEntry],
+// filters to full-rank (optionally unimodular), canonicalizes symmetries
+// that do not change the hardware (row sign flips = array mirror / time
+// reversal; spatial row swap = array transpose), and deduplicates by
+// dataflow signature. Also provides label-directed search used to construct
+// every named dataflow in the paper (e.g. "MNK-MTM", "KCX-STS").
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "stt/spec.hpp"
+
+namespace tensorlib::stt {
+
+struct EnumerationOptions {
+  int maxEntry = 1;               ///< entry range [-maxEntry, maxEntry]
+  bool requireUnimodular = true;  ///< |det| == 1 (integral inverse)
+  bool canonicalize = true;       ///< quotient mirror/transpose symmetries
+  bool dedupeBySignature = true;  ///< one spec per dataflow signature
+  /// Drop specs containing a FullReuse (rank-3) tensor: the tensor would be
+  /// a single scalar for the whole pass, a degenerate design.
+  bool dropFullReuse = true;
+  /// Drop specs whose *output* is Unicast AND some input is Unicast too —
+  /// such designs stream everything and reuse nothing.
+  bool dropAllUnicast = true;
+};
+
+/// All 3-loop selections of the algebra in nest order (C(n,3) of them).
+std::vector<LoopSelection> allLoopSelections(const tensor::TensorAlgebra& algebra);
+
+/// Enumerate the transform design space for one selection.
+std::vector<DataflowSpec> enumerateTransforms(const tensor::TensorAlgebra& algebra,
+                                              const LoopSelection& selection,
+                                              const EnumerationOptions& options = {});
+
+/// Enumerate over all selections of the algebra.
+std::vector<DataflowSpec> enumerateDesignSpace(const tensor::TensorAlgebra& algebra,
+                                               const EnumerationOptions& options = {});
+
+/// Finds the simplest transform whose per-tensor letters match `letters`
+/// (e.g. "SST"); among matches prefers fewest nonzero entries, then
+/// lexicographically smallest matrix, which keeps results deterministic.
+std::optional<DataflowSpec> findDataflow(const tensor::TensorAlgebra& algebra,
+                                         const LoopSelection& selection,
+                                         const std::string& letters,
+                                         const EnumerationOptions& options = {});
+
+/// findDataflow with a paper-style full label "XPQ-MMT": parses the loop
+/// initials and the letters. Throws if the label is malformed or no loop
+/// matches an initial; returns nullopt if no transform realizes the letters.
+std::optional<DataflowSpec> findDataflowByLabel(const tensor::TensorAlgebra& algebra,
+                                                const std::string& label,
+                                                const EnumerationOptions& options = {});
+
+}  // namespace tensorlib::stt

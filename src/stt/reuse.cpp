@@ -1,0 +1,30 @@
+#include "stt/reuse.hpp"
+
+#include "support/error.hpp"
+
+namespace tensorlib::stt {
+
+ReuseAnalysis analyzeReuse(const tensor::AffineAccess& access,
+                           const SpaceTimeTransform& t) {
+  TL_CHECK(access.loopCount() == 3,
+           "analyzeReuse expects an access restricted to the 3 selected loops");
+  ReuseAnalysis out;
+  out.loopBasis = linalg::nullspaceBasis(access.coeff());
+  out.rank = out.loopBasis.cols();
+
+  out.spaceTimeBasis = linalg::IntMatrix(3, out.rank);
+  out.latticeBasis = linalg::IntMatrix(3, out.rank);
+  for (std::size_t j = 0; j < out.rank; ++j) {
+    const linalg::IntVector exact = t.matrix() * out.loopBasis.col(j);
+    const linalg::IntVector mapped = linalg::primitive(exact);
+    TL_CHECK(!linalg::isZeroVector(mapped),
+             "full-rank T mapped a nonzero reuse vector to zero");
+    for (std::size_t i = 0; i < 3; ++i) {
+      out.spaceTimeBasis.at(i, j) = mapped[i];
+      out.latticeBasis.at(i, j) = exact[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace tensorlib::stt

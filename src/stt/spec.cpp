@@ -1,0 +1,83 @@
+#include "stt/spec.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace tensorlib::stt {
+
+DataflowSpec::DataflowSpec(tensor::TensorAlgebra algebra, LoopSelection selection,
+                           SpaceTimeTransform transform,
+                           std::vector<TensorRole> tensors)
+    : algebra_(std::move(algebra)),
+      selection_(std::move(selection)),
+      transform_(std::move(transform)),
+      tensors_(std::move(tensors)) {
+  TL_CHECK(tensors_.size() == algebra_.inputs().size() + 1,
+           "DataflowSpec: tensor role count mismatch");
+  TL_CHECK(tensors_.back().isOutput, "DataflowSpec: output role must be last");
+}
+
+std::string DataflowSpec::label() const { return selection_.label() + "-" + letters(); }
+
+std::string DataflowSpec::letters() const {
+  std::string out;
+  for (const auto& t : tensors_) out += dataflowLetter(t.dataflow.dataflowClass);
+  return out;
+}
+
+std::string DataflowSpec::signature() const {
+  std::ostringstream os;
+  os << selection_.label();
+  for (const auto& t : tensors_) {
+    os << "|" << t.tensor << ":" << static_cast<int>(t.dataflow.dataflowClass);
+    if (t.dataflow.reuseRank == 1) {
+      os << ":" << linalg::str(t.dataflow.direction);
+    } else if (t.dataflow.reuseRank >= 2) {
+      // Canonicalize the plane: row-reduce the basis transpose so any basis
+      // of the same subspace yields the same string.
+      const auto red = linalg::rref(
+          linalg::toRational(t.dataflow.reuseBasis.transposed()));
+      os << ":";
+      for (std::size_t i = 0; i < red.rank; ++i) {
+        linalg::RatVector row = red.matrix.row(i);
+        os << linalg::str(linalg::clearDenominators(row));
+      }
+    }
+  }
+  return os.str();
+}
+
+bool DataflowSpec::hasLetter(char letter) const {
+  return letters().find(letter) != std::string::npos;
+}
+
+std::string DataflowSpec::describe() const {
+  std::ostringstream os;
+  os << label() << "  T=" << transform_.str();
+  for (const auto& t : tensors_) {
+    os << "\n  " << t.tensor << (t.isOutput ? " (out)" : "      ") << ": "
+       << dataflowClassName(t.dataflow.dataflowClass);
+    if (t.dataflow.reuseRank == 1)
+      os << " dir=" << linalg::str(t.dataflow.direction);
+  }
+  return os.str();
+}
+
+DataflowSpec analyzeDataflow(const tensor::TensorAlgebra& algebra,
+                             const LoopSelection& selection,
+                             const SpaceTimeTransform& transform) {
+  std::vector<TensorRole> roles;
+  for (const tensor::TensorRef* ref : algebra.tensorsInLabelOrder()) {
+    TensorRole role;
+    role.tensor = ref->tensor;
+    role.isOutput = (ref == &algebra.output());
+    role.fullAccess = ref->access;
+    role.access = ref->access.restrictedTo(selection.indices());
+    role.dataflow = classify(analyzeReuse(role.access, transform));
+    roles.push_back(std::move(role));
+  }
+  return DataflowSpec(algebra, selection, transform, std::move(roles));
+}
+
+}  // namespace tensorlib::stt

@@ -1,0 +1,65 @@
+// DataflowSpec: a fully analyzed (algebra, loop selection, STT) triple —
+// the unit of TensorLib's design space. Produces paper-style labels such as
+// "MNK-SST" (selected loops, then one dataflow letter per tensor: inputs in
+// formula order followed by the output).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stt/classify.hpp"
+#include "stt/transform.hpp"
+#include "tensor/algebra.hpp"
+
+namespace tensorlib::stt {
+
+/// Dataflow of one tensor within a spec.
+struct TensorRole {
+  std::string tensor;
+  bool isOutput = false;
+  tensor::AffineAccess access;           ///< restricted to the selected loops
+  tensor::AffineAccess fullAccess;       ///< over the whole nest
+  TensorDataflow dataflow;
+};
+
+/// A complete analyzed dataflow design point.
+class DataflowSpec {
+ public:
+  DataflowSpec(tensor::TensorAlgebra algebra, LoopSelection selection,
+               SpaceTimeTransform transform, std::vector<TensorRole> tensors);
+
+  const tensor::TensorAlgebra& algebra() const { return algebra_; }
+  const LoopSelection& selection() const { return selection_; }
+  const SpaceTimeTransform& transform() const { return transform_; }
+  /// Tensors in label order: inputs in formula order, output last.
+  const std::vector<TensorRole>& tensors() const { return tensors_; }
+  const TensorRole& outputRole() const { return tensors_.back(); }
+
+  /// Paper-style label, e.g. "MNK-SST", "KCX-STS", "IKL-UBBB".
+  std::string label() const;
+  /// Just the per-tensor letters, e.g. "SST".
+  std::string letters() const;
+
+  /// Canonical signature for design-space deduplication: per tensor, the
+  /// dataflow class plus (rank-1) direction / (rank-2) canonicalized basis.
+  std::string signature() const;
+
+  /// True if any tensor's dataflow class is among the given letters.
+  bool hasLetter(char letter) const;
+
+  std::string describe() const;
+
+ private:
+  tensor::TensorAlgebra algebra_;
+  LoopSelection selection_;
+  SpaceTimeTransform transform_;
+  std::vector<TensorRole> tensors_;
+};
+
+/// Runs the full analysis pipeline: restrict accesses to the selection,
+/// compute reuse subspaces under T, classify each tensor (Table I).
+DataflowSpec analyzeDataflow(const tensor::TensorAlgebra& algebra,
+                             const LoopSelection& selection,
+                             const SpaceTimeTransform& transform);
+
+}  // namespace tensorlib::stt

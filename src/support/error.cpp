@@ -1,0 +1,11 @@
+#include "support/error.hpp"
+
+namespace tensorlib {
+
+void fail(const std::string& message) { throw Error(message); }
+
+void require(bool condition, const std::string& message) {
+  if (!condition) throw Error(message);
+}
+
+}  // namespace tensorlib

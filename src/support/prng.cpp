@@ -1,0 +1,27 @@
+#include "support/prng.hpp"
+
+namespace tensorlib {
+
+std::uint64_t Prng::next() {
+  std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::int64_t Prng::uniformInt(std::int64_t lo, std::int64_t hi) {
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(next() % span);
+}
+
+double Prng::uniformDouble() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+std::vector<double> Prng::smallIntVector(std::size_t n, std::int64_t bound) {
+  std::vector<double> v(n);
+  for (auto& x : v) x = static_cast<double>(uniformInt(-bound, bound));
+  return v;
+}
+
+}  // namespace tensorlib

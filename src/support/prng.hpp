@@ -1,0 +1,35 @@
+// Deterministic pseudo-random number generation for tests and workload data.
+//
+// Benchmarks and functional tests need reproducible tensor contents; this
+// wraps a SplitMix64/xoshiro-style generator with convenience samplers so
+// that every run of the test suite and every bench table is deterministic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tensorlib {
+
+/// Small, fast, deterministic PRNG (SplitMix64).
+class Prng {
+ public:
+  explicit Prng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniformDouble();
+
+  /// Fills a vector with small integers in [-bound, bound], useful as exact
+  /// tensor data (sums stay exactly representable in double and int64).
+  std::vector<double> smallIntVector(std::size_t n, std::int64_t bound = 8);
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace tensorlib

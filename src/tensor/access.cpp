@@ -1,0 +1,54 @@
+#include "tensor/access.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace tensorlib::tensor {
+
+AffineAccess::AffineAccess(linalg::IntMatrix coeff, linalg::IntVector offset)
+    : coeff_(std::move(coeff)), offset_(std::move(offset)) {
+  TL_CHECK(coeff_.rows() == offset_.size(), "AffineAccess: offset size mismatch");
+}
+
+AffineAccess::AffineAccess(linalg::IntMatrix coeff)
+    : coeff_(std::move(coeff)), offset_(coeff_.rows(), 0) {}
+
+linalg::IntVector AffineAccess::evaluate(const linalg::IntVector& iteration) const {
+  TL_CHECK(iteration.size() == coeff_.cols(), "AffineAccess: iteration size mismatch");
+  linalg::IntVector out(coeff_.rows());
+  for (std::size_t i = 0; i < coeff_.rows(); ++i) {
+    std::int64_t acc = offset_[i];
+    for (std::size_t j = 0; j < coeff_.cols(); ++j)
+      acc += coeff_.at(i, j) * iteration[j];
+    out[i] = acc;
+  }
+  return out;
+}
+
+AffineAccess AffineAccess::restrictedTo(
+    const std::vector<std::size_t>& loopIndices) const {
+  // Offsets from dropped loops are irrelevant for reuse analysis (they are
+  // constant within one pass), so the restricted access keeps a zero offset.
+  return AffineAccess(coeff_.selectColumns(loopIndices),
+                      linalg::IntVector(coeff_.rows(), 0));
+}
+
+std::string AffineAccess::str() const {
+  std::ostringstream os;
+  os << "A=" << coeff_.str() << " b=" << linalg::str(offset_);
+  return os.str();
+}
+
+AffineAccess accessFromTerms(std::size_t loopCount,
+                             const std::vector<std::vector<std::size_t>>& dims) {
+  linalg::IntMatrix coeff(dims.size(), loopCount);
+  for (std::size_t d = 0; d < dims.size(); ++d)
+    for (std::size_t it : dims[d]) {
+      TL_CHECK(it < loopCount, "accessFromTerms: iterator index out of range");
+      coeff.at(d, it) += 1;
+    }
+  return AffineAccess(std::move(coeff));
+}
+
+}  // namespace tensorlib::tensor

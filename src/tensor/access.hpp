@@ -1,0 +1,53 @@
+// Affine tensor access functions: I = A*x + offset.
+//
+// Every tensor reference in a TensorLib algebra indexes the tensor with an
+// affine function of the loop iterators (e.g. Conv2D reads A[c, y+p, x+q]).
+// The access matrix A is the object the STT reuse analysis operates on
+// (Equation (2) of the paper).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace tensorlib::tensor {
+
+/// Affine map from a loop-iteration vector x to a tensor index vector:
+/// index = coeff * x + offset. Rows = tensor dimensions, cols = loop count.
+class AffineAccess {
+ public:
+  AffineAccess() = default;
+  AffineAccess(linalg::IntMatrix coeff, linalg::IntVector offset);
+
+  /// Access with zero offset.
+  explicit AffineAccess(linalg::IntMatrix coeff);
+
+  const linalg::IntMatrix& coeff() const { return coeff_; }
+  const linalg::IntVector& offset() const { return offset_; }
+  std::size_t tensorRank() const { return coeff_.rows(); }
+  std::size_t loopCount() const { return coeff_.cols(); }
+
+  /// Evaluates the access at a concrete iteration point.
+  linalg::IntVector evaluate(const linalg::IntVector& iteration) const;
+
+  /// Restriction of the access to a subset of loops (the three selected for
+  /// STT); the dropped loops act as constants within one space-time pass.
+  AffineAccess restrictedTo(const std::vector<std::size_t>& loopIndices) const;
+
+  std::string str() const;
+
+ private:
+  linalg::IntMatrix coeff_;
+  linalg::IntVector offset_;
+};
+
+/// Convenience builder used by the workload definitions: expresses each
+/// tensor dimension as a sum of iterator terms, e.g. {{y, p}} for "y + p".
+/// `loopCount` is the total number of iterators in the nest and each inner
+/// vector lists the iterator indices whose coefficients are +1.
+AffineAccess accessFromTerms(std::size_t loopCount,
+                             const std::vector<std::vector<std::size_t>>& dims);
+
+}  // namespace tensorlib::tensor

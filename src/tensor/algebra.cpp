@@ -1,0 +1,77 @@
+#include "tensor/algebra.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace tensorlib::tensor {
+
+TensorAlgebra::TensorAlgebra(std::string name, std::vector<Iterator> loops,
+                             TensorRef output, std::vector<TensorRef> inputs)
+    : name_(std::move(name)),
+      loops_(std::move(loops)),
+      output_(std::move(output)),
+      inputs_(std::move(inputs)) {
+  TL_CHECK(!loops_.empty(), "TensorAlgebra needs at least one loop");
+  TL_CHECK(!inputs_.empty(), "TensorAlgebra needs at least one input");
+  for (const auto& l : loops_)
+    TL_CHECK(l.extent >= 1, "loop " + l.name + " has non-positive extent");
+  auto checkRef = [&](const TensorRef& r) {
+    TL_CHECK(r.access.loopCount() == loops_.size(),
+             "tensor " + r.tensor + ": access loop count mismatch in " + name_);
+  };
+  checkRef(output_);
+  for (const auto& in : inputs_) checkRef(in);
+}
+
+std::vector<const TensorRef*> TensorAlgebra::tensorsInLabelOrder() const {
+  std::vector<const TensorRef*> out;
+  out.reserve(inputs_.size() + 1);
+  for (const auto& in : inputs_) out.push_back(&in);
+  out.push_back(&output_);
+  return out;
+}
+
+std::size_t TensorAlgebra::loopIndex(const std::string& name) const {
+  for (std::size_t i = 0; i < loops_.size(); ++i)
+    if (loops_[i].name == name) return i;
+  fail("no loop named '" + name + "' in algebra " + name_);
+}
+
+linalg::IntVector TensorAlgebra::tensorShape(const TensorRef& ref) const {
+  const auto& c = ref.access.coeff();
+  linalg::IntVector shape(c.rows());
+  for (std::size_t d = 0; d < c.rows(); ++d) {
+    // Domain is a box at the origin, so the max of an affine form with
+    // non-negative coefficients is attained at extents-1. Negative
+    // coefficients contribute 0 at their max (iterator = 0).
+    std::int64_t hi = ref.access.offset()[d];
+    for (std::size_t j = 0; j < c.cols(); ++j) {
+      const std::int64_t a = c.at(d, j);
+      if (a > 0) hi += a * (loops_[j].extent - 1);
+    }
+    shape[d] = hi + 1;
+  }
+  return shape;
+}
+
+std::int64_t TensorAlgebra::totalMacs() const {
+  std::int64_t total = 1;
+  for (const auto& l : loops_) total = linalg::checkedMul(total, l.extent);
+  return total;
+}
+
+std::string TensorAlgebra::str() const {
+  std::ostringstream os;
+  os << name_ << ": ";
+  os << output_.tensor << " += ";
+  for (std::size_t i = 0; i < inputs_.size(); ++i)
+    os << (i ? " * " : "") << inputs_[i].tensor;
+  os << "  loops(";
+  for (std::size_t i = 0; i < loops_.size(); ++i)
+    os << (i ? "," : "") << loops_[i].name << "=" << loops_[i].extent;
+  os << ")";
+  return os.str();
+}
+
+}  // namespace tensorlib::tensor

@@ -1,0 +1,64 @@
+// Tensor algebra IR: a perfect loop nest computing
+//     output[f_out(x)] += product_k input_k[f_k(x)]
+// over an axis-aligned iteration domain. This is exactly the class of
+// programs TensorLib accepts (Section II of the paper): all Table-II
+// workloads — GEMM, Batched-GEMV, Conv2D, Depthwise-Conv, MTTKRP, TTMc —
+// are instances.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/access.hpp"
+
+namespace tensorlib::tensor {
+
+/// One loop iterator with extent `extent` (range [0, extent)).
+struct Iterator {
+  std::string name;
+  std::int64_t extent = 1;
+};
+
+/// A reference to a named tensor through an affine access function.
+struct TensorRef {
+  std::string tensor;
+  AffineAccess access;
+};
+
+/// A complete tensor algebra: loop nest + one output + >=1 inputs.
+class TensorAlgebra {
+ public:
+  TensorAlgebra(std::string name, std::vector<Iterator> loops,
+                TensorRef output, std::vector<TensorRef> inputs);
+
+  const std::string& name() const { return name_; }
+  const std::vector<Iterator>& loops() const { return loops_; }
+  const TensorRef& output() const { return output_; }
+  const std::vector<TensorRef>& inputs() const { return inputs_; }
+
+  std::size_t loopCount() const { return loops_.size(); }
+  /// inputs in formula order followed by the output (the order used by
+  /// dataflow labels such as "MNK-SST": A, B, ..., output).
+  std::vector<const TensorRef*> tensorsInLabelOrder() const;
+
+  /// Index of the loop with the given name; throws if absent.
+  std::size_t loopIndex(const std::string& name) const;
+
+  /// Extent (shape) of the referenced tensor implied by the loop bounds:
+  /// per dimension, max over the domain of (coeff*x + offset) + 1.
+  linalg::IntVector tensorShape(const TensorRef& ref) const;
+
+  /// Total number of multiply-accumulate operations (product of extents).
+  std::int64_t totalMacs() const;
+
+  std::string str() const;
+
+ private:
+  std::string name_;
+  std::vector<Iterator> loops_;
+  TensorRef output_;
+  std::vector<TensorRef> inputs_;
+};
+
+}  // namespace tensorlib::tensor

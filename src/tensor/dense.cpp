@@ -1,0 +1,41 @@
+#include "tensor/dense.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace tensorlib::tensor {
+
+DenseTensor::DenseTensor(linalg::IntVector shape) : shape_(std::move(shape)) {
+  std::int64_t total = 1;
+  strides_.assign(shape_.size(), 1);
+  for (std::size_t i = shape_.size(); i-- > 0;) {
+    TL_CHECK(shape_[i] >= 1, "DenseTensor: non-positive dimension");
+    strides_[i] = total;
+    total = linalg::checkedMul(total, shape_[i]);
+  }
+  data_.assign(static_cast<std::size_t>(total), 0.0);
+}
+
+std::size_t DenseTensor::flatten(const linalg::IntVector& index) const {
+  TL_CHECK(index.size() == shape_.size(), "DenseTensor: index rank mismatch");
+  std::int64_t flat = 0;
+  for (std::size_t i = 0; i < index.size(); ++i) {
+    TL_CHECK(index[i] >= 0 && index[i] < shape_[i],
+             "DenseTensor: index out of bounds");
+    flat += index[i] * strides_[i];
+  }
+  return static_cast<std::size_t>(flat);
+}
+
+double DenseTensor::maxAbsDiff(const DenseTensor& o) const {
+  TL_CHECK(sameShape(o), "maxAbsDiff: shape mismatch");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    worst = std::max(worst, std::fabs(data_[i] - o.data_[i]));
+  return worst;
+}
+
+void DenseTensor::fillZero() { data_.assign(data_.size(), 0.0); }
+
+}  // namespace tensorlib::tensor

@@ -1,0 +1,47 @@
+// Dense multi-dimensional tensor storage used by the reference executor and
+// the functional-verification paths of both simulators.
+//
+// Values are doubles holding small integers (exactly representable), which
+// lets INT16 and FP32 hardware paths share one reference implementation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace tensorlib::tensor {
+
+/// Row-major dense tensor of doubles.
+class DenseTensor {
+ public:
+  DenseTensor() = default;
+  explicit DenseTensor(linalg::IntVector shape);
+
+  const linalg::IntVector& shape() const { return shape_; }
+  std::size_t elementCount() const { return data_.size(); }
+
+  double& at(const linalg::IntVector& index) { return data_[flatten(index)]; }
+  double at(const linalg::IntVector& index) const { return data_[flatten(index)]; }
+
+  std::vector<double>& raw() { return data_; }
+  const std::vector<double>& raw() const { return data_; }
+
+  /// Linearizes a multi-index (bounds-checked).
+  std::size_t flatten(const linalg::IntVector& index) const;
+
+  bool sameShape(const DenseTensor& o) const { return shape_ == o.shape_; }
+
+  /// Max absolute element-wise difference; requires same shape.
+  double maxAbsDiff(const DenseTensor& o) const;
+
+  void fillZero();
+
+ private:
+  linalg::IntVector shape_;
+  linalg::IntVector strides_;
+  std::vector<double> data_;
+};
+
+}  // namespace tensorlib::tensor

@@ -1,0 +1,45 @@
+#include "tensor/reference.hpp"
+
+#include "support/error.hpp"
+
+namespace tensorlib::tensor {
+
+TensorEnv makeRandomInputs(const TensorAlgebra& algebra, std::uint64_t seed) {
+  Prng prng(seed);
+  TensorEnv env;
+  for (const auto& in : algebra.inputs()) {
+    if (env.count(in.tensor)) continue;  // same tensor referenced twice
+    DenseTensor t(algebra.tensorShape(in));
+    t.raw() = prng.smallIntVector(t.elementCount());
+    env.emplace(in.tensor, std::move(t));
+  }
+  return env;
+}
+
+DenseTensor referenceExecute(const TensorAlgebra& algebra, const TensorEnv& inputs) {
+  for (const auto& in : algebra.inputs())
+    TL_CHECK(inputs.count(in.tensor) != 0,
+             "referenceExecute: missing input tensor " + in.tensor);
+
+  DenseTensor out(algebra.tensorShape(algebra.output()));
+  const std::size_t n = algebra.loopCount();
+  linalg::IntVector x(n, 0);
+
+  // Odometer walk over the full iteration box.
+  while (true) {
+    double prod = 1.0;
+    for (const auto& in : algebra.inputs())
+      prod *= inputs.at(in.tensor).at(in.access.evaluate(x));
+    out.at(algebra.output().access.evaluate(x)) += prod;
+
+    std::size_t d = n;
+    while (d-- > 0) {
+      if (++x[d] < algebra.loops()[d].extent) break;
+      x[d] = 0;
+      if (d == 0) return out;
+    }
+    if (n == 0) return out;
+  }
+}
+
+}  // namespace tensorlib::tensor

@@ -1,0 +1,29 @@
+// Reference (software) executor for tensor algebras.
+//
+// Walks the full loop nest sequentially and performs
+//   out[f_out(x)] += prod_k in_k[f_k(x)]
+// This is the functional golden model every generated accelerator is
+// verified against (the role VCS + a software model plays in the paper).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "support/prng.hpp"
+#include "tensor/algebra.hpp"
+#include "tensor/dense.hpp"
+
+namespace tensorlib::tensor {
+
+/// Named tensor environment: inputs must be present before execution; the
+/// output is created (zero-initialized) if absent.
+using TensorEnv = std::map<std::string, DenseTensor>;
+
+/// Creates an environment with all input tensors filled with deterministic
+/// small integers (exact in double).
+TensorEnv makeRandomInputs(const TensorAlgebra& algebra, std::uint64_t seed = 1);
+
+/// Executes the algebra over its full domain; returns the output tensor.
+DenseTensor referenceExecute(const TensorAlgebra& algebra, const TensorEnv& inputs);
+
+}  // namespace tensorlib::tensor

@@ -1,0 +1,71 @@
+#include "tensor/workloads.hpp"
+
+namespace tensorlib::tensor::workloads {
+
+namespace {
+TensorRef ref(const std::string& name, std::size_t loopCount,
+              const std::vector<std::vector<std::size_t>>& dims) {
+  return TensorRef{name, accessFromTerms(loopCount, dims)};
+}
+}  // namespace
+
+TensorAlgebra gemm(std::int64_t m, std::int64_t n, std::int64_t k) {
+  // loops: m=0, n=1, k=2
+  return TensorAlgebra(
+      "GEMM", {{"m", m}, {"n", n}, {"k", k}},
+      /*output=*/ref("C", 3, {{0}, {1}}),
+      /*inputs=*/{ref("A", 3, {{0}, {2}}), ref("B", 3, {{1}, {2}})});
+}
+
+TensorAlgebra batchedGemv(std::int64_t m, std::int64_t n, std::int64_t k) {
+  // loops: m=0, n=1, k=2; A[m,k,n] has no reuse across (m,n,k).
+  return TensorAlgebra(
+      "Batched-GEMV", {{"m", m}, {"n", n}, {"k", k}},
+      ref("C", 3, {{0}, {1}}),
+      {ref("A", 3, {{0}, {2}, {1}}), ref("B", 3, {{0}, {2}})});
+}
+
+TensorAlgebra conv2d(std::int64_t k, std::int64_t c, std::int64_t y,
+                     std::int64_t x, std::int64_t p, std::int64_t q) {
+  // loops: k=0, c=1, y=2, x=3, p=4, q=5
+  return TensorAlgebra(
+      "Conv2D", {{"k", k}, {"c", c}, {"y", y}, {"x", x}, {"p", p}, {"q", q}},
+      ref("C", 6, {{0}, {2}, {3}}),
+      {ref("A", 6, {{1}, {2, 4}, {3, 5}}),   // A[c, y+p, x+q]
+       ref("B", 6, {{0}, {1}, {4}, {5}})});  // B[k, c, p, q]
+}
+
+TensorAlgebra depthwiseConv(std::int64_t k, std::int64_t y, std::int64_t x,
+                            std::int64_t p, std::int64_t q) {
+  // loops: k=0, y=1, x=2, p=3, q=4
+  return TensorAlgebra(
+      "Depthwise-Conv", {{"k", k}, {"y", y}, {"x", x}, {"p", p}, {"q", q}},
+      ref("C", 5, {{0}, {1}, {2}}),
+      {ref("A", 5, {{0}, {1, 3}, {2, 4}}),  // A[k, y+p, x+q]
+       ref("B", 5, {{0}, {3}, {4}})});      // B[k, p, q]
+}
+
+TensorAlgebra mttkrp(std::int64_t i, std::int64_t j, std::int64_t k,
+                     std::int64_t l) {
+  // loops: i=0, j=1, k=2, l=3
+  return TensorAlgebra(
+      "MTTKRP", {{"i", i}, {"j", j}, {"k", k}, {"l", l}},
+      ref("D", 4, {{0}, {1}}),
+      {ref("A", 4, {{0}, {2}, {3}}), ref("B", 4, {{2}, {1}}),
+       ref("C", 4, {{3}, {1}})});
+}
+
+TensorAlgebra ttmc(std::int64_t i, std::int64_t j, std::int64_t k,
+                   std::int64_t l, std::int64_t m) {
+  // loops: i=0, j=1, k=2, l=3, m=4
+  return TensorAlgebra(
+      "TTMc", {{"i", i}, {"j", j}, {"k", k}, {"l", l}, {"m", m}},
+      ref("D", 5, {{0}, {1}, {2}}),
+      {ref("A", 5, {{0}, {3}, {4}}), ref("B", 5, {{3}, {1}}),
+       ref("C", 5, {{4}, {2}})});
+}
+
+TensorAlgebra conv2dResNetLayer2() { return conv2d(64, 64, 56, 56, 3, 3); }
+TensorAlgebra conv2dResNetLayer5() { return conv2d(512, 512, 7, 7, 3, 3); }
+
+}  // namespace tensorlib::tensor::workloads

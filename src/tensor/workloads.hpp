@@ -1,0 +1,43 @@
+// The six tensor algebras evaluated by the paper (Table II):
+//
+//   GEMM            C[m,n]   += A[m,k]     * B[n,k]
+//   Batched-GEMV    C[m,n]   += A[m,k,n]   * B[m,k]
+//   Conv2D          C[k,y,x] += A[c,y+p,x+q] * B[k,c,p,q]
+//   Depthwise-Conv  C[k,y,x] += A[k,y+p,x+q] * B[k,p,q]
+//   MTTKRP          D[i,j]   += A[i,k,l]   * B[k,j] * C[l,j]
+//   TTMc            D[i,j,k] += A[i,l,m]   * B[l,j] * C[m,k]
+//
+// Each factory takes loop extents so tests can use tiny instances and
+// benches can use the paper's sizes (e.g. ResNet layers for Conv2D).
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/algebra.hpp"
+
+namespace tensorlib::tensor::workloads {
+
+TensorAlgebra gemm(std::int64_t m, std::int64_t n, std::int64_t k);
+
+TensorAlgebra batchedGemv(std::int64_t m, std::int64_t n, std::int64_t k);
+
+/// Conv2D with output channels k, input channels c, output map y*x and
+/// kernel p*q (input map is (y+p-1)*(x+q-1)).
+TensorAlgebra conv2d(std::int64_t k, std::int64_t c, std::int64_t y,
+                     std::int64_t x, std::int64_t p, std::int64_t q);
+
+TensorAlgebra depthwiseConv(std::int64_t k, std::int64_t y, std::int64_t x,
+                            std::int64_t p, std::int64_t q);
+
+TensorAlgebra mttkrp(std::int64_t i, std::int64_t j, std::int64_t k,
+                     std::int64_t l);
+
+TensorAlgebra ttmc(std::int64_t i, std::int64_t j, std::int64_t k,
+                   std::int64_t l, std::int64_t m);
+
+/// ResNet layer shapes used in Fig. 5(f)/(g): layer-2 (56x56 maps, 64ch) and
+/// layer-5 (7x7 maps, 512ch), both 3x3 kernels.
+TensorAlgebra conv2dResNetLayer2();
+TensorAlgebra conv2dResNetLayer5();
+
+}  // namespace tensorlib::tensor::workloads

@@ -1,0 +1,61 @@
+// Baseline capability-model tests: the generality claims of Section VI-C.
+#include "baselines/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stt/enumerate.hpp"
+#include "tensor/workloads.hpp"
+
+namespace tensorlib::baselines {
+namespace {
+
+namespace wl = tensor::workloads;
+
+TEST(Baselines, ReportedTableThreeRows) {
+  const auto rows = reportedBaselineMetrics();
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].generator, "Susy");
+  EXPECT_EQ(rows[2].generator, "PolySA");
+  EXPECT_DOUBLE_EQ(rows[2].gops, 555.0);
+  EXPECT_DOUBLE_EQ(rows[0].frequencyMHz, 202.0);
+}
+
+TEST(Baselines, SystolicOnlySupportsSystolicGemm) {
+  const auto g = wl::gemm(16, 16, 16);
+  const auto p = polysa();
+  EXPECT_TRUE(p.supportsDataflow(*stt::findDataflowByLabel(g, "MNK-SST")));
+  EXPECT_TRUE(p.supportsDataflow(*stt::findDataflowByLabel(g, "MNK-STS")));
+  EXPECT_FALSE(p.supportsDataflow(*stt::findDataflowByLabel(g, "MNK-MMT")));
+  EXPECT_FALSE(p.supportsDataflow(*stt::findDataflowByLabel(g, "MNK-SSM")));
+}
+
+TEST(Baselines, UnicastAndRank2OutOfScope) {
+  const auto bg = wl::batchedGemv(8, 8, 8);
+  EXPECT_FALSE(susy().supportsDataflow(*stt::findDataflowByLabel(bg, "MNK-USS")));
+  const auto tt = wl::ttmc(8, 8, 8, 8, 8);
+  EXPECT_FALSE(
+      susy().supportsDataflow(*stt::findDataflowByLabel(tt, "IJK-BBBU")));
+}
+
+TEST(Baselines, AlgebraSupportMatchesPaperClaims) {
+  const auto p = polysa();
+  EXPECT_TRUE(p.supportsAlgebra(wl::gemm(8, 8, 8)));
+  EXPECT_TRUE(p.supportsAlgebra(wl::conv2d(8, 8, 8, 8, 3, 3)));
+  // "they fail to generate hardware for algorithms that don't fit well in
+  // systolic architecture, such as Depthwise convolution"
+  EXPECT_FALSE(p.supportsAlgebra(wl::depthwiseConv(8, 8, 8, 3, 3)));
+  EXPECT_FALSE(p.supportsAlgebra(wl::mttkrp(8, 8, 8, 8)));
+  EXPECT_FALSE(p.supportsAlgebra(wl::ttmc(8, 8, 8, 8, 8)));
+}
+
+TEST(Baselines, TensorLibCoversStrictlyMoreDataflows) {
+  const auto g = wl::gemm(16, 16, 16);
+  const auto specs = stt::enumerateTransforms(g, stt::LoopSelection(g, {0, 1, 2}));
+  const std::size_t baselineCount = polysa().coverageOf(specs);
+  EXPECT_GT(baselineCount, 0u);
+  EXPECT_LT(baselineCount, specs.size() / 2)
+      << "systolic-only generators cover a small corner of the space";
+}
+
+}  // namespace
+}  // namespace tensorlib::baselines

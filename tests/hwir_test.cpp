@@ -1,0 +1,332 @@
+// Tests for the hardware IR: netlist construction, validation, the RTL
+// cycle simulator, and the Verilog backend.
+#include <gtest/gtest.h>
+
+#include "hwir/rtlsim.hpp"
+#include "hwir/verilog.hpp"
+#include "support/error.hpp"
+
+namespace tensorlib::hwir {
+namespace {
+
+TEST(Netlist, BuildAndValidate) {
+  Netlist n("t");
+  const NodeId a = n.input("a", 16);
+  const NodeId b = n.input("b", 16);
+  const NodeId s = n.add(a, b, "sum");
+  n.output("y", s);
+  EXPECT_EQ(n.validate().size(), 4u);
+  EXPECT_EQ(n.inputs().size(), 2u);
+  EXPECT_EQ(n.outputs().size(), 1u);
+}
+
+TEST(Netlist, DuplicatePortNameThrows) {
+  Netlist n("t");
+  n.input("a", 8);
+  EXPECT_THROW(n.input("a", 8), Error);
+}
+
+TEST(Netlist, UnconnectedRegThrows) {
+  Netlist n("t");
+  n.reg(8, DataKind::Bits, 0, "r");
+  EXPECT_THROW(n.validate(), Error);
+}
+
+TEST(Netlist, RegFeedbackIsLegal) {
+  // Accumulator: reg feeds its own adder. Not a combinational cycle.
+  Netlist n("t");
+  const NodeId x = n.input("x", 16);
+  const NodeId acc = n.reg(16, DataKind::Bits, 0, "acc");
+  n.connectRegInput(acc, n.add(acc, x));
+  n.output("y", acc);
+  EXPECT_NO_THROW(n.validate());
+}
+
+TEST(Netlist, TopologicalOrderRespectsDependencies) {
+  // Combinational cycles are unconstructible through the builder (every
+  // arg must already exist; only register D-inputs may point forward), so
+  // validate()'s order must place each combinational node after its args.
+  Netlist n("t");
+  const NodeId a = n.input("a", 8);
+  const NodeId acc = n.reg(8, DataKind::Bits, 0, "acc");
+  const NodeId sum = n.add(acc, a);
+  n.connectRegInput(acc, sum);  // legal feedback through the register
+  n.output("y", sum);
+  const auto order = n.validate();
+  std::vector<std::size_t> position(n.size());
+  for (std::size_t i = 0; i < order.size(); ++i) position[order[i]] = i;
+  for (NodeId id = 0; id < n.size(); ++id) {
+    const Node& node = n.node(id);
+    if (isSource(node.op)) continue;
+    for (NodeId arg : node.args)
+      EXPECT_LT(position[arg], position[id]) << "node " << id;
+  }
+}
+
+TEST(Netlist, RegBitsAndOpCounts) {
+  Netlist n("t");
+  const NodeId x = n.input("x", 16);
+  const NodeId r = n.reg(16, DataKind::Bits, 0, "r");
+  n.connectRegInput(r, x);
+  n.pipeline(x, 3, "p");
+  const auto counts = n.opCounts();
+  EXPECT_EQ(counts.at(Op::Reg), 4);
+  EXPECT_EQ(n.regBits(), 64);
+}
+
+TEST(Netlist, AdderTreeCounts) {
+  Netlist n("t");
+  std::vector<NodeId> leaves;
+  for (int i = 0; i < 8; ++i) leaves.push_back(n.input("x" + std::to_string(i), 16));
+  n.output("y", n.adderTree(leaves, "tree"));
+  EXPECT_EQ(n.opCounts().at(Op::Add), 7);  // 8 leaves -> 7 adders
+}
+
+TEST(RtlSim, CombinationalAdd) {
+  Netlist n("t");
+  const NodeId a = n.input("a", 16);
+  const NodeId b = n.input("b", 16);
+  n.output("y", n.add(a, b));
+  RtlSimulator sim(n);
+  sim.poke("a", 7);
+  sim.poke("b", 5);
+  sim.evaluate();
+  EXPECT_EQ(sim.peekOutput("y"), 12u);
+}
+
+TEST(RtlSim, TwoComplementWraps) {
+  Netlist n("t");
+  const NodeId a = n.input("a", 16);
+  const NodeId b = n.input("b", 16);
+  n.output("y", n.mul(a, b));
+  RtlSimulator sim(n);
+  sim.poke("a", RtlSimulator::encodeInt(-3, 16));
+  sim.poke("b", RtlSimulator::encodeInt(5, 16));
+  sim.evaluate();
+  EXPECT_EQ(RtlSimulator::decodeInt(sim.peekOutput("y"), 16), -15);
+}
+
+TEST(RtlSim, RegisterDelaysOneCycle) {
+  Netlist n("t");
+  const NodeId a = n.input("a", 8);
+  const NodeId r = n.reg(8, DataKind::Bits, 42, "r");
+  n.connectRegInput(r, a);
+  n.output("y", r);
+  RtlSimulator sim(n);
+  sim.poke("a", 7);
+  sim.evaluate();
+  EXPECT_EQ(sim.peekOutput("y"), 42u);  // init value before first edge
+  sim.step();
+  sim.evaluate();
+  EXPECT_EQ(sim.peekOutput("y"), 7u);
+}
+
+TEST(RtlSim, EnabledRegisterHolds) {
+  Netlist n("t");
+  const NodeId a = n.input("a", 8);
+  const NodeId en = n.input("en", 1);
+  const NodeId r = n.reg(8, DataKind::Bits, 0, "r");
+  n.connectRegInput(r, a);
+  n.connectRegEnable(r, en);
+  n.output("y", r);
+  RtlSimulator sim(n);
+  sim.poke("a", 9);
+  sim.poke("en", 0);
+  sim.evaluate();
+  sim.step();
+  sim.evaluate();
+  EXPECT_EQ(sim.peekOutput("y"), 0u);  // held
+  sim.poke("en", 1);
+  sim.evaluate();
+  sim.step();
+  sim.evaluate();
+  EXPECT_EQ(sim.peekOutput("y"), 9u);
+}
+
+TEST(RtlSim, AccumulatorSumsAStream) {
+  Netlist n("t");
+  const NodeId x = n.input("x", 32);
+  const NodeId acc = n.reg(32, DataKind::Bits, 0, "acc");
+  n.connectRegInput(acc, n.add(acc, x));
+  n.output("y", acc);
+  RtlSimulator sim(n);
+  for (int i = 1; i <= 10; ++i) {
+    sim.poke("x", static_cast<std::uint64_t>(i));
+    sim.evaluate();
+    sim.step();
+  }
+  sim.evaluate();
+  EXPECT_EQ(sim.peekOutput("y"), 55u);
+}
+
+TEST(RtlSim, Float32Mac) {
+  Netlist n("t");
+  const NodeId a = n.input("a", 32, DataKind::Float32);
+  const NodeId b = n.input("b", 32, DataKind::Float32);
+  const NodeId acc = n.reg(32, DataKind::Float32, 0, "acc");
+  n.connectRegInput(acc, n.add(acc, n.mul(a, b)));
+  n.output("y", acc);
+  RtlSimulator sim(n);
+  sim.poke("a", RtlSimulator::encodeFloat(1.5f));
+  sim.poke("b", RtlSimulator::encodeFloat(-2.0f));
+  sim.evaluate();
+  sim.step();
+  sim.evaluate();
+  EXPECT_FLOAT_EQ(RtlSimulator::decodeFloat(sim.peekOutput("y")), -3.0f);
+}
+
+TEST(RtlSim, MuxAndComparators) {
+  Netlist n("t");
+  const NodeId a = n.input("a", 8);
+  const NodeId b = n.input("b", 8);
+  n.output("min", n.mux(n.lt(a, b), a, b));
+  n.output("same", n.eq(a, b));
+  RtlSimulator sim(n);
+  sim.poke("a", 3);
+  sim.poke("b", 9);
+  sim.evaluate();
+  EXPECT_EQ(sim.peekOutput("min"), 3u);
+  EXPECT_EQ(sim.peekOutput("same"), 0u);
+}
+
+TEST(RtlSim, PipelineDepth) {
+  Netlist n("t");
+  const NodeId a = n.input("a", 8);
+  n.output("y", n.pipeline(a, 3, "p"));
+  RtlSimulator sim(n);
+  sim.poke("a", 5);
+  sim.evaluate();
+  sim.step();
+  sim.clearInputs();
+  for (int i = 0; i < 2; ++i) {
+    sim.evaluate();
+    sim.step();
+  }
+  sim.evaluate();
+  EXPECT_EQ(sim.peekOutput("y"), 5u);  // emerges after exactly 3 cycles
+}
+
+TEST(RtlSim, PokeNonInputThrows) {
+  Netlist n("t");
+  const NodeId a = n.input("a", 8);
+  const NodeId s = n.add(a, a);
+  n.output("y", s);
+  RtlSimulator sim(n);
+  EXPECT_THROW(sim.poke(s, 1), Error);
+  EXPECT_THROW(sim.poke("nope", 1), Error);
+}
+
+TEST(RtlSim, PeekBeforeEvaluateThrows) {
+  Netlist n("t");
+  const NodeId a = n.input("a", 8);
+  n.output("y", a);
+  RtlSimulator sim(n);
+  EXPECT_THROW(sim.peekOutput("y"), Error);
+  sim.evaluate();
+  EXPECT_NO_THROW(sim.peekOutput("y"));
+  sim.step();
+  EXPECT_THROW(sim.peekOutput("y"), Error);  // stale after the edge
+}
+
+TEST(RtlSim, StepWithoutEvaluateThrows) {
+  Netlist n("t");
+  const NodeId a = n.input("a", 8);
+  n.output("y", a);
+  RtlSimulator sim(n);
+  EXPECT_THROW(sim.step(), Error);
+}
+
+TEST(RtlSim, IntEncodeDecodeRoundTrip) {
+  for (int width : {8, 16, 32}) {
+    for (std::int64_t v : {-128ll, -1ll, 0ll, 1ll, 127ll}) {
+      const auto bits = RtlSimulator::encodeInt(v, width);
+      EXPECT_EQ(RtlSimulator::decodeInt(bits, width), v) << width << " " << v;
+    }
+  }
+}
+
+TEST(RtlSim, WidthMaskingWraps) {
+  Netlist n("t");
+  const NodeId a = n.input("a", 8);
+  const NodeId b = n.input("b", 8);
+  n.output("y", n.add(a, b));
+  RtlSimulator sim(n);
+  sim.poke("a", 200);
+  sim.poke("b", 100);
+  sim.evaluate();
+  EXPECT_EQ(sim.peekOutput("y"), (200u + 100u) & 0xff);
+}
+
+TEST(Verilog, EmitsModuleWithPorts) {
+  Netlist n("top");
+  const NodeId a = n.input("a", 16);
+  const NodeId r = n.reg(16, DataKind::Bits, 0, "pe_0_0/r");
+  n.connectRegInput(r, a);
+  n.output("y", r);
+  const std::string v = emitVerilog(n);
+  EXPECT_NE(v.find("module top ("), std::string::npos);
+  EXPECT_NE(v.find("input [15:0] a"), std::string::npos);
+  EXPECT_NE(v.find("output [15:0] y"), std::string::npos);
+  EXPECT_NE(v.find("always @(posedge clk)"), std::string::npos);
+  EXPECT_NE(v.find("pe_0_0_r"), std::string::npos);  // legalized name
+}
+
+TEST(Verilog, Fp32UsesBlackboxes) {
+  Netlist n("top");
+  const NodeId a = n.input("a", 32, DataKind::Float32);
+  const NodeId b = n.input("b", 32, DataKind::Float32);
+  n.output("y", n.mul(a, b));
+  const std::string v = emitVerilog(n);
+  EXPECT_NE(v.find("fp32_mul"), std::string::npos);
+}
+
+TEST(Verilog, CoversEveryCombinationalOp) {
+  Netlist n("ops");
+  const NodeId a = n.input("a", 8);
+  const NodeId b = n.input("b", 8);
+  n.output("o_add", n.add(a, b));
+  n.output("o_sub", n.sub(a, b));
+  n.output("o_mul", n.mul(a, b));
+  n.output("o_mux", n.mux(n.eq(a, b), a, b));
+  n.output("o_lt", n.lt(a, b));
+  n.output("o_and", n.logicalAnd(a, b));
+  n.output("o_or", n.logicalOr(a, b));
+  n.output("o_not", n.logicalNot(a));
+  n.output("o_const", n.constant(42, 8));
+  const std::string v = emitVerilog(n);
+  for (const char* frag : {" + ", " - ", " * ", " ? ", " < ", " & ", " | ",
+                           "= ~", "8'd42", "=="})
+    EXPECT_NE(v.find(frag), std::string::npos) << frag;
+}
+
+TEST(Verilog, NamesAreLegalizedAndUnique) {
+  Netlist n("t");
+  const NodeId a = n.input("data_in", 8);
+  const NodeId r1 = n.reg(8, DataKind::Bits, 0, "pe/0/weird name!");
+  const NodeId r2 = n.reg(8, DataKind::Bits, 0, "pe/0/weird name!");
+  n.connectRegInput(r1, a);
+  n.connectRegInput(r2, a);
+  n.output("q1", r1);
+  n.output("q2", r2);
+  const std::string v = emitVerilog(n);
+  // Same user name, distinct emitted identifiers (id suffix).
+  EXPECT_NE(v.find("pe_0_weird_name__" + std::to_string(r1)),
+            std::string::npos);
+  EXPECT_NE(v.find("pe_0_weird_name__" + std::to_string(r2)),
+            std::string::npos);
+}
+
+TEST(Verilog, EnabledRegisterEmitsConditional) {
+  Netlist n("top");
+  const NodeId a = n.input("a", 8);
+  const NodeId en = n.input("en", 1);
+  const NodeId r = n.reg(8, DataKind::Bits, 0, "r");
+  n.connectRegInput(r, a);
+  n.connectRegEnable(r, en);
+  n.output("y", r);
+  const std::string v = emitVerilog(n);
+  EXPECT_NE(v.find("? (a) :"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tensorlib::hwir

@@ -1,0 +1,123 @@
+// Unit tests for exact rational arithmetic.
+#include "linalg/rational.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace tensorlib::linalg {
+namespace {
+
+TEST(Rational, DefaultIsZero) {
+  Rational r;
+  EXPECT_TRUE(r.isZero());
+  EXPECT_EQ(r.num(), 0);
+  EXPECT_EQ(r.den(), 1);
+}
+
+TEST(Rational, NormalizesOnConstruction) {
+  Rational r(6, 4);
+  EXPECT_EQ(r.num(), 3);
+  EXPECT_EQ(r.den(), 2);
+}
+
+TEST(Rational, NormalizesNegativeDenominator) {
+  Rational r(3, -6);
+  EXPECT_EQ(r.num(), -1);
+  EXPECT_EQ(r.den(), 2);
+}
+
+TEST(Rational, ZeroDenominatorThrows) {
+  EXPECT_THROW(Rational(1, 0), Error);
+}
+
+TEST(Rational, Addition) {
+  EXPECT_EQ(Rational(1, 2) + Rational(1, 3), Rational(5, 6));
+  EXPECT_EQ(Rational(1, 2) + Rational(-1, 2), Rational(0));
+}
+
+TEST(Rational, Subtraction) {
+  EXPECT_EQ(Rational(1, 2) - Rational(1, 3), Rational(1, 6));
+}
+
+TEST(Rational, Multiplication) {
+  EXPECT_EQ(Rational(2, 3) * Rational(3, 4), Rational(1, 2));
+}
+
+TEST(Rational, Division) {
+  EXPECT_EQ(Rational(1, 2) / Rational(1, 4), Rational(2));
+  EXPECT_THROW(Rational(1) / Rational(0), Error);
+}
+
+TEST(Rational, Comparison) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_GT(Rational(-1, 3), Rational(-1, 2));
+  EXPECT_LE(Rational(1, 2), Rational(1, 2));
+}
+
+TEST(Rational, SignAndAbs) {
+  EXPECT_EQ(Rational(-3, 2).sign(), -1);
+  EXPECT_EQ(Rational(0).sign(), 0);
+  EXPECT_EQ(Rational(5).sign(), 1);
+  EXPECT_EQ(Rational(-3, 2).abs(), Rational(3, 2));
+}
+
+TEST(Rational, Reciprocal) {
+  EXPECT_EQ(Rational(3, 4).reciprocal(), Rational(4, 3));
+  EXPECT_EQ(Rational(-2).reciprocal(), Rational(-1, 2));
+  EXPECT_THROW(Rational(0).reciprocal(), Error);
+}
+
+TEST(Rational, ToInteger) {
+  EXPECT_EQ(Rational(6, 3).toInteger(), 2);
+  EXPECT_THROW(Rational(1, 2).toInteger(), Error);
+}
+
+TEST(Rational, Str) {
+  EXPECT_EQ(Rational(3, 2).str(), "3/2");
+  EXPECT_EQ(Rational(-4).str(), "-4");
+}
+
+TEST(Gcd, Basics) {
+  EXPECT_EQ(gcd64(12, 18), 6);
+  EXPECT_EQ(gcd64(-12, 18), 6);
+  EXPECT_EQ(gcd64(0, 5), 5);
+  EXPECT_EQ(gcd64(0, 0), 0);
+}
+
+TEST(Lcm, Basics) {
+  EXPECT_EQ(lcm64(4, 6), 12);
+  EXPECT_EQ(lcm64(0, 6), 0);
+}
+
+TEST(CheckedArith, OverflowThrows) {
+  EXPECT_THROW(checkedMul(INT64_MAX, 2), Error);
+  EXPECT_THROW(checkedAdd(INT64_MAX, 1), Error);
+  EXPECT_EQ(checkedMul(1000, 1000), 1000000);
+}
+
+// Property sweep: field axioms on a grid of small rationals.
+class RationalFieldTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RationalFieldTest, AdditionCommutesAndAssociates) {
+  const auto [a, b] = GetParam();
+  const Rational x(a, 7), y(b, 5), z(a + b, 3);
+  EXPECT_EQ(x + y, y + x);
+  EXPECT_EQ((x + y) + z, x + (y + z));
+  EXPECT_EQ(x * (y + z), x * y + x * z);
+}
+
+TEST_P(RationalFieldTest, MultiplicativeInverseRoundTrip) {
+  const auto [a, b] = GetParam();
+  if (a == 0) GTEST_SKIP();
+  const Rational x(a, b == 0 ? 1 : b);
+  EXPECT_EQ(x * x.reciprocal(), Rational(1));
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallValues, RationalFieldTest,
+                         ::testing::Combine(::testing::Range(-3, 4),
+                                            ::testing::Range(-3, 4)));
+
+}  // namespace
+}  // namespace tensorlib::linalg

@@ -1,0 +1,178 @@
+// Cross-cutting property sweeps over the enumerated design spaces of every
+// Table-II workload: the invariants that make the generator trustworthy.
+//
+//  P1  mapping conserves work: sum of tile MACs x outer iterations equals
+//      the algebra's total MAC count, and tile footprints fit the array.
+//  P2  trace consistency: active points = tile volume, one MAC per
+//      (PE, cycle), demand profile conserves words.
+//  P3  letters round-trip: findDataflow(letters) realizes the same letters.
+//  P4  behavioral functional correctness on a small instance.
+//  P5  RTL functional correctness for netlist-generable designs.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "arch/testbench.hpp"
+#include "sim/dfsim.hpp"
+#include "stt/enumerate.hpp"
+#include "tensor/workloads.hpp"
+
+namespace tensorlib {
+namespace {
+
+namespace wl = tensor::workloads;
+
+struct SweepCase {
+  const char* name;
+  tensor::TensorAlgebra algebra;       ///< small instance for simulation
+  std::size_t maxSpecs;                ///< cap per selection for runtime
+};
+
+std::vector<SweepCase> sweepCases() {
+  return {
+      {"gemm", wl::gemm(5, 5, 5), 40},
+      {"batched-gemv", wl::batchedGemv(5, 5, 5), 40},
+      {"conv2d", wl::conv2d(4, 4, 4, 4, 2, 2), 12},
+      {"depthwise", wl::depthwiseConv(4, 4, 4, 2, 2), 12},
+      {"mttkrp", wl::mttkrp(4, 4, 4, 4), 12},
+      {"ttmc", wl::ttmc(3, 3, 3, 3, 3), 12},
+  };
+}
+
+class WorkloadSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WorkloadSweepTest, MappingConservesWorkAndFits) {
+  const SweepCase c = sweepCases()[static_cast<std::size_t>(GetParam())];
+  stt::ArrayConfig cfg;
+  cfg.rows = cfg.cols = 4;
+  for (const auto& sel : stt::allLoopSelections(c.algebra)) {
+    const auto specs = stt::enumerateTransforms(c.algebra, sel);
+    for (std::size_t i = 0; i < std::min(c.maxSpecs, specs.size()); ++i) {
+      const auto mapping = stt::computeMapping(specs[i], cfg);
+      EXPECT_EQ(mapping.totalMacs(), c.algebra.totalMacs())
+          << c.name << " " << specs[i].describe();
+      EXPECT_LE(mapping.spatialRowsUsed, cfg.rows) << specs[i].describe();
+      EXPECT_LE(mapping.spatialColsUsed, cfg.cols) << specs[i].describe();
+      EXPECT_GE(mapping.replication, 1) << specs[i].describe();
+    }
+  }
+}
+
+TEST_P(WorkloadSweepTest, TraceInvariantsHold) {
+  const SweepCase c = sweepCases()[static_cast<std::size_t>(GetParam())];
+  stt::ArrayConfig cfg;
+  cfg.rows = cfg.cols = 4;
+  for (const auto& sel : stt::allLoopSelections(c.algebra)) {
+    const auto specs = stt::enumerateTransforms(c.algebra, sel);
+    for (std::size_t i = 0; i < std::min<std::size_t>(8, specs.size()); ++i) {
+      const auto mapping = stt::computeMapping(specs[i], cfg);
+      const auto trace = sim::buildTileTrace(specs[i], mapping.fullTile);
+      // P2a: volume
+      EXPECT_EQ(static_cast<std::int64_t>(trace.active.size()),
+                mapping.fullTile[0] * mapping.fullTile[1] * mapping.fullTile[2])
+          << specs[i].describe();
+      // P2b: injectivity
+      std::set<std::tuple<std::int64_t, std::int64_t, std::int64_t>> seen;
+      for (const auto& ap : trace.active)
+        EXPECT_TRUE(seen.insert({ap.p1, ap.p2, ap.t}).second)
+            << specs[i].describe();
+      // P2c: demand conservation
+      std::int64_t demand = 0;
+      for (auto d : trace.demandPerCycle) demand += d;
+      EXPECT_EQ(demand, trace.totalWords()) << specs[i].describe();
+      // P2d: every cycle within span
+      for (const auto& inj : trace.injections) {
+        EXPECT_GE(inj.cycle, 0) << specs[i].describe();
+        EXPECT_LT(inj.cycle, trace.cycles) << specs[i].describe();
+      }
+    }
+  }
+}
+
+TEST_P(WorkloadSweepTest, LettersRoundTrip) {
+  const SweepCase c = sweepCases()[static_cast<std::size_t>(GetParam())];
+  const auto sels = stt::allLoopSelections(c.algebra);
+  const auto specs = stt::enumerateTransforms(c.algebra, sels.front());
+  std::set<std::string> letterSets;
+  for (const auto& s : specs) letterSets.insert(s.letters());
+  for (const auto& letters : letterSets) {
+    const auto found = stt::findDataflow(c.algebra, sels.front(), letters);
+    ASSERT_TRUE(found.has_value()) << c.name << " " << letters;
+    EXPECT_EQ(found->letters(), letters);
+  }
+}
+
+TEST_P(WorkloadSweepTest, BehavioralFunctionalCorrectness) {
+  const SweepCase c = sweepCases()[static_cast<std::size_t>(GetParam())];
+  stt::ArrayConfig cfg;
+  cfg.rows = cfg.cols = 4;
+  const auto env = tensor::makeRandomInputs(c.algebra, 97);
+  const auto golden = tensor::referenceExecute(c.algebra, env);
+  const auto sels = stt::allLoopSelections(c.algebra);
+  // Sweep the first selection fully and one spec from each other selection.
+  std::vector<stt::DataflowSpec> specs =
+      stt::enumerateTransforms(c.algebra, sels.front());
+  if (specs.size() > c.maxSpecs)
+    specs.erase(specs.begin() + static_cast<std::ptrdiff_t>(c.maxSpecs),
+                specs.end());
+  for (std::size_t s = 1; s < sels.size(); ++s) {
+    auto extra = stt::enumerateTransforms(c.algebra, sels[s]);
+    if (!extra.empty()) specs.push_back(std::move(extra.front()));
+  }
+  for (const auto& spec : specs) {
+    const auto result = sim::simulate(spec, cfg, &env);
+    EXPECT_EQ(result.output.maxAbsDiff(golden), 0.0)
+        << c.name << " " << spec.describe();
+  }
+}
+
+TEST_P(WorkloadSweepTest, RtlFunctionalCorrectnessWhereGenerable) {
+  const SweepCase c = sweepCases()[static_cast<std::size_t>(GetParam())];
+  stt::ArrayConfig cfg;
+  cfg.rows = cfg.cols = 4;
+  const auto env = tensor::makeRandomInputs(c.algebra, 101);
+  const auto sels = stt::allLoopSelections(c.algebra);
+  std::size_t generated = 0;
+  for (const auto& sel : sels) {
+    const auto specs = stt::enumerateTransforms(c.algebra, sel);
+    for (std::size_t i = 0; i < std::min<std::size_t>(6, specs.size()); ++i) {
+      if (specs[i].outputRole().dataflow.reuseRank > 1) continue;
+      const auto acc = arch::generateAccelerator(specs[i], cfg);
+      const auto run = arch::runAcceleratorTile(acc, env);
+      EXPECT_TRUE(run.matches()) << c.name << " " << specs[i].describe();
+      ++generated;
+    }
+  }
+  EXPECT_GT(generated, 0u) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadSweepTest, ::testing::Range(0, 6));
+
+// Traffic-signature property: per-tensor traffic reported by the simulator
+// matches the dataflow class expectation on GEMM.
+TEST(TrafficSignature, MatchesDataflowClasses) {
+  const auto g = wl::gemm(8, 8, 8);
+  stt::ArrayConfig cfg;
+  cfg.rows = cfg.cols = 8;
+  sim::SimOptions opts;
+  opts.functional = false;
+
+  // Systolic/multicast input: one word per element = 64 per input tensor.
+  for (const char* label : {"MNK-SST", "MNK-MMT"}) {
+    const auto spec = *stt::findDataflowByLabel(g, label);
+    const auto r = sim::simulate(spec, cfg, nullptr, opts);
+    EXPECT_EQ(r.tensorTrafficWords[0], 64) << label;
+    EXPECT_EQ(r.tensorTrafficWords[1], 64) << label;
+    EXPECT_EQ(r.tensorTrafficWords[2], 64) << label;  // output writes
+    EXPECT_GT(r.peakDemandWords, 0) << label;
+  }
+
+  // Unicast input: one word per MAC = 512.
+  const auto bg = wl::batchedGemv(8, 8, 8);
+  const auto uspec = *stt::findDataflowByLabel(bg, "MNK-UMM");
+  const auto ur = sim::simulate(uspec, cfg, nullptr, opts);
+  EXPECT_EQ(ur.tensorTrafficWords[0], 512);
+}
+
+}  // namespace
+}  // namespace tensorlib

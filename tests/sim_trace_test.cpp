@@ -1,0 +1,228 @@
+// Tests of the tile-trace builder: active-point mapping, injection counts
+// per movement rule, demand profiles and output events.
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "stt/enumerate.hpp"
+#include "tensor/workloads.hpp"
+
+namespace tensorlib::sim {
+namespace {
+
+namespace wl = tensor::workloads;
+
+stt::DataflowSpec gemmSpec(const std::string& label, std::int64_t s) {
+  const auto g = wl::gemm(s, s, s);
+  auto spec = stt::findDataflowByLabel(g, label);
+  EXPECT_TRUE(spec.has_value()) << label;
+  return *spec;
+}
+
+TEST(Trace, ActivePointCountEqualsTileVolume) {
+  const auto spec = gemmSpec("MNK-SST", 4);
+  const auto trace = buildTileTrace(spec, {4, 4, 4});
+  EXPECT_EQ(trace.active.size(), 64u);
+  EXPECT_EQ(trace.cycles, 10);
+  EXPECT_EQ(trace.p1Span, 4);
+  EXPECT_EQ(trace.p2Span, 4);
+}
+
+TEST(Trace, NoTwoMacsShareAPeCycle) {
+  for (const char* label : {"MNK-SST", "MNK-MMT", "MNK-STS", "MNK-MTM"}) {
+    const auto spec = gemmSpec(label, 4);
+    const auto trace = buildTileTrace(spec, {4, 4, 4});
+    std::set<std::tuple<std::int64_t, std::int64_t, std::int64_t>> seen;
+    for (const auto& ap : trace.active)
+      EXPECT_TRUE(seen.insert({ap.p1, ap.p2, ap.t}).second) << label;
+  }
+}
+
+TEST(Trace, SystolicInjectsOncePerElement) {
+  // SST: A and B both systolic; every element enters the array exactly once
+  // and then hops between PEs.
+  const auto spec = gemmSpec("MNK-SST", 4);
+  const auto trace = buildTileTrace(spec, {4, 4, 4});
+  EXPECT_EQ(trace.injectionWords[0], 16);  // A[m,k]: 4x4 elements
+  EXPECT_EQ(trace.injectionWords[1], 16);  // B[n,k]
+  EXPECT_EQ(trace.injectionWords[2], 16);  // C: one write per element
+}
+
+TEST(Trace, MulticastInjectsOneBusWordPerElement) {
+  const auto spec = gemmSpec("MNK-MMT", 4);
+  const auto trace = buildTileTrace(spec, {4, 4, 4});
+  EXPECT_EQ(trace.injectionWords[0], 16);
+  EXPECT_EQ(trace.injectionWords[1], 16);
+  for (const auto& inj : trace.injections) EXPECT_TRUE(inj.viaBus);
+}
+
+TEST(Trace, UnicastInjectsEveryUse) {
+  // Batched-GEMV A is unicast: every MAC needs its own word.
+  const auto bg = wl::batchedGemv(4, 4, 4);
+  const auto spec = stt::findDataflowByLabel(bg, "MNK-UMM");
+  ASSERT_TRUE(spec.has_value());
+  const auto trace = buildTileTrace(*spec, {4, 4, 4});
+  EXPECT_EQ(trace.injectionWords[0], 64);  // A: volume, no reuse
+}
+
+TEST(Trace, StationaryInjectsOncePerElement) {
+  const auto spec = gemmSpec("MNK-MST", 4);  // C stationary? M,S,T: B=S, C=T
+  const auto trace = buildTileTrace(spec, {4, 4, 4});
+  // B systolic: 16; A multicast: 16; C stationary output: 16 writes.
+  EXPECT_EQ(trace.totalWords(), 48);
+}
+
+TEST(Trace, InjectionCyclesAreWithinSpan) {
+  const auto spec = gemmSpec("MNK-SST", 4);
+  const auto trace = buildTileTrace(spec, {4, 4, 4});
+  for (const auto& inj : trace.injections) {
+    EXPECT_GE(inj.cycle, 0);
+    EXPECT_LT(inj.cycle, trace.cycles);
+    EXPECT_GE(inj.p1, 0);
+    EXPECT_LT(inj.p1, trace.p1Span);
+  }
+}
+
+TEST(Trace, DemandProfileConservesWords) {
+  for (const char* label : {"MNK-SST", "MNK-MMT", "MNK-TSS"}) {
+    const auto spec = gemmSpec(label, 4);
+    const auto trace = buildTileTrace(spec, {4, 4, 4});
+    std::int64_t sum = 0;
+    for (auto d : trace.demandPerCycle) sum += d;
+    EXPECT_EQ(sum, trace.totalWords()) << label;
+    EXPECT_GE(trace.peakDemand(), 1) << label;
+  }
+}
+
+TEST(Trace, OutputEventsOnePerElement) {
+  const auto spec = gemmSpec("MNK-SST", 4);
+  const auto trace = buildTileTrace(spec, {4, 4, 4});
+  EXPECT_EQ(trace.outputs.size(), 16u);  // C[m,n] 4x4
+  std::set<linalg::IntVector> elements;
+  for (const auto& ev : trace.outputs) elements.insert(ev.element);
+  EXPECT_EQ(elements.size(), 16u);
+}
+
+TEST(Trace, OutputEventAtLastContributingCycle) {
+  // MMT: C[m,n] accumulates over k = t; the write happens at t = K-1.
+  const auto spec = gemmSpec("MNK-MMT", 4);
+  const auto trace = buildTileTrace(spec, {4, 4, 4});
+  for (const auto& ev : trace.outputs) EXPECT_EQ(ev.cycle, 3);
+}
+
+TEST(Trace, TileOriginShiftsElementIndices) {
+  const auto spec = gemmSpec("MNK-SST", 8);
+  linalg::IntVector outer(3, 0);
+  const auto trace =
+      buildTileTrace(spec, {4, 4, 4}, linalg::IntVector{4, 0, 0}, outer);
+  // All output elements have m >= 4.
+  for (const auto& ev : trace.outputs) EXPECT_GE(ev.element[0], 4);
+}
+
+TEST(Trace, OuterLoopsFixElementIndices) {
+  const auto conv = wl::conv2d(4, 4, 6, 6, 3, 3);
+  const auto spec = stt::findDataflowByLabel(conv, "KCX-SST");
+  ASSERT_TRUE(spec.has_value());
+  linalg::IntVector outer(6, 0);
+  outer[2] = 2;  // y = 2
+  const auto trace =
+      buildTileTrace(*spec, {4, 4, 6}, linalg::IntVector{0, 0, 0}, outer);
+  for (const auto& ev : trace.outputs) EXPECT_EQ(ev.element[1], 2);  // C[k,y,x]
+}
+
+TEST(Trace, Rank2MulticastStationaryInjectsOncePerElement) {
+  // TTMc IJK: B[l,j] has a multicast+stationary plane; with l,m outer and
+  // fixed, the tile touches J distinct B elements, each broadcast once.
+  const auto tt = wl::ttmc(4, 4, 4, 2, 2);
+  const auto spec = stt::findDataflowByLabel(tt, "IJK-BBBU");
+  ASSERT_TRUE(spec.has_value());
+  const auto trace = buildTileTrace(*spec, {4, 4, 4});
+  // B[l,j]: j spans 4, l fixed -> 4 elements, one bus word each.
+  EXPECT_EQ(trace.injectionWords[1], 4);
+  // A[i,l,m]: i spans 4 -> 4 elements.
+  EXPECT_EQ(trace.injectionWords[0], 4);
+  // D[i,j,k] unicast output: 64 distinct elements, one write each.
+  EXPECT_EQ(trace.injectionWords[3], 64);
+}
+
+TEST(Movement, SystolicHasStepNoBus) {
+  const auto spec = gemmSpec("MNK-SST", 4);
+  const auto mv = deriveMovement(spec.tensors()[0].dataflow);  // A systolic
+  EXPECT_TRUE(mv.hasStep);
+  EXPECT_FALSE(mv.hasBus());
+  EXPECT_GT(mv.step[2], 0);  // dt normalized positive
+}
+
+TEST(Movement, MulticastHasLineBusNoStep) {
+  const auto spec = gemmSpec("MNK-MMT", 4);
+  const auto mv = deriveMovement(spec.tensors()[0].dataflow);  // A multicast
+  EXPECT_FALSE(mv.hasStep);
+  EXPECT_EQ(mv.bus, Movement::Bus::Line);
+  EXPECT_EQ(mv.busDir[2], 0);
+}
+
+TEST(Movement, StationaryStepsInTimeOnly) {
+  const auto spec = gemmSpec("MNK-MMT", 4);
+  const auto mv = deriveMovement(spec.tensors()[2].dataflow);  // C stationary
+  EXPECT_TRUE(mv.hasStep);
+  EXPECT_EQ(mv.step[0], 0);
+  EXPECT_EQ(mv.step[1], 0);
+  EXPECT_FALSE(mv.hasBus());
+}
+
+TEST(Movement, UnicastMovesNothing) {
+  const auto bg = wl::batchedGemv(4, 4, 4);
+  const auto spec = *stt::findDataflowByLabel(bg, "MNK-UMM");
+  const auto mv = deriveMovement(spec.tensors()[0].dataflow);
+  EXPECT_FALSE(mv.hasStep);
+  EXPECT_FALSE(mv.hasBus());
+}
+
+TEST(Movement, Rank2PlanesGetBusAndStep) {
+  // TTMc IJK identity: A is multicast+stationary -> line bus + time step;
+  // C is a 2-D broadcast -> global bus, no step. (Built explicitly: label
+  // search may return a different all-B transform.)
+  const auto tt = wl::ttmc(4, 4, 4, 2, 2);
+  const auto sel = stt::LoopSelection::byNames(tt, {"i", "j", "k"});
+  const stt::SpaceTimeTransform ident(
+      linalg::IntMatrix{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}});
+  const auto spec = stt::analyzeDataflow(tt, sel, ident);
+  const auto a = deriveMovement(spec.tensors()[0].dataflow);
+  EXPECT_TRUE(a.hasStep);
+  EXPECT_TRUE(a.hasBus());
+  const auto c = deriveMovement(spec.tensors()[2].dataflow);
+  EXPECT_FALSE(c.hasStep);
+  EXPECT_EQ(c.bus, Movement::Bus::Global);
+}
+
+TEST(Movement, SystolicMulticastGetsObliqueStepAndSpatialBus) {
+  const auto tt = wl::ttmc(4, 4, 4, 2, 2);
+  const auto sel = stt::LoopSelection::byNames(tt, {"i", "j", "k"});
+  const stt::SpaceTimeTransform t(
+      linalg::IntMatrix{{1, 0, 0}, {0, 1, 0}, {1, 1, 1}});
+  const auto spec = stt::analyzeDataflow(tt, sel, t);
+  const auto mv = deriveMovement(spec.tensors()[2].dataflow);
+  ASSERT_TRUE(mv.hasStep);
+  EXPECT_GT(mv.step[2], 0);
+  EXPECT_TRUE(mv.step[0] != 0 || mv.step[1] != 0);  // moves spatially too
+  EXPECT_EQ(mv.bus, Movement::Bus::Line);
+  EXPECT_EQ(mv.busDir[2], 0);
+}
+
+TEST(Trace, SystolicStrideTwoStillCoversChain) {
+  // A skewed transform can give a reuse step of two cycles; the injection
+  // count must still be one per element (register chain with depth 2).
+  const auto g = wl::gemm(4, 4, 4);
+  const stt::SpaceTimeTransform t(
+      linalg::IntMatrix{{1, 0, 0}, {0, 1, 0}, {1, 2, 1}});
+  const auto spec = stt::analyzeDataflow(g, stt::LoopSelection(g, {0, 1, 2}), t);
+  // A[m,k]: reuse dir e_n -> (0,1,2): systolic with dt=2.
+  EXPECT_EQ(spec.tensors()[0].dataflow.direction, (linalg::IntVector{0, 1, 2}));
+  const auto trace = buildTileTrace(spec, {4, 4, 4});
+  EXPECT_EQ(trace.injectionWords[0], 16);
+}
+
+}  // namespace
+}  // namespace tensorlib::sim

@@ -1,0 +1,168 @@
+// Table-I classification tests: every dataflow class, anchored on the
+// paper's examples (Fig. 1(b) systolic direction, known GEMM dataflow
+// names, Batched-GEMV's forced unicast, Conv2D/MTTKRP/TTMc letters).
+#include "stt/classify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stt/spec.hpp"
+#include "tensor/workloads.hpp"
+
+namespace tensorlib::stt {
+namespace {
+
+namespace wl = tensor::workloads;
+
+SpaceTimeTransform makeT(std::initializer_list<std::initializer_list<std::int64_t>> m) {
+  return SpaceTimeTransform(linalg::IntMatrix(m));
+}
+
+DataflowSpec analyzeGemm(const SpaceTimeTransform& t) {
+  const auto g = wl::gemm(8, 8, 8);
+  return analyzeDataflow(g, LoopSelection(g, {0, 1, 2}), t);
+}
+
+TEST(Classify, PaperFig1bTensorAIsSystolic) {
+  // Paper Section IV: for T=[1 0 0;0 1 0;1 1 1], tensor A of GEMM uses the
+  // systolic dataflow with direction (0,1,1).
+  const auto spec = analyzeGemm(makeT({{1, 0, 0}, {0, 1, 0}, {1, 1, 1}}));
+  const auto& a = spec.tensors()[0];
+  EXPECT_EQ(a.tensor, "A");
+  EXPECT_EQ(a.dataflow.dataflowClass, DataflowClass::Systolic);
+  EXPECT_EQ(a.dataflow.direction, (linalg::IntVector{0, 1, 1}));
+}
+
+TEST(Classify, Fig1bFullLabelIsSST) {
+  // A systolic, B systolic, C stationary: the classic output-stationary
+  // systolic array (paper: KCX-SST / MNK-SST is "well-known output
+  // stationary").
+  const auto spec = analyzeGemm(makeT({{1, 0, 0}, {0, 1, 0}, {1, 1, 1}}));
+  EXPECT_EQ(spec.label(), "MNK-SST");
+  EXPECT_EQ(spec.outputRole().dataflow.dataflowClass, DataflowClass::Stationary);
+}
+
+TEST(Classify, IdentityTransformIsMMT) {
+  // p=(m,n), t=k: both inputs multicast along rows/columns, output
+  // stationary with accumulation over k.
+  const auto spec = analyzeGemm(makeT({{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}));
+  EXPECT_EQ(spec.label(), "MNK-MMT");
+  const auto& a = spec.tensors()[0];
+  EXPECT_EQ(a.dataflow.direction, (linalg::IntVector{0, 1, 0}));
+  const auto& c = spec.tensors()[2];
+  EXPECT_EQ(c.dataflow.direction, (linalg::IntVector{0, 0, 1}));
+}
+
+TEST(Classify, WeightStationaryIsSTS) {
+  // B[n,k]'s reuse direction e_m maps to (0,0,1): the weight is stationary;
+  // A and the output C flow systolically.
+  const auto spec = analyzeGemm(makeT({{0, 1, 0}, {0, 0, 1}, {1, 1, 1}}));
+  EXPECT_EQ(spec.letters(), "STS");
+  EXPECT_EQ(spec.tensors()[1].dataflow.dataflowClass, DataflowClass::Stationary);
+}
+
+TEST(Classify, ReductionTreeOutput) {
+  // Space rows (m, k), time n: C reuse dir e_k maps to (0,1,0): output
+  // multicast = reduction tree.
+  const auto spec = analyzeGemm(makeT({{1, 0, 0}, {0, 0, 1}, {0, 1, 0}}));
+  EXPECT_EQ(spec.outputRole().dataflow.dataflowClass, DataflowClass::Multicast);
+  EXPECT_EQ(spec.letters()[2], 'M');
+}
+
+TEST(Classify, BatchedGemvTensorAIsAlwaysUnicast) {
+  // Paper Section VI-A: "Batched-GEMV can only use unicast dataflow because
+  // the tensor A is only accessed once".
+  const auto bg = wl::batchedGemv(8, 8, 8);
+  const LoopSelection sel(bg, {0, 1, 2});
+  for (const auto& t :
+       {makeT({{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}),
+        makeT({{1, 0, 0}, {0, 1, 0}, {1, 1, 1}}),
+        makeT({{0, 1, 0}, {0, 0, 1}, {1, 0, 0}})}) {
+    const auto spec = analyzeDataflow(bg, sel, t);
+    EXPECT_EQ(spec.tensors()[0].dataflow.dataflowClass, DataflowClass::Unicast)
+        << spec.describe();
+  }
+}
+
+TEST(Classify, ConvKxySelectionGivesBroadcastWeight) {
+  // Conv2D with selection (k,x,y): B[k,c,p,q] depends only on k among the
+  // selected loops => rank-2 reuse. A depends on x and y => rank 1.
+  // C[k,y,x] depends on all three => unicast.
+  const auto c = wl::conv2d(8, 8, 8, 8, 3, 3);
+  const auto sel = LoopSelection::byNames(c, {"k", "x", "y"});
+  const auto spec =
+      analyzeDataflow(c, sel, makeT({{1, 0, 0}, {0, 1, 0}, {0, 1, 1}}));
+  EXPECT_EQ(spec.tensors()[1].dataflow.reuseRank, 2u);
+  EXPECT_EQ(dataflowLetter(spec.tensors()[1].dataflow.dataflowClass), 'B');
+  EXPECT_EQ(spec.tensors()[2].dataflow.dataflowClass, DataflowClass::Unicast);
+}
+
+TEST(Classify, Rank2ClassesUnderIdentity) {
+  // TTMc selection (i,j,k) with identity T. C[m,k] depends on no selected
+  // loop but k: reuse plane (e_i, e_j) stays purely spatial -> Broadcast.
+  // A[i,l,m] and B[l,j] get planes containing the time axis -> multicast &
+  // stationary. D touches all three loops -> unicast.
+  const auto tt = wl::ttmc(4, 4, 4, 4, 4);
+  const auto sel = LoopSelection::byNames(tt, {"i", "j", "k"});
+  const auto spec =
+      analyzeDataflow(tt, sel, makeT({{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}));
+  EXPECT_EQ(spec.tensors()[0].dataflow.dataflowClass,
+            DataflowClass::MulticastStationary);
+  EXPECT_EQ(spec.tensors()[1].dataflow.dataflowClass,
+            DataflowClass::MulticastStationary);
+  EXPECT_EQ(spec.tensors()[2].dataflow.dataflowClass, DataflowClass::Broadcast2D);
+  EXPECT_EQ(spec.label(), "IJK-BBBU");
+}
+
+TEST(Classify, Rank2SystolicMulticastOblique) {
+  // Skewed time row t=i+j+k: C[m,k]'s reuse plane (e_i, e_j) maps to
+  // span{(1,0,1),(0,1,1)}, which intersects the t-axis obliquely.
+  const auto tt = wl::ttmc(4, 4, 4, 4, 4);
+  const auto sel = LoopSelection::byNames(tt, {"i", "j", "k"});
+  const auto spec =
+      analyzeDataflow(tt, sel, makeT({{1, 0, 0}, {0, 1, 0}, {1, 1, 1}}));
+  EXPECT_EQ(spec.tensors()[2].dataflow.dataflowClass,
+            DataflowClass::SystolicMulticast);
+}
+
+TEST(Classify, MttkrpUnicastHeavySelection) {
+  // Paper Fig. 5(d): IKL-UBBB — selecting (i,k,l) makes A[i,k,l] unicast
+  // and gives every other tensor 2-D reuse.
+  const auto mt = wl::mttkrp(8, 8, 8, 8);
+  const auto sel = LoopSelection::byNames(mt, {"i", "k", "l"});
+  const auto spec =
+      analyzeDataflow(mt, sel, makeT({{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}));
+  EXPECT_EQ(spec.label(), "IKL-UBBB");
+}
+
+TEST(Classify, LettersForEveryClass) {
+  EXPECT_EQ(dataflowLetter(DataflowClass::Unicast), 'U');
+  EXPECT_EQ(dataflowLetter(DataflowClass::Stationary), 'T');
+  EXPECT_EQ(dataflowLetter(DataflowClass::Systolic), 'S');
+  EXPECT_EQ(dataflowLetter(DataflowClass::Multicast), 'M');
+  EXPECT_EQ(dataflowLetter(DataflowClass::Broadcast2D), 'B');
+  EXPECT_EQ(dataflowLetter(DataflowClass::MulticastStationary), 'B');
+  EXPECT_EQ(dataflowLetter(DataflowClass::SystolicMulticast), 'B');
+  EXPECT_EQ(dataflowLetter(DataflowClass::FullReuse), 'B');
+}
+
+TEST(Classify, ClassNamesAreStable) {
+  EXPECT_EQ(dataflowClassName(DataflowClass::MulticastStationary),
+            "Multicast & Stationary");
+  EXPECT_EQ(dataflowClassName(DataflowClass::Systolic), "Systolic");
+}
+
+TEST(Classify, HelperPredicates) {
+  const auto spec = analyzeGemm(makeT({{1, 0, 0}, {0, 1, 0}, {1, 1, 1}}));
+  EXPECT_TRUE(spec.tensors()[0].dataflow.isSystolicLike());
+  EXPECT_TRUE(spec.tensors()[2].dataflow.hasStationaryComponent());
+  EXPECT_FALSE(spec.tensors()[0].dataflow.hasMulticastComponent());
+}
+
+TEST(Classify, SignatureDistinguishesDirections) {
+  const auto s1 = analyzeGemm(makeT({{1, 0, 0}, {0, 1, 0}, {1, 1, 1}}));
+  const auto s2 = analyzeGemm(makeT({{1, 0, 0}, {0, 1, 0}, {1, -1, 1}}));
+  EXPECT_NE(s1.signature(), s2.signature());
+}
+
+}  // namespace
+}  // namespace tensorlib::stt

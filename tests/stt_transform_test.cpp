@@ -1,0 +1,106 @@
+// Tests for LoopSelection and SpaceTimeTransform, anchored on the worked
+// example in Fig. 1(b) of the paper.
+#include "stt/transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "tensor/workloads.hpp"
+
+namespace tensorlib::stt {
+namespace {
+
+using tensor::workloads::conv2d;
+using tensor::workloads::gemm;
+
+TEST(LoopSelection, LabelFromInitials) {
+  const auto g = gemm(8, 8, 8);
+  const LoopSelection sel(g, {0, 1, 2});
+  EXPECT_EQ(sel.label(), "MNK");
+  EXPECT_EQ(sel.extents(), (linalg::IntVector{8, 8, 8}));
+  EXPECT_TRUE(sel.outerIndices().empty());
+}
+
+TEST(LoopSelection, ByNamesAndOuterLoops) {
+  const auto c = conv2d(4, 4, 6, 6, 3, 3);
+  const auto sel = LoopSelection::byNames(c, {"x", "p", "q"});
+  EXPECT_EQ(sel.label(), "XPQ");
+  EXPECT_EQ(sel.extents(), (linalg::IntVector{6, 3, 3}));
+  // outer loops: k, c, y
+  EXPECT_EQ(sel.outerIndices(), (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(LoopSelection, RejectsDuplicatesAndBadCounts) {
+  const auto g = gemm(4, 4, 4);
+  EXPECT_THROW(LoopSelection(g, {0, 0, 1}), Error);
+  EXPECT_THROW(LoopSelection(g, {0, 1}), Error);
+  EXPECT_THROW(LoopSelection(g, {0, 1, 7}), Error);
+}
+
+TEST(SpaceTimeTransform, PaperFig1bExample) {
+  // T = [1 0 0; 0 1 0; 1 1 1], x = (1,2,3) -> (1,2,6):
+  // A[1,3] x B[3,2] executes at PE (1,2) on cycle 6.
+  SpaceTimeTransform t(linalg::IntMatrix{{1, 0, 0}, {0, 1, 0}, {1, 1, 1}});
+  EXPECT_EQ(t.apply({1, 2, 3}), (linalg::IntVector{1, 2, 6}));
+  EXPECT_TRUE(t.isUnimodular());
+  EXPECT_EQ(t.det(), 1);
+}
+
+TEST(SpaceTimeTransform, InverseRoundTrip) {
+  SpaceTimeTransform t(linalg::IntMatrix{{1, 0, 0}, {0, 1, 0}, {1, 1, 1}});
+  const auto back = t.invert({1, 2, 6});
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, (linalg::IntVector{1, 2, 3}));
+}
+
+TEST(SpaceTimeTransform, SingularRejected) {
+  EXPECT_THROW(
+      SpaceTimeTransform(linalg::IntMatrix{{1, 0, 0}, {1, 0, 0}, {0, 0, 1}}),
+      Error);
+}
+
+TEST(SpaceTimeTransform, NonUnimodularLeavesHoles) {
+  // det = 2: half the integer space-time points have no preimage.
+  SpaceTimeTransform t(linalg::IntMatrix{{2, 0, 0}, {0, 1, 0}, {0, 0, 1}});
+  EXPECT_FALSE(t.isUnimodular());
+  EXPECT_TRUE(t.invert({2, 0, 0}).has_value());
+  EXPECT_FALSE(t.invert({1, 0, 0}).has_value());
+}
+
+TEST(SpaceTimeTransform, RowAccessors) {
+  SpaceTimeTransform t(linalg::IntMatrix{{1, 0, 0}, {0, 1, 0}, {1, 1, 1}});
+  EXPECT_EQ(t.spaceRow(0), (linalg::IntVector{1, 0, 0}));
+  EXPECT_EQ(t.timeRow(), (linalg::IntVector{1, 1, 1}));
+}
+
+// Property: for unimodular T, apply/invert are mutually inverse on a grid.
+class TransformRoundTripTest
+    : public ::testing::TestWithParam<std::array<std::int64_t, 9>> {};
+
+TEST_P(TransformRoundTripTest, BijectiveOnLattice) {
+  const auto& e = GetParam();
+  linalg::IntMatrix m(3, 3);
+  for (std::size_t i = 0; i < 9; ++i) m.at(i / 3, i % 3) = e[i];
+  SpaceTimeTransform t(m);
+  ASSERT_TRUE(t.isUnimodular());
+  for (std::int64_t i = -2; i <= 2; ++i)
+    for (std::int64_t j = -2; j <= 2; ++j)
+      for (std::int64_t k = -2; k <= 2; ++k) {
+        const linalg::IntVector x{i, j, k};
+        const auto back = t.invert(t.apply(x));
+        ASSERT_TRUE(back.has_value());
+        EXPECT_EQ(*back, x);
+      }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    UnimodularSamples, TransformRoundTripTest,
+    ::testing::Values(std::array<std::int64_t, 9>{1, 0, 0, 0, 1, 0, 0, 0, 1},
+                      std::array<std::int64_t, 9>{1, 0, 0, 0, 1, 0, 1, 1, 1},
+                      std::array<std::int64_t, 9>{0, 1, 0, 0, 0, 1, 1, 0, 0},
+                      std::array<std::int64_t, 9>{1, 1, 0, 0, 1, 0, 0, 1, 1},
+                      std::array<std::int64_t, 9>{1, 0, 0, 1, 1, 0, 1, 1, 1},
+                      std::array<std::int64_t, 9>{0, 1, 1, 1, 0, 1, 1, 1, 1}));
+
+}  // namespace
+}  // namespace tensorlib::stt

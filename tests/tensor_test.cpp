@@ -1,0 +1,196 @@
+// Tests for the tensor-algebra IR, dense storage, workload definitions and
+// the reference executor.
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "tensor/reference.hpp"
+#include "tensor/workloads.hpp"
+
+namespace tensorlib::tensor {
+namespace {
+
+TEST(AffineAccess, Evaluate) {
+  // A[c, y+p, x+q] over loops (k,c,y,x,p,q).
+  const auto acc = accessFromTerms(6, {{1}, {2, 4}, {3, 5}});
+  EXPECT_EQ(acc.evaluate({9, 1, 2, 3, 4, 5}), (linalg::IntVector{1, 6, 8}));
+}
+
+TEST(AffineAccess, Restriction) {
+  const auto acc = accessFromTerms(6, {{1}, {2, 4}, {3, 5}});
+  const auto sub = acc.restrictedTo({0, 2, 3});  // loops k, y, x
+  EXPECT_EQ(sub.loopCount(), 3u);
+  EXPECT_EQ(sub.coeff().at(0, 0), 0);  // c does not depend on k
+  EXPECT_EQ(sub.coeff().at(1, 1), 1);  // y+p depends on y
+  EXPECT_EQ(sub.coeff().at(2, 2), 1);  // x+q depends on x
+}
+
+TEST(AffineAccess, OffsetsApply) {
+  linalg::IntMatrix coeff{{1, 0}};
+  AffineAccess acc(coeff, linalg::IntVector{5});
+  EXPECT_EQ(acc.evaluate({2, 9}), (linalg::IntVector{7}));
+}
+
+TEST(TensorAlgebra, GemmShape) {
+  const auto g = workloads::gemm(4, 5, 6);
+  EXPECT_EQ(g.loopCount(), 3u);
+  EXPECT_EQ(g.totalMacs(), 4 * 5 * 6);
+  EXPECT_EQ(g.tensorShape(g.inputs()[0]), (linalg::IntVector{4, 6}));  // A[m,k]
+  EXPECT_EQ(g.tensorShape(g.inputs()[1]), (linalg::IntVector{5, 6}));  // B[n,k]
+  EXPECT_EQ(g.tensorShape(g.output()), (linalg::IntVector{4, 5}));     // C[m,n]
+}
+
+TEST(TensorAlgebra, ConvInputShapeIncludesHalo) {
+  const auto c = workloads::conv2d(2, 3, 4, 5, 3, 3);
+  // A[c, y+p, x+q]: (3, 4+3-1, 5+3-1)
+  EXPECT_EQ(c.tensorShape(c.inputs()[0]), (linalg::IntVector{3, 6, 7}));
+}
+
+TEST(TensorAlgebra, LoopIndexLookup) {
+  const auto g = workloads::gemm(2, 2, 2);
+  EXPECT_EQ(g.loopIndex("k"), 2u);
+  EXPECT_THROW(g.loopIndex("z"), Error);
+}
+
+TEST(TensorAlgebra, LabelOrderPutsOutputLast) {
+  const auto mt = workloads::mttkrp(2, 2, 2, 2);
+  const auto order = mt.tensorsInLabelOrder();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0]->tensor, "A");
+  EXPECT_EQ(order[3]->tensor, "D");
+}
+
+TEST(DenseTensor, FlattenAndBounds) {
+  DenseTensor t(linalg::IntVector{2, 3});
+  t.at({1, 2}) = 7.0;
+  EXPECT_EQ(t.raw()[5], 7.0);
+  EXPECT_THROW(t.at({2, 0}), Error);
+  EXPECT_THROW(t.at({0, 3}), Error);
+}
+
+TEST(DenseTensor, MaxAbsDiff) {
+  DenseTensor a(linalg::IntVector{2});
+  DenseTensor b(linalg::IntVector{2});
+  a.at({0}) = 1.0;
+  b.at({0}) = 3.5;
+  EXPECT_DOUBLE_EQ(a.maxAbsDiff(b), 2.5);
+}
+
+TEST(Reference, TinyGemmByHand) {
+  const auto g = workloads::gemm(2, 2, 2);
+  TensorEnv env;
+  DenseTensor a(linalg::IntVector{2, 2}), b(linalg::IntVector{2, 2});
+  // A = [1 2; 3 4], B[n,k] = [5 6; 7 8] => C[m,n] = sum_k A[m,k]*B[n,k]
+  a.at({0, 0}) = 1; a.at({0, 1}) = 2; a.at({1, 0}) = 3; a.at({1, 1}) = 4;
+  b.at({0, 0}) = 5; b.at({0, 1}) = 6; b.at({1, 0}) = 7; b.at({1, 1}) = 8;
+  env.emplace("A", a);
+  env.emplace("B", b);
+  const DenseTensor c = referenceExecute(g, env);
+  EXPECT_DOUBLE_EQ(c.at({0, 0}), 1 * 5 + 2 * 6);
+  EXPECT_DOUBLE_EQ(c.at({0, 1}), 1 * 7 + 2 * 8);
+  EXPECT_DOUBLE_EQ(c.at({1, 0}), 3 * 5 + 4 * 6);
+  EXPECT_DOUBLE_EQ(c.at({1, 1}), 3 * 7 + 4 * 8);
+}
+
+TEST(Reference, MissingInputThrows) {
+  const auto g = workloads::gemm(2, 2, 2);
+  TensorEnv env;
+  EXPECT_THROW(referenceExecute(g, env), Error);
+}
+
+TEST(Reference, MakeRandomInputsCoversAllInputs) {
+  const auto mt = workloads::mttkrp(3, 4, 5, 6);
+  const auto env = makeRandomInputs(mt);
+  EXPECT_EQ(env.size(), 3u);
+  EXPECT_TRUE(env.count("A") && env.count("B") && env.count("C"));
+}
+
+// Each workload's reference result must match a direct hand-rolled loop.
+TEST(Reference, MttkrpMatchesDirectLoops) {
+  const auto alg = workloads::mttkrp(3, 4, 2, 2);
+  const auto env = makeRandomInputs(alg, 42);
+  const DenseTensor d = referenceExecute(alg, env);
+  const auto &A = env.at("A"), &B = env.at("B"), &C = env.at("C");
+  for (std::int64_t i = 0; i < 3; ++i)
+    for (std::int64_t j = 0; j < 4; ++j) {
+      double acc = 0;
+      for (std::int64_t k = 0; k < 2; ++k)
+        for (std::int64_t l = 0; l < 2; ++l)
+          acc += A.at({i, k, l}) * B.at({k, j}) * C.at({l, j});
+      EXPECT_DOUBLE_EQ(d.at({i, j}), acc) << i << "," << j;
+    }
+}
+
+TEST(Reference, Conv2dMatchesDirectLoops) {
+  const auto alg = workloads::conv2d(2, 3, 4, 4, 3, 3);
+  const auto env = makeRandomInputs(alg, 7);
+  const DenseTensor out = referenceExecute(alg, env);
+  const auto &A = env.at("A"), &B = env.at("B");
+  for (std::int64_t k = 0; k < 2; ++k)
+    for (std::int64_t y = 0; y < 4; ++y)
+      for (std::int64_t x = 0; x < 4; ++x) {
+        double acc = 0;
+        for (std::int64_t c = 0; c < 3; ++c)
+          for (std::int64_t p = 0; p < 3; ++p)
+            for (std::int64_t q = 0; q < 3; ++q)
+              acc += A.at({c, y + p, x + q}) * B.at({k, c, p, q});
+        EXPECT_DOUBLE_EQ(out.at({k, y, x}), acc);
+      }
+}
+
+TEST(Reference, DepthwiseMatchesDirectLoops) {
+  const auto alg = workloads::depthwiseConv(3, 4, 4, 3, 3);
+  const auto env = makeRandomInputs(alg, 9);
+  const DenseTensor out = referenceExecute(alg, env);
+  const auto &A = env.at("A"), &B = env.at("B");
+  for (std::int64_t k = 0; k < 3; ++k)
+    for (std::int64_t y = 0; y < 4; ++y)
+      for (std::int64_t x = 0; x < 4; ++x) {
+        double acc = 0;
+        for (std::int64_t p = 0; p < 3; ++p)
+          for (std::int64_t q = 0; q < 3; ++q)
+            acc += A.at({k, y + p, x + q}) * B.at({k, p, q});
+        EXPECT_DOUBLE_EQ(out.at({k, y, x}), acc);
+      }
+}
+
+TEST(Reference, TtmcMatchesDirectLoops) {
+  const auto alg = workloads::ttmc(2, 3, 2, 3, 2);
+  const auto env = makeRandomInputs(alg, 11);
+  const DenseTensor out = referenceExecute(alg, env);
+  const auto &A = env.at("A"), &B = env.at("B"), &C = env.at("C");
+  for (std::int64_t i = 0; i < 2; ++i)
+    for (std::int64_t j = 0; j < 3; ++j)
+      for (std::int64_t k = 0; k < 2; ++k) {
+        double acc = 0;
+        for (std::int64_t l = 0; l < 3; ++l)
+          for (std::int64_t m = 0; m < 2; ++m)
+            acc += A.at({i, l, m}) * B.at({l, j}) * C.at({m, k});
+        EXPECT_DOUBLE_EQ(out.at({i, j, k}), acc);
+      }
+}
+
+TEST(Reference, BatchedGemvMatchesDirectLoops) {
+  const auto alg = workloads::batchedGemv(3, 4, 5);
+  const auto env = makeRandomInputs(alg, 13);
+  const DenseTensor out = referenceExecute(alg, env);
+  const auto &A = env.at("A"), &B = env.at("B");
+  for (std::int64_t m = 0; m < 3; ++m)
+    for (std::int64_t n = 0; n < 4; ++n) {
+      double acc = 0;
+      for (std::int64_t k = 0; k < 5; ++k)
+        acc += A.at({m, k, n}) * B.at({m, k});
+      EXPECT_DOUBLE_EQ(out.at({m, n}), acc);
+    }
+}
+
+TEST(Workloads, ResNetLayerShapes) {
+  const auto l2 = workloads::conv2dResNetLayer2();
+  EXPECT_EQ(l2.loops()[0].extent, 64);
+  EXPECT_EQ(l2.loops()[2].extent, 56);
+  const auto l5 = workloads::conv2dResNetLayer5();
+  EXPECT_EQ(l5.loops()[0].extent, 512);
+  EXPECT_EQ(l5.loops()[2].extent, 7);
+}
+
+}  // namespace
+}  // namespace tensorlib::tensor
