@@ -13,6 +13,11 @@ std::uint64_t maskTo(std::uint64_t v, int width) {
   return v & ((1ull << width) - 1);
 }
 
+std::uint64_t widthMask(int width) {
+  if (width >= 64) return ~0ull;
+  return (1ull << width) - 1;
+}
+
 float asFloat(std::uint64_t bits) {
   const std::uint32_t w = static_cast<std::uint32_t>(bits);
   float f;
@@ -28,16 +33,83 @@ std::uint64_t fromFloat(float f) {
 
 }  // namespace
 
-RtlSimulator::RtlSimulator(const Netlist& netlist)
+RtlSimulator::RtlSimulator(const Netlist& netlist, SimEngine engine)
     : netlist_(netlist),
+      engine_(engine),
       order_(netlist.validate()),
       value_(netlist.size(), 0),
       regState_(netlist.size(), 0),
       inputValue_(netlist.size(), 0) {
-  for (NodeId id = 0; id < netlist_.size(); ++id)
-    if (netlist_.node(id).op == Op::Reg)
-      regState_[id] = maskTo(static_cast<std::uint64_t>(netlist_.node(id).value),
-                             netlist_.node(id).width);
+  for (NodeId id = 0; id < netlist_.size(); ++id) {
+    const Node& n = netlist_.node(id);
+    if (n.op != Op::Reg) continue;
+    regState_[id] = maskTo(static_cast<std::uint64_t>(n.value), n.width);
+    RegSlot slot;
+    slot.id = id;
+    slot.d = n.args[0];
+    if (n.args.size() >= 2) slot.enable = n.args[1];
+    slot.mask = widthMask(n.width);
+    regs_.push_back(slot);
+  }
+  if (engine_ == SimEngine::Compiled) compile();
+}
+
+void RtlSimulator::compile() {
+  tape_.reserve(order_.size());
+  for (NodeId id : order_) {
+    const Node& n = netlist_.node(id);
+    TapeInstr instr;
+    instr.dst = id;
+    instr.mask = widthMask(n.width);
+    switch (n.op) {
+      case Op::Const:
+        // Burned into the value array once; nothing ever overwrites it.
+        value_[id] = maskTo(static_cast<std::uint64_t>(n.value), n.width);
+        continue;
+      case Op::Input:
+      case Op::Reg:
+        // Sources: refreshed at the head of evaluate() from inputValue_ /
+        // regState_, not part of the tape.
+        continue;
+      case Op::Add:
+      case Op::Sub:
+      case Op::Mul: {
+        const bool f = n.kind == DataKind::Float32;
+        if (n.op == Op::Add) instr.op = f ? TapeOp::AddF : TapeOp::AddI;
+        else if (n.op == Op::Sub) instr.op = f ? TapeOp::SubF : TapeOp::SubI;
+        else instr.op = f ? TapeOp::MulF : TapeOp::MulI;
+        instr.a0 = n.args[0];
+        instr.a1 = n.args[1];
+        break;
+      }
+      case Op::Mux:
+        instr.op = TapeOp::Mux;
+        instr.a0 = n.args[0];
+        instr.a1 = n.args[1];
+        instr.a2 = n.args[2];
+        break;
+      case Op::Eq:
+      case Op::Lt:
+      case Op::And:
+      case Op::Or:
+        instr.op = n.op == Op::Eq   ? TapeOp::Eq
+                   : n.op == Op::Lt ? TapeOp::Lt
+                   : n.op == Op::And ? TapeOp::And
+                                     : TapeOp::Or;
+        instr.a0 = n.args[0];
+        instr.a1 = n.args[1];
+        break;
+      case Op::Not:
+        instr.op = TapeOp::Not;
+        instr.a0 = n.args[0];
+        break;
+      case Op::Output:
+        instr.op = TapeOp::Copy;
+        instr.a0 = n.args[0];
+        break;
+    }
+    tape_.push_back(instr);
+  }
 }
 
 void RtlSimulator::poke(NodeId input, std::uint64_t value) {
@@ -56,6 +128,39 @@ void RtlSimulator::clearInputs() {
 }
 
 void RtlSimulator::evaluate() {
+  if (engine_ == SimEngine::Compiled) evaluateCompiled();
+  else evaluateLegacy();
+  evaluated_ = true;
+}
+
+void RtlSimulator::evaluateCompiled() {
+  // Sources first (regState_/inputValue_ are pre-masked), then one tight
+  // pass over the tape in topological order.
+  for (const RegSlot& r : regs_) value_[r.id] = regState_[r.id];
+  for (NodeId id : netlist_.inputs()) value_[id] = inputValue_[id];
+  std::uint64_t* v = value_.data();
+  for (const TapeInstr& t : tape_) {
+    std::uint64_t r = 0;
+    switch (t.op) {
+      case TapeOp::AddI: r = v[t.a0] + v[t.a1]; break;
+      case TapeOp::SubI: r = v[t.a0] - v[t.a1]; break;
+      case TapeOp::MulI: r = v[t.a0] * v[t.a1]; break;
+      case TapeOp::AddF: r = fromFloat(asFloat(v[t.a0]) + asFloat(v[t.a1])); break;
+      case TapeOp::SubF: r = fromFloat(asFloat(v[t.a0]) - asFloat(v[t.a1])); break;
+      case TapeOp::MulF: r = fromFloat(asFloat(v[t.a0]) * asFloat(v[t.a1])); break;
+      case TapeOp::Mux: r = v[t.a0] != 0 ? v[t.a1] : v[t.a2]; break;
+      case TapeOp::Eq: r = v[t.a0] == v[t.a1]; break;
+      case TapeOp::Lt: r = v[t.a0] < v[t.a1]; break;
+      case TapeOp::And: r = v[t.a0] & v[t.a1]; break;
+      case TapeOp::Or: r = v[t.a0] | v[t.a1]; break;
+      case TapeOp::Not: r = ~v[t.a0]; break;
+      case TapeOp::Copy: r = v[t.a0]; break;
+    }
+    v[t.dst] = r & t.mask;
+  }
+}
+
+void RtlSimulator::evaluateLegacy() {
   for (NodeId id : order_) {
     const Node& n = netlist_.node(id);
     std::uint64_t v = 0;
@@ -93,16 +198,18 @@ void RtlSimulator::evaluate() {
     }
     value_[id] = maskTo(v, n.width);
   }
-  evaluated_ = true;
 }
 
 void RtlSimulator::step() {
   TL_CHECK(evaluated_, "step() without evaluate()");
-  for (NodeId id = 0; id < netlist_.size(); ++id) {
-    const Node& n = netlist_.node(id);
-    if (n.op != Op::Reg) continue;
-    const bool enabled = n.args.size() < 2 || value_[n.args[1]] != 0;
-    if (enabled) regState_[id] = value_[n.args[0]];
+  // Latch from the precomputed register list. D and enable values come
+  // from value_, which evaluate() froze — register-to-register feeds read
+  // the pre-step snapshot by construction, so a single commit loop is
+  // race-free. The mask keeps regState_ canonical (evaluate copies it
+  // verbatim in the compiled engine).
+  for (const RegSlot& r : regs_) {
+    const bool enabled = r.enable == kInvalidNode || value_[r.enable] != 0;
+    if (enabled) regState_[r.id] = value_[r.d] & r.mask;
   }
   ++cycle_;
   evaluated_ = false;

@@ -4,11 +4,20 @@
 // modular (bit-exact with hardware), Float32 arithmetic bit-casts through
 // IEEE single precision exactly like the Xilinx FP blackbox the paper
 // instantiates.
+//
+// Two execution engines share the public API and are bit-identical:
+//  - Compiled (default): the netlist is compiled once into a flat evaluation
+//    tape — fused op+kind opcodes, arg indices resolved into fixed slots,
+//    width masks precomputed, constants burned in — so evaluate() is a tight
+//    loop with no Node indirection and no per-node branching on op+kind.
+//  - Legacy: the original walk-the-Node-graph interpreter, kept for
+//    differential testing (tests/hwir_rtlsim_diff_test.cpp) and as the perf
+//    baseline in bench/perf_regression.cpp.
+// Both engines latch registers in step() from a register list precomputed in
+// the constructor instead of rescanning the whole netlist every cycle.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <map>
 #include <string>
 #include <vector>
 
@@ -16,9 +25,15 @@
 
 namespace tensorlib::hwir {
 
+/// Which evaluation engine a simulator instance runs.
+enum class SimEngine { Compiled, Legacy };
+
 class RtlSimulator {
  public:
-  explicit RtlSimulator(const Netlist& netlist);
+  explicit RtlSimulator(const Netlist& netlist,
+                        SimEngine engine = SimEngine::Compiled);
+
+  SimEngine engine() const { return engine_; }
 
   /// Drives an input port for the current cycle (until overwritten).
   void poke(NodeId input, std::uint64_t value);
@@ -46,11 +61,41 @@ class RtlSimulator {
   static std::int64_t decodeInt(std::uint64_t bits, int width);
 
  private:
+  /// Fused opcode: op and DataKind resolved at compile time, so the
+  /// evaluation loop never branches on kind.
+  enum class TapeOp : std::uint8_t {
+    AddI, SubI, MulI,  // Bits arithmetic (modular two's complement)
+    AddF, SubF, MulF,  // Float32 arithmetic (IEEE single, bit-cast)
+    Mux, Eq, Lt, And, Or, Not,
+    Copy,  // Output nodes: forward the driven value
+  };
+  struct TapeInstr {
+    TapeOp op;
+    NodeId dst;
+    NodeId a0 = 0, a1 = 0, a2 = 0;
+    std::uint64_t mask = ~0ull;
+  };
+  /// One register's latch record: D/enable indices and the width mask,
+  /// resolved once in the constructor.
+  struct RegSlot {
+    NodeId id;
+    NodeId d;
+    NodeId enable = kInvalidNode;
+    std::uint64_t mask = ~0ull;
+  };
+
+  void compile();
+  void evaluateCompiled();
+  void evaluateLegacy();
+
   const Netlist& netlist_;
-  std::vector<NodeId> order_;      ///< topological evaluation order
+  SimEngine engine_;
+  std::vector<NodeId> order_;  ///< topological evaluation order
   std::vector<std::uint64_t> value_;
   std::vector<std::uint64_t> regState_;
   std::vector<std::uint64_t> inputValue_;
+  std::vector<TapeInstr> tape_;       ///< combinational ops only (Compiled)
+  std::vector<RegSlot> regs_;  ///< precomputed; used by both engines
   std::int64_t cycle_ = 0;
   bool evaluated_ = false;
 };

@@ -63,36 +63,54 @@ SimResult simulate(const stt::DataflowSpec& spec, const stt::ArrayConfig& config
   SimResult result;
   result.tensorTrafficWords.assign(spec.tensors().size(), 0);
 
+  // Trace memoization: tiles of equal shape share one trace (and the
+  // functional replay below re-reads the same shapes every outer iteration).
+  TileTraceCache traceCache(spec);
+  const auto traceFor = [&](const linalg::IntVector& shape) -> const TileTrace& {
+    return traceCache.base(shape);
+  };
+
   // --- Cycle accounting per distinct tile shape (traces are identical for
   // identical shapes; replication runs R tiles concurrently and multiplies
   // the bandwidth demand).
   for (const auto& tc : mapping.tiles) {
-    const TileTrace trace = buildTileTrace(spec, tc.shape);
-    checkTileInvariants(trace, config, options.checkCollisions);
-    TL_CHECK(static_cast<std::int64_t>(trace.active.size()) == tc.macs,
+    TileTrace rebuilt;
+    const TileTrace* trace;
+    if (options.reuseTraces) {
+      trace = &traceFor(tc.shape);
+    } else {
+      rebuilt = buildTileTrace(spec, tc.shape);
+      trace = &rebuilt;
+    }
+    checkTileInvariants(*trace, config, options.checkCollisions);
+    TL_CHECK(static_cast<std::int64_t>(trace->active.size()) == tc.macs,
              "trace active-point count disagrees with mapping");
-    TL_CHECK(trace.cycles == tc.computeCycles,
+    TL_CHECK(trace->cycles == tc.computeCycles,
              "trace cycle span disagrees with mapping");
 
     const std::int64_t tilesTotal = tc.count * mapping.outerIterations;
     const std::int64_t passes =
         (tilesTotal + mapping.replication - 1) / mapping.replication;
     const std::int64_t passCycles = serveCycles(
-        scaledDemand(trace.demandPerCycle, mapping.replication), wordsPerCycle);
+        scaledDemand(trace->demandPerCycle, mapping.replication), wordsPerCycle);
 
-    result.computeCycles += passes * trace.cycles;
+    result.computeCycles += passes * trace->cycles;
     result.cycles += passes * passCycles;
     result.macs += tilesTotal * tc.macs;
-    result.trafficWords += tilesTotal * trace.totalWords();
-    for (std::size_t i = 0; i < trace.injectionWords.size(); ++i)
-      result.tensorTrafficWords[i] += tilesTotal * trace.injectionWords[i];
+    result.trafficWords += tilesTotal * trace->totalWords();
+    for (std::size_t i = 0; i < trace->injectionWords.size(); ++i)
+      result.tensorTrafficWords[i] += tilesTotal * trace->injectionWords[i];
     result.peakDemandWords =
-        std::max(result.peakDemandWords, mapping.replication * trace.peakDemand());
+        std::max(result.peakDemandWords, mapping.replication * trace->peakDemand());
   }
+  // An empty selection extent can produce a zero-cycle result; report zero
+  // utilization instead of dividing into NaN.
   result.utilization =
-      static_cast<double>(result.macs) /
-      (static_cast<double>(config.rows * config.cols) *
-       static_cast<double>(result.cycles));
+      result.cycles > 0
+          ? static_cast<double>(result.macs) /
+                (static_cast<double>(config.rows * config.cols) *
+                 static_cast<double>(result.cycles))
+          : 0.0;
 
   if (!options.functional) return result;
 
@@ -118,9 +136,18 @@ SimResult simulate(const stt::DataflowSpec& spec, const stt::ArrayConfig& config
           linalg::IntVector shape(3);
           for (std::size_t j = 0; j < 3; ++j)
             shape[j] = std::min(mapping.fullTile[j], extents[j] - origin[j]);
-          const TileTrace trace =
-              buildTileTrace(spec, shape, origin, outerFixed);
-          for (const auto& ap : trace.active) {
+          // The replay only reads active points, which are shift-invariant
+          // across (origin, outerFixed): the cached base trace of this
+          // shape replaces a full rebuild per tile per outer iteration.
+          TileTrace rebuilt;
+          const TileTrace* trace;
+          if (options.reuseTraces) {
+            trace = &traceFor(shape);
+          } else {
+            rebuilt = buildTileTrace(spec, shape, origin, outerFixed);
+            trace = &rebuilt;
+          }
+          for (const auto& ap : trace->active) {
             linalg::IntVector x = outerFixed;
             for (std::size_t j = 0; j < 3; ++j)
               x[selIdx[j]] = origin[j] + ap.iteration[j];

@@ -23,6 +23,11 @@ struct SimOptions {
   /// Assert that no two MACs land on the same (PE, cycle) — the paper's
   /// full-rank one-op-per-cycle property.
   bool checkCollisions = true;
+  /// Memoize tile traces by shape through sim::TileTraceCache instead of
+  /// rebuilding one per tile per outer iteration (traces are congruent
+  /// across origins). Results are identical; off = the original rebuild
+  /// path, kept as the perf baseline in bench/perf_regression.cpp.
+  bool reuseTraces = true;
 };
 
 struct SimResult {

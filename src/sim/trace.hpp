@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "stt/mapping.hpp"
@@ -91,5 +92,37 @@ TileTrace buildTileTrace(const stt::DataflowSpec& spec,
 /// Convenience: single-tile trace at origin with all outer loops at 0.
 TileTrace buildTileTrace(const stt::DataflowSpec& spec,
                          const linalg::IntVector& shape);
+
+/// Memoizes buildTileTrace for one spec.
+///
+/// Traces are congruent across tile origins and outer iterations: the
+/// space-time image depends only on the tile shape, and every element index
+/// is an affine function of the iteration vector, so changing
+/// (origin, outerFixed) shifts each tensor's elements by a constant offset
+/// without changing grouping, injection cycles, or demand. The cache key is
+/// therefore the shape (the origin class — interior vs boundary truncation —
+/// is exactly what shape captures); base() returns the canonical
+/// origin-0/outer-0 trace and materialize() applies the per-tensor offsets
+/// of a concrete (origin, outerFixed) projection on top of it.
+class TileTraceCache {
+ public:
+  explicit TileTraceCache(const stt::DataflowSpec& spec) : spec_(spec) {}
+
+  /// The canonical trace of a tile shape (origin 0, outer loops 0). The
+  /// shift-invariant fields (active points, cycles, spans, demand profile,
+  /// word counts) are valid for every tile of this shape.
+  const TileTrace& base(const linalg::IntVector& shape);
+
+  /// A full trace for a concrete tile: the cached base trace with element
+  /// indices shifted to (tileOrigin, outerFixed). Equals
+  /// buildTileTrace(spec, shape, tileOrigin, outerFixed).
+  TileTrace materialize(const linalg::IntVector& shape,
+                        const linalg::IntVector& tileOrigin,
+                        const linalg::IntVector& outerFixed);
+
+ private:
+  const stt::DataflowSpec& spec_;
+  std::map<linalg::IntVector, TileTrace> byShape_;
+};
 
 }  // namespace tensorlib::sim

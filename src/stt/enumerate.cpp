@@ -4,9 +4,15 @@
 #include <array>
 #include <cctype>
 #include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
 #include <set>
+#include <tuple>
 
 #include "support/error.hpp"
+#include "support/threadpool.hpp"
 
 namespace tensorlib::stt {
 
@@ -61,9 +67,23 @@ std::array<std::int64_t, 9> flat(const linalg::IntMatrix& m) {
   return out;
 }
 
-/// All full-rank (optionally unimodular) matrices in entry range, canonical
-/// representatives only, sorted simplest-first for deterministic search.
-std::vector<linalg::IntMatrix> candidateMatrices(const EnumerationOptions& options) {
+/// Simplest-first total order shared by both engines; the flat() tie-break
+/// makes the sorted candidate list independent of generation order.
+bool simplerThan(const linalg::IntMatrix& a, const linalg::IntMatrix& b) {
+  const int na = nonzeroCount(a), nb = nonzeroCount(b);
+  if (na != nb) return na < nb;
+  const std::int64_t sa = absSum(a), sb = absSum(b);
+  if (sa != sb) return sa < sb;
+  return flat(a) < flat(b);
+}
+
+/// Reference engine (the original implementation): decode every matrix in
+/// the (2*maxEntry+1)^9 cube, filter by exact rational determinant,
+/// canonicalize, dedupe through a set. Kept behind
+/// EnumerationOptions::useLegacyEnumeration for differential tests and as
+/// the perf baseline in bench/perf_regression.cpp.
+std::vector<linalg::IntMatrix> legacyCandidateMatrices(
+    const EnumerationOptions& options) {
   const std::int64_t lo = -options.maxEntry;
   const std::int64_t hi = options.maxEntry;
   const std::int64_t radix = hi - lo + 1;
@@ -87,15 +107,99 @@ std::vector<linalg::IntMatrix> candidateMatrices(const EnumerationOptions& optio
     if (!seen.insert(flat(m)).second) continue;
     out.push_back(std::move(m));
   }
-  std::sort(out.begin(), out.end(),
-            [](const linalg::IntMatrix& a, const linalg::IntMatrix& b) {
-              const int na = nonzeroCount(a), nb = nonzeroCount(b);
-              if (na != nb) return na < nb;
-              const std::int64_t sa = absSum(a), sb = absSum(b);
-              if (sa != sb) return sa < sb;
-              return flat(a) < flat(b);
-            });
+  std::sort(out.begin(), out.end(), simplerThan);
   return out;
+}
+
+using Row3 = std::array<std::int64_t, 3>;
+
+/// All nonzero rows with entries in [-maxEntry, maxEntry], lexicographically
+/// ascending. When signCanonical, only rows whose first nonzero entry is
+/// positive (the representative canonicalizeRowSign() picks) — exactly half.
+std::vector<Row3> rowPool(int maxEntry, bool signCanonical) {
+  std::vector<Row3> rows;
+  const std::int64_t e = maxEntry;
+  for (std::int64_t a = -e; a <= e; ++a)
+    for (std::int64_t b = -e; b <= e; ++b)
+      for (std::int64_t c = -e; c <= e; ++c) {
+        if (a == 0 && b == 0 && c == 0) continue;
+        if (signCanonical) {
+          const std::int64_t first = a != 0 ? a : (b != 0 ? b : c);
+          if (first < 0) continue;
+        }
+        rows.push_back({a, b, c});
+      }
+  return rows;
+}
+
+/// Direct engine: builds matrices row-by-row so only canonical
+/// representatives are ever materialized (sign-canonical rows, space rows
+/// in lex order), with an incremental determinant — the cross product of
+/// the two space rows is computed once per pair and dotted with each time
+/// row. No decode, no rational arithmetic, no dedupe set; for maxEntry=2
+/// this visits ~120k row triples instead of ~1.95M full decodes.
+std::vector<linalg::IntMatrix> directCandidateMatrices(
+    const EnumerationOptions& options) {
+  const std::vector<Row3> rows = rowPool(options.maxEntry, options.canonicalize);
+  const std::size_t n = rows.size();
+  std::vector<linalg::IntMatrix> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Row3& r0 = rows[i];
+    // Canonical form also requires row0 <= row1 lexicographically; the pool
+    // is lex-ascending, so start row1 past row0 (equal rows are singular).
+    for (std::size_t j = options.canonicalize ? i + 1 : 0; j < n; ++j) {
+      if (j == i) continue;
+      const Row3& r1 = rows[j];
+      const Row3 cross{r0[1] * r1[2] - r0[2] * r1[1],
+                       r0[2] * r1[0] - r0[0] * r1[2],
+                       r0[0] * r1[1] - r0[1] * r1[0]};
+      if (cross[0] == 0 && cross[1] == 0 && cross[2] == 0) continue;
+      for (const Row3& r2 : rows) {
+        const std::int64_t det =
+            cross[0] * r2[0] + cross[1] * r2[1] + cross[2] * r2[2];
+        if (det == 0) continue;
+        if (options.requireUnimodular && det != 1 && det != -1) continue;
+        linalg::IntMatrix m(3, 3);
+        for (std::size_t k = 0; k < 3; ++k) {
+          m.at(0, k) = r0[k];
+          m.at(1, k) = r1[k];
+          m.at(2, k) = r2[k];
+        }
+        out.push_back(std::move(m));
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), simplerThan);
+  return out;
+}
+
+using CandidateList = std::shared_ptr<const std::vector<linalg::IntMatrix>>;
+
+/// All full-rank (optionally unimodular) matrices in entry range, canonical
+/// representatives only, sorted simplest-first for deterministic search.
+/// Memoized process-wide: both findDataflow lookups and repeated
+/// enumerations hit the same immutable list.
+CandidateList candidateMatrices(const EnumerationOptions& options) {
+  const auto key =
+      std::make_tuple(options.maxEntry, options.requireUnimodular,
+                      options.canonicalize, options.useLegacyEnumeration);
+  static std::mutex mutex;
+  static std::map<decltype(key), CandidateList> cache;
+  if (options.cacheCandidates) {
+    std::lock_guard<std::mutex> lock(mutex);
+    const auto it = cache.find(key);
+    if (it != cache.end()) return it->second;
+  }
+  CandidateList list = std::make_shared<const std::vector<linalg::IntMatrix>>(
+      options.useLegacyEnumeration ? legacyCandidateMatrices(options)
+                                   : directCandidateMatrices(options));
+  if (options.cacheCandidates) {
+    // If another thread raced us here, both lists are identical; keep the
+    // first one inserted.
+    std::lock_guard<std::mutex> lock(mutex);
+    list = cache.try_emplace(key, std::move(list)).first->second;
+  }
+  return list;
 }
 
 bool passesFilters(const DataflowSpec& spec, const EnumerationOptions& options) {
@@ -131,15 +235,37 @@ std::vector<LoopSelection> allLoopSelections(const tensor::TensorAlgebra& algebr
 std::vector<DataflowSpec> enumerateTransforms(const tensor::TensorAlgebra& algebra,
                                               const LoopSelection& selection,
                                               const EnumerationOptions& options) {
+  const CandidateList candidates = candidateMatrices(options);
+  const std::size_t n = candidates->size();
+
+  // Analyze a bounded window of candidates into per-index slots
+  // (parallel-safe), then filter and dedupe serially in candidate order —
+  // output is byte-identical to a serial run, and peak memory stays at one
+  // window of unfiltered specs even for huge candidate lists.
+  constexpr std::size_t kWindow = 2048;
   std::vector<DataflowSpec> out;
   std::set<std::string> signatures;
-  for (const auto& m : candidateMatrices(options)) {
-    DataflowSpec spec =
-        analyzeDataflow(algebra, selection, SpaceTimeTransform(m));
-    if (!passesFilters(spec, options)) continue;
-    if (options.dedupeBySignature && !signatures.insert(spec.signature()).second)
-      continue;
-    out.push_back(std::move(spec));
+  std::vector<std::optional<DataflowSpec>> analyzed(std::min(n, kWindow));
+  for (std::size_t base = 0; base < n; base += kWindow) {
+    const std::size_t count = std::min(kWindow, n - base);
+    const auto analyzeAt = [&](std::size_t i) {
+      analyzed[i].emplace(analyzeDataflow(
+          algebra, selection, SpaceTimeTransform((*candidates)[base + i])));
+    };
+    if (options.parallelAnalyze && count > 1) {
+      parallelFor(count, analyzeAt);
+    } else {
+      for (std::size_t i = 0; i < count; ++i) analyzeAt(i);
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      DataflowSpec& spec = *analyzed[i];
+      if (!passesFilters(spec, options)) continue;
+      if (options.dedupeBySignature &&
+          !signatures.insert(spec.signature()).second)
+        continue;
+      out.push_back(std::move(spec));
+      analyzed[i].reset();
+    }
   }
   return out;
 }
@@ -161,7 +287,12 @@ std::optional<DataflowSpec> findDataflow(const tensor::TensorAlgebra& algebra,
                                          const EnumerationOptions& options) {
   TL_CHECK(letters.size() == algebra.inputs().size() + 1,
            "findDataflow: need one letter per tensor (inputs then output)");
-  for (const auto& m : candidateMatrices(options)) {
+  // Serial scan with early exit: candidates are sorted simplest-first, so
+  // named dataflows are found near the head of the (memoized) list. The
+  // shared_ptr must outlive the loop — *candidateMatrices(...) inline in the
+  // range-for would dangle.
+  const CandidateList candidates = candidateMatrices(options);
+  for (const auto& m : *candidates) {
     DataflowSpec spec =
         analyzeDataflow(algebra, selection, SpaceTimeTransform(m));
     if (spec.letters() == letters) return spec;

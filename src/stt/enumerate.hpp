@@ -26,6 +26,22 @@ struct EnumerationOptions {
   /// Drop specs whose *output* is Unicast AND some input is Unicast too —
   /// such designs stream everything and reuse nothing.
   bool dropAllUnicast = true;
+
+  // --- performance knobs. These never change WHAT is enumerated (the spec
+  // list is byte-identical across all settings), only how fast it appears.
+  /// Decode-all-and-filter candidate generation (the original reference
+  /// implementation), kept for differential testing and perf baselines.
+  /// The default engine generates matrices directly in canonical form with
+  /// an incremental cross-product determinant.
+  bool useLegacyEnumeration = false;
+  /// Memoize the candidate-matrix list in a process-wide cache keyed by
+  /// (maxEntry, requireUnimodular, canonicalize, engine). Repeated
+  /// enumerations and every findDataflow/findDataflowByLabel lookup then
+  /// skip generation entirely.
+  bool cacheCandidates = true;
+  /// Fan analyzeDataflow over the support/threadpool. Results are filled
+  /// into per-candidate slots, so output order stays deterministic.
+  bool parallelAnalyze = true;
 };
 
 /// All 3-loop selections of the algebra in nest order (C(n,3) of them).

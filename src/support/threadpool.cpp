@@ -1,0 +1,139 @@
+#include "support/threadpool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tensorlib {
+
+struct ThreadPool::Impl {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<std::function<void()>> queue;
+  std::vector<std::thread> workers;
+  bool stop = false;
+
+  void workerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [&] { return stop || !queue.empty(); });
+        if (stop && queue.empty()) return;
+        task = std::move(queue.front());
+        queue.pop_front();
+      }
+      task();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t workers) : impl_(new Impl) {
+  impl_->workers.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i)
+    impl_->workers.emplace_back([this] { impl_->workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stop = true;
+  }
+  impl_->cv.notify_all();
+  for (auto& t : impl_->workers) t.join();
+  delete impl_;
+}
+
+std::size_t ThreadPool::workerCount() const { return impl_->workers.size(); }
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  if (impl_->workers.empty()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->queue.push_back(std::move(task));
+  }
+  impl_->cv.notify_one();
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool([] {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 1 ? static_cast<std::size_t>(hw - 1) : std::size_t{0};
+  }());
+  return pool;
+}
+
+namespace {
+/// True while this thread is executing a parallelFor body. A nested
+/// parallelFor would block its caller on tasks queued behind every other
+/// busy worker — a pool-wide deadlock — so nested calls run inline instead.
+thread_local bool tInParallelRegion = false;
+}  // namespace
+
+void parallelFor(std::size_t count,
+                 const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  ThreadPool& pool = ThreadPool::global();
+  const std::size_t helpers =
+      count > 1 && !tInParallelRegion ? std::min(pool.workerCount(), count - 1)
+                                      : 0;
+  if (helpers == 0) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  // Shared dynamic-claim state; the caller participates alongside helpers.
+  struct Shared {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> pending{0};
+    std::mutex mutex;
+    std::condition_variable done;
+    std::exception_ptr error;
+  };
+  auto shared = std::make_shared<Shared>();
+  shared->pending.store(helpers, std::memory_order_relaxed);
+
+  auto drain = [shared, count, &body] {
+    const bool wasInRegion = tInParallelRegion;
+    tInParallelRegion = true;
+    for (;;) {
+      const std::size_t i =
+          shared->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) break;
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(shared->mutex);
+        if (!shared->error) shared->error = std::current_exception();
+      }
+    }
+    tInParallelRegion = wasInRegion;
+  };
+
+  for (std::size_t h = 0; h < helpers; ++h) {
+    pool.enqueue([shared, drain] {
+      drain();
+      if (shared->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(shared->mutex);
+        shared->done.notify_all();
+      }
+    });
+  }
+  drain();
+  {
+    std::unique_lock<std::mutex> lock(shared->mutex);
+    shared->done.wait(lock, [&] {
+      return shared->pending.load(std::memory_order_acquire) == 0;
+    });
+    if (shared->error) std::rethrow_exception(shared->error);
+  }
+}
+
+}  // namespace tensorlib

@@ -1,0 +1,49 @@
+// Process-wide worker pool for data-parallel hot paths.
+//
+// Design-space enumeration analyzes thousands of independent candidate
+// transforms; the pool lets those fan out across cores while callers keep
+// deterministic output by indexing results (never by completion order).
+// The pool is lazily constructed once per process and sized to the
+// hardware; on single-core machines parallelFor degrades to an inline loop
+// with no thread traffic.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace tensorlib {
+
+class ThreadPool {
+ public:
+  /// `workers` threads; 0 means run everything inline on the caller.
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t workerCount() const;
+
+  /// Enqueues a task; it runs on some worker (or inline when workerCount
+  /// is 0). Tasks must not throw — wrap exceptions before enqueueing.
+  void enqueue(std::function<void()> task);
+
+  /// The shared process-wide pool, sized hardware_concurrency() - 1
+  /// (the caller thread participates in parallelFor).
+  static ThreadPool& global();
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Runs body(0..count-1) using the global pool plus the calling thread.
+/// Iterations are claimed dynamically; the call returns after ALL
+/// iterations finish. The first exception thrown by any iteration is
+/// rethrown on the caller. Callers must only write to per-index slots to
+/// keep results deterministic. Reentrant calls (parallelFor from inside a
+/// body) are safe: they run inline on the calling thread rather than
+/// queueing tasks the blocked outer call could deadlock on.
+void parallelFor(std::size_t count, const std::function<void(std::size_t)>& body);
+
+}  // namespace tensorlib

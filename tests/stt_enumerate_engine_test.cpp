@@ -1,0 +1,107 @@
+// Determinism and equivalence tests for the enumeration perf engine: the
+// direct-canonical generator with process-wide caching and parallel
+// analysis must return byte-identical spec sequences to the legacy serial
+// decode-all-and-filter path, across repeated (cache-hitting) calls.
+#include "stt/enumerate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "tensor/workloads.hpp"
+
+namespace tensorlib::stt {
+namespace {
+
+namespace wl = tensor::workloads;
+
+EnumerationOptions fastOptions(int maxEntry) {
+  EnumerationOptions o;
+  o.maxEntry = maxEntry;
+  return o;  // defaults: direct engine, cached, parallel
+}
+
+EnumerationOptions seedOptions(int maxEntry) {
+  EnumerationOptions o;
+  o.maxEntry = maxEntry;
+  o.useLegacyEnumeration = true;
+  o.cacheCandidates = false;
+  o.parallelAnalyze = false;
+  return o;
+}
+
+/// Byte-level fingerprint of a spec sequence: order-sensitive.
+std::string fingerprint(const std::vector<DataflowSpec>& specs) {
+  std::string out;
+  for (const auto& s : specs) {
+    out += s.label();
+    out += '|';
+    out += s.signature();
+    out += '|';
+    const auto& m = s.transform().matrix();
+    for (std::size_t i = 0; i < 3; ++i)
+      for (std::size_t j = 0; j < 3; ++j)
+        out += std::to_string(m.at(i, j)) + ',';
+    out += ';';
+  }
+  return out;
+}
+
+TEST(EnumerateEngine, FastMatchesLegacySerialByteIdentical) {
+  const auto g = wl::gemm(8, 8, 8);
+  const auto fast = enumerateDesignSpace(g, fastOptions(1));
+  const auto seed = enumerateDesignSpace(g, seedOptions(1));
+  ASSERT_EQ(fast.size(), seed.size());
+  EXPECT_EQ(fingerprint(fast), fingerprint(seed));
+}
+
+TEST(EnumerateEngine, MultiSelectionAlgebraMatches) {
+  const auto mt = wl::mttkrp(6, 6, 6, 6);
+  const auto fast = enumerateDesignSpace(mt, fastOptions(1));
+  const auto seed = enumerateDesignSpace(mt, seedOptions(1));
+  EXPECT_EQ(fingerprint(fast), fingerprint(seed));
+}
+
+TEST(EnumerateEngine, NonCanonicalNonUnimodularMatches) {
+  const auto g = wl::gemm(4, 4, 4);
+  EnumerationOptions fast = fastOptions(1);
+  fast.canonicalize = false;
+  fast.requireUnimodular = false;
+  fast.dedupeBySignature = false;
+  EnumerationOptions seed = seedOptions(1);
+  seed.canonicalize = false;
+  seed.requireUnimodular = false;
+  seed.dedupeBySignature = false;
+  const LoopSelection sel(g, {0, 1, 2});
+  EXPECT_EQ(fingerprint(enumerateTransforms(g, sel, fast)),
+            fingerprint(enumerateTransforms(g, sel, seed)));
+}
+
+TEST(EnumerateEngine, CachedCallsAreDeterministic) {
+  const auto g = wl::gemm(8, 8, 8);
+  const auto first = enumerateDesignSpace(g, fastOptions(1));   // may warm cache
+  const auto second = enumerateDesignSpace(g, fastOptions(1));  // cache hit
+  EXPECT_EQ(fingerprint(first), fingerprint(second));
+}
+
+TEST(EnumerateEngine, ParallelAnalyzeMatchesSerial) {
+  const auto g = wl::gemm(8, 8, 8);
+  EnumerationOptions serial = fastOptions(1);
+  serial.parallelAnalyze = false;
+  EXPECT_EQ(fingerprint(enumerateDesignSpace(g, fastOptions(1))),
+            fingerprint(enumerateDesignSpace(g, serial)));
+}
+
+TEST(EnumerateEngine, FindDataflowAgreesAcrossEngines) {
+  const auto g = wl::gemm(8, 8, 8);
+  for (const std::string label : {"MNK-MTM", "MNK-SST", "MNK-TSS"}) {
+    const auto fast = findDataflowByLabel(g, label, fastOptions(1));
+    const auto seed = findDataflowByLabel(g, label, seedOptions(1));
+    ASSERT_TRUE(fast.has_value() && seed.has_value()) << label;
+    EXPECT_TRUE(fast->transform().matrix() == seed->transform().matrix()) << label;
+  }
+}
+
+}  // namespace
+}  // namespace tensorlib::stt
