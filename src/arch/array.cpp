@@ -40,13 +40,8 @@ chainsAlong(const PeGrid& grid, std::int64_t dp1, std::int64_t dp2) {
   // Two PEs share a chain iff their difference is an integer multiple of
   // (dp1,dp2): same geometric line AND same residue along the direction.
   std::map<std::pair<std::int64_t, std::int64_t>, std::vector<PeCoord>> chains;
-  const std::int64_t a1 = std::abs(dp1), a2 = std::abs(dp2);
-  for (const PeCoord pe : grid.all()) {
-    const std::int64_t cross = lineId(pe, dp1, dp2);
-    // PE coordinates are non-negative, so plain remainders are safe.
-    const std::int64_t residue = a1 != 0 ? pe.p1 % a1 : pe.p2 % a2;
-    chains[{cross, residue}].push_back(pe);
-  }
+  for (const PeCoord pe : grid.all())
+    chains[{lineId(pe, dp1, dp2), chainResidue(pe, dp1, dp2)}].push_back(pe);
   for (auto& [key, pes] : chains) {
     (void)key;
     std::sort(pes.begin(), pes.end(), [&](PeCoord a, PeCoord b) {
@@ -54,6 +49,18 @@ chainsAlong(const PeGrid& grid, std::int64_t dp1, std::int64_t dp2) {
     });
   }
   return chains;
+}
+
+std::int64_t chainResidue(PeCoord pe, std::int64_t dp1, std::int64_t dp2) {
+  const std::int64_t a1 = std::abs(dp1), a2 = std::abs(dp2);
+  // PE coordinates are non-negative, so plain remainders are safe.
+  return a1 != 0 ? pe.p1 % a1 : pe.p2 % a2;
+}
+
+std::int64_t chainId(PeCoord pe, std::int64_t dp1, std::int64_t dp2) {
+  const std::int64_t residue = chainResidue(pe, dp1, dp2);
+  TL_CHECK(residue < 64, "chainId: step stride too large to encode");
+  return lineId(pe, dp1, dp2) * 64 + residue;
 }
 
 std::int64_t stepsBetween(PeCoord from, PeCoord to, std::int64_t dp1,

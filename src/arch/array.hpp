@@ -50,6 +50,19 @@ std::map<std::int64_t, std::vector<PeCoord>> linesAlong(const PeGrid& grid,
 std::map<std::pair<std::int64_t, std::int64_t>, std::vector<PeCoord>>
 chainsAlong(const PeGrid& grid, std::int64_t dp1, std::int64_t dp2);
 
+/// Residue class of a PE along a strided step (dp1, dp2): which of the
+/// |dp| interleaved chains of its geometric line it belongs to. Shared by
+/// chainsAlong, chainId and the testbench's chain lookups so the coset
+/// keying cannot drift apart.
+std::int64_t chainResidue(PeCoord pe, std::int64_t dp1, std::int64_t dp2);
+
+/// Unique id of the exact reuse chain through a PE along (dp1, dp2): the
+/// geometric line id combined with the residue class along the step. For a
+/// stride-2 step, the two interleaved chains of one line get distinct ids —
+/// keying ports by lineId alone would alias them (a conformance-oracle
+/// finding: the collided port silently dropped one chain's outputs).
+std::int64_t chainId(PeCoord pe, std::int64_t dp1, std::int64_t dp2);
+
 /// Steps from `from` to `to` along (dp1,dp2); throws if not on the same line.
 std::int64_t stepsBetween(PeCoord from, PeCoord to, std::int64_t dp1,
                           std::int64_t dp2);

@@ -1,6 +1,7 @@
 #include "arch/generator.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cctype>
 #include <set>
 
@@ -25,6 +26,184 @@ std::string sanitize(std::string s) {
   return s;
 }
 
+/// Schedule-soundness gate for the valid-driven array.
+///
+/// A PE's MAC fires whenever ALL input valids are high during COMPUTE; the
+/// interconnects keep forwarding values (and their valid bits) past the last
+/// scheduled use — systolic chains hop to the array edge, stationary data
+/// stays resident for the whole pass. The design is only correct if no such
+/// stale coincidence fires a MAC into an output accumulator that is later
+/// drained. Table-II style workloads satisfy this structurally; the fuzz
+/// oracle (src/verify) readily synthesizes algebras that do not (degenerate
+/// reuse lattices whose chains run in lockstep with the output's). This
+/// check replays the movement semantics of the generated interconnect over
+/// the tile's space-time volume and throws instead of silently emitting
+/// hardware that double-counts. (The behavioral simulator executes such
+/// designs exactly, so they remain explorable — just not generable.)
+void checkScheduleSoundness(const stt::DataflowSpec& spec,
+                            const sim::TileTrace& trace, const PeGrid& grid) {
+  const std::int64_t kP1 = grid.p1Span, kP2 = grid.p2Span, kT = trace.cycles;
+  if (kT <= 0) return;
+  const std::size_t volume = static_cast<std::size_t>(kP1 * kP2 * kT);
+  const auto index = [&](std::int64_t p1, std::int64_t p2, std::int64_t t) {
+    return static_cast<std::size_t>((p1 * kP2 + p2) * kT + t);
+  };
+  const auto inGrid = [&](std::int64_t p1, std::int64_t p2) {
+    return p1 >= 0 && p1 < kP1 && p2 >= 0 && p2 < kP2;
+  };
+  // Spread one delivery along a dt == 0 bus line (both directions). The
+  // physical bus spans the geometric line at unit spacing — a stride-2
+  // lattice direction still reaches every PE whose cross product matches —
+  // so the spread always walks the primitive direction.
+  const auto spreadLine = [&](std::vector<char>& set, std::int64_t p1,
+                              std::int64_t p2, std::int64_t t,
+                              const linalg::IntVector& dir) {
+    const linalg::IntVector unit = linalg::primitive({dir[0], dir[1]});
+    for (const std::int64_t sign : {+1, -1})
+      for (std::int64_t k = sign;; k += sign) {
+        const std::int64_t q1 = p1 + k * unit[0], q2 = p2 + k * unit[1];
+        if (!inGrid(q1, q2)) break;
+        set[index(q1, q2, t)] = 1;
+      }
+    set[index(p1, p2, t)] = 1;
+  };
+  // Forward closure of one delivery along a register step (dt > 0).
+  const auto hopForward = [&](std::vector<char>& set, std::int64_t p1,
+                              std::int64_t p2, std::int64_t t,
+                              const linalg::IntVector& step) {
+    for (std::int64_t k = 0;; ++k) {
+      const std::int64_t q1 = p1 + k * step[0], q2 = p2 + k * step[1];
+      const std::int64_t qt = t + k * step[2];
+      if (!inGrid(q1, q2) || qt >= kT) break;
+      set[index(q1, q2, qt)] = 1;
+    }
+  };
+
+  std::vector<char> active(volume, 0);
+  for (const auto& ap : trace.active) active[index(ap.p1, ap.p2, ap.t)] = 1;
+
+  // AND of the per-input valid sets, replayed from the tile's injections.
+  std::vector<char> armed(volume, 1);
+  for (std::size_t i = 0; i + 1 < spec.tensors().size(); ++i) {
+    const auto& role = spec.tensors()[i];
+    const sim::Movement mv = sim::deriveMovement(role.dataflow);
+    std::vector<char> valid(volume, 0);
+    if (role.dataflow.hasStationaryComponent()) {
+      // Resident for the whole pass at every PE that holds an element.
+      std::vector<char> resident(static_cast<std::size_t>(kP1 * kP2), 0);
+      for (const auto& ap : trace.active)
+        resident[static_cast<std::size_t>(ap.p1 * kP2 + ap.p2)] = 1;
+      for (std::int64_t p1 = 0; p1 < kP1; ++p1)
+        for (std::int64_t p2 = 0; p2 < kP2; ++p2)
+          if (resident[static_cast<std::size_t>(p1 * kP2 + p2)])
+            for (std::int64_t t = 0; t < kT; ++t) valid[index(p1, p2, t)] = 1;
+    } else {
+      // One physical bus carries one value per cycle: two injections of
+      // different elements on the same line in the same cycle cannot be
+      // realized (the trace's delivery plan is lattice-exact; the hardware
+      // bus is geometric). Detect the conflict instead of mis-driving it.
+      std::map<std::pair<std::int64_t, std::int64_t>, const sim::Injection*>
+          busLoad;
+      for (const auto& inj : trace.injections) {
+        if (inj.tensorIndex != i) continue;
+        if (mv.bus != sim::Movement::Bus::None) {
+          const linalg::IntVector unit =
+              mv.bus == sim::Movement::Bus::Global
+                  ? linalg::IntVector{0, 0}
+                  : linalg::primitive({mv.busDir[0], mv.busDir[1]});
+          const std::int64_t line =
+              mv.bus == sim::Movement::Bus::Global
+                  ? 0
+                  : lineId({inj.p1, inj.p2}, unit[0], unit[1]);
+          const auto [it, fresh] = busLoad.try_emplace({line, inj.cycle}, &inj);
+          TL_CHECK(fresh || it->second->element == inj.element,
+                   "netlist generation: bus conflict for " + role.tensor +
+                       " in " + spec.label() +
+                       ": two different elements scheduled on one bus line "
+                       "in one cycle (lattice-strided reuse; use the "
+                       "behavioral simulator)");
+        }
+        std::vector<std::array<std::int64_t, 3>> delivered;
+        if (mv.bus == sim::Movement::Bus::Global) {
+          for (std::int64_t p1 = 0; p1 < kP1; ++p1)
+            for (std::int64_t p2 = 0; p2 < kP2; ++p2)
+              delivered.push_back({p1, p2, inj.cycle});
+        } else if (mv.bus == sim::Movement::Bus::Line) {
+          const linalg::IntVector unit =
+              linalg::primitive({mv.busDir[0], mv.busDir[1]});
+          delivered.push_back({inj.p1, inj.p2, inj.cycle});
+          for (const std::int64_t sign : {+1, -1})
+            for (std::int64_t k = sign;; k += sign) {
+              const std::int64_t q1 = inj.p1 + k * unit[0];
+              const std::int64_t q2 = inj.p2 + k * unit[1];
+              if (!inGrid(q1, q2)) break;
+              delivered.push_back({q1, q2, inj.cycle});
+            }
+        } else {
+          delivered.push_back({inj.p1, inj.p2, inj.cycle});
+        }
+        const bool hops = mv.hasStep && (mv.step[0] != 0 || mv.step[1] != 0);
+        for (const auto& d : delivered) {
+          valid[index(d[0], d[1], d[2])] = 1;
+          if (hops) hopForward(valid, d[0], d[1], d[2], mv.step);
+        }
+      }
+    }
+    for (std::size_t s = 0; s < volume; ++s)
+      armed[s] = armed[s] && valid[s];
+  }
+
+  // Slots where a drained output accumulator is exposed to a firing MAC.
+  const auto& outRole = spec.outputRole();
+  std::vector<char> live(volume, 0);
+  switch (outRole.dataflow.dataflowClass) {
+    case stt::DataflowClass::Stationary: {
+      // Per-PE accumulator collects every fired MAC until the drain.
+      for (const auto& ev : trace.outputs)
+        for (std::int64_t t = 0; t < kT; ++t)
+          live[index(ev.p1, ev.p2, t)] = 1;
+      break;
+    }
+    case stt::DataflowClass::Systolic: {
+      // The psum passing (p, t) is sampled at the chain exit: every slot on
+      // an output event's space-time diagonal feeds that sample.
+      const linalg::IntVector step = latticeStep(outRole.dataflow);
+      for (const auto& ev : trace.outputs)
+        for (const std::int64_t sign : {+1, -1})
+          for (std::int64_t k = sign == 1 ? 0 : -1;; k += sign) {
+            const std::int64_t q1 = ev.p1 + k * step[0];
+            const std::int64_t q2 = ev.p2 + k * step[1];
+            const std::int64_t t = ev.cycle + k * step[2];
+            if (!inGrid(q1, q2) || t < 0 || t >= kT) break;
+            live[index(q1, q2, t)] = 1;
+          }
+      break;
+    }
+    case stt::DataflowClass::Multicast: {
+      // The reduction tree sums the whole line at the sampled cycle.
+      for (const auto& ev : trace.outputs)
+        spreadLine(live, ev.p1, ev.p2, ev.cycle, outRole.dataflow.direction);
+      break;
+    }
+    default: {  // Unicast: the product register is sampled per event.
+      for (const auto& ev : trace.outputs) live[index(ev.p1, ev.p2, ev.cycle)] = 1;
+      break;
+    }
+  }
+
+  for (std::size_t s = 0; s < volume; ++s) {
+    if (!armed[s] || active[s] || !live[s]) continue;
+    const std::int64_t p1 = static_cast<std::int64_t>(s) / (kP2 * kT);
+    const std::int64_t p2 = (static_cast<std::int64_t>(s) / kT) % kP2;
+    const std::int64_t t = static_cast<std::int64_t>(s) % kT;
+    fail("netlist generation: unsound schedule for " + spec.label() +
+         ": stale operands (all valids high) would fire an unscheduled MAC "
+         "at PE (" + std::to_string(p1) + "," + std::to_string(p2) +
+         ") cycle " + std::to_string(t) +
+         " into a drained accumulator (use the behavioral simulator)");
+  }
+}
+
 }  // namespace
 
 GeneratedAccelerator generateAccelerator(const stt::DataflowSpec& spec,
@@ -39,6 +218,7 @@ GeneratedAccelerator generateAccelerator(const stt::DataflowSpec& spec,
   const stt::TileMapping mapping = stt::computeMapping(spec, arrayConfig);
   const linalg::IntVector shape = mapping.fullTile;
   sim::TileTrace trace = sim::buildTileTrace(spec, shape);
+  checkScheduleSoundness(spec, trace, PeGrid{trace.p1Span, trace.p2Span});
 
   GeneratedAccelerator acc(hwir::Netlist("tensorlib_" + sanitize(spec.label())),
                            spec, std::move(trace), shape);
@@ -217,9 +397,10 @@ GeneratedAccelerator generateAccelerator(const stt::DataflowSpec& spec,
                                      base + "/psum_pipe")
                         : outReg;
         }
-        // Port at the chain's exit PE; keyed by the exit PE coordinate.
+        // Port at the chain's exit PE; keyed by the exact chain (coset-
+        // aware: strided steps interleave multiple chains per line).
         const PeCoord exit = pes.back();
-        acc.output.linePorts[lineId(exit, step[0], step[1])] = n.output(
+        acc.output.linePorts[chainId(exit, step[0], step[1])] = n.output(
             outRole.tensor + "_out_" + std::to_string(chainIdx), psum);
         ++chainIdx;
       }

@@ -151,15 +151,13 @@ void appendTbSchedule(const GeneratedAccelerator& acc,
       for (const auto& ev : trace.outputs) {
         const PeCoord pe{ev.p1, ev.p2};
         // Find the chain's exit PE and the hop count to it.
-        const std::int64_t a1 = std::abs(step[0]);
         const std::pair<std::int64_t, std::int64_t> key{
-            lineId(pe, step[0], step[1]),
-            a1 != 0 ? pe.p1 % a1 : pe.p2 % std::abs(step[1])};
+            lineId(pe, step[0], step[1]), chainResidue(pe, step[0], step[1])};
         const PeCoord exit = chains.at(key).back();
         const std::int64_t s = stepsBetween(pe, exit, step[0], step[1]);
         const std::int64_t cycle = computeBase + ev.cycle + (s + 1) * step[2];
         samples[cycle].push_back(
-            {out.linePorts.at(lineId(exit, step[0], step[1])), ev.element});
+            {out.linePorts.at(chainId(exit, step[0], step[1])), ev.element});
       }
       break;
     }
@@ -214,13 +212,15 @@ TbSchedule buildTbSchedule(const GeneratedAccelerator& acc,
 
 /// Shared simulator loop over a prepared schedule.
 RtlRunResult runSchedule(const GeneratedAccelerator& acc,
-                         const TbSchedule& sched) {
+                         const TbSchedule& sched,
+                         const RtlRunOptions& options = {}) {
   RtlRunResult result;
   result.expected = sched.expected;
   result.collected = tensor::DenseTensor(
       acc.spec.algebra().tensorShape(acc.spec.algebra().output()));
 
-  RtlSimulator sim(acc.netlist);
+  RtlSimulator sim(acc.netlist, options.engine);
+  if (options.corruptTapeMasks) sim.corruptTapeMasksForTest();
   for (std::int64_t cycle = 0; cycle <= sched.lastCycle; ++cycle) {
     sim.clearInputs();
     const auto st = sched.stimulus.find(cycle);
@@ -241,8 +241,9 @@ RtlRunResult runSchedule(const GeneratedAccelerator& acc,
 }  // namespace
 
 RtlRunResult runAcceleratorTile(const GeneratedAccelerator& acc,
-                                const tensor::TensorEnv& env) {
-  return runSchedule(acc, buildTbSchedule(acc, env));
+                                const tensor::TensorEnv& env,
+                                const RtlRunOptions& options) {
+  return runSchedule(acc, buildTbSchedule(acc, env), options);
 }
 
 RtlRunResult runAcceleratorFull(const GeneratedAccelerator& acc,

@@ -8,9 +8,20 @@
 #pragma once
 
 #include "arch/generator.hpp"
+#include "hwir/rtlsim.hpp"
 #include "tensor/reference.hpp"
 
 namespace tensorlib::arch {
+
+/// How the netlist is executed by the in-process testbench. The conformance
+/// oracle (src/verify) runs the same schedule through both engines to
+/// localize a defect to the compiled tape vs the legacy interpreter.
+struct RtlRunOptions {
+  hwir::SimEngine engine = hwir::SimEngine::Compiled;
+  /// Fault-injection demo: corrupt the compiled tape's width masks before
+  /// running (see RtlSimulator::corruptTapeMasksForTest). Legacy: no-op.
+  bool corruptTapeMasks = false;
+};
 
 struct RtlRunResult {
   tensor::DenseTensor collected;  ///< what the ports produced
@@ -23,7 +34,8 @@ struct RtlRunResult {
 /// Runs one tile (origin 0, outer iterations 0) of the generated
 /// accelerator against the tensor environment.
 RtlRunResult runAcceleratorTile(const GeneratedAccelerator& acc,
-                                const tensor::TensorEnv& env);
+                                const tensor::TensorEnv& env,
+                                const RtlRunOptions& options = {});
 
 /// Runs the COMPLETE workload at RTL: every tile at every outer-loop
 /// iteration executes as one controller stage (the wrapping stage counter

@@ -105,4 +105,10 @@ bool Session::verifyBehavioral(const DesignReport& report,
   return result.output.maxAbsDiff(golden) == 0.0;
 }
 
+verify::ConformanceReport Session::verifyConformance(
+    verify::ConformanceOptions options) const {
+  options.array = array_;
+  return verify::checkAlgebra(algebra_, options);
+}
+
 }  // namespace tensorlib::driver

@@ -16,6 +16,7 @@
 #include "cost/asic.hpp"
 #include "sim/perf.hpp"
 #include "stt/enumerate.hpp"
+#include "verify/conformance.hpp"
 
 namespace tensorlib::driver {
 
@@ -71,6 +72,14 @@ class Session {
   /// Verifies the full workload with the behavioral simulator against the
   /// software reference; returns true on exact match.
   bool verifyBehavioral(const DesignReport& report, std::uint64_t seed = 1) const;
+
+  /// Runs the cross-layer conformance oracle over this session's algebra on
+  /// its array: every (capped) design point through the dense reference,
+  /// both behavioral trace paths, and both RTL engines; the report names the
+  /// first divergent layer per failing design with a replay seed.
+  /// `options.array` is overridden by the session's array.
+  verify::ConformanceReport verifyConformance(
+      verify::ConformanceOptions options = {}) const;
 
  private:
   DesignReport evaluate(stt::DataflowSpec spec) const;

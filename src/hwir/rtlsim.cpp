@@ -112,6 +112,10 @@ void RtlSimulator::compile() {
   }
 }
 
+void RtlSimulator::corruptTapeMasksForTest() {
+  for (TapeInstr& t : tape_) t.mask ^= 1;
+}
+
 void RtlSimulator::poke(NodeId input, std::uint64_t value) {
   TL_CHECK(netlist_.node(input).op == Op::Input, "poke target is not an input");
   inputValue_[input] = maskTo(value, netlist_.node(input).width);

@@ -52,6 +52,13 @@ class RtlSimulator {
 
   std::int64_t cycle() const { return cycle_; }
 
+  /// Fault injection for conformance testing: flips the low bit of every
+  /// compiled-tape width mask, so masked results silently lose/gain their
+  /// LSB. The legacy engine reads Node widths directly and is unaffected —
+  /// exactly the single-layer defect the differential oracle must localize.
+  /// No-op for SimEngine::Legacy instances.
+  void corruptTapeMasksForTest();
+
   /// Helpers for numeric ports.
   static std::uint64_t encodeFloat(float f);
   static float decodeFloat(std::uint64_t bits);

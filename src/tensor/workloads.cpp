@@ -68,4 +68,100 @@ TensorAlgebra ttmc(std::int64_t i, std::int64_t j, std::int64_t k,
 TensorAlgebra conv2dResNetLayer2() { return conv2d(64, 64, 56, 56, 3, 3); }
 TensorAlgebra conv2dResNetLayer5() { return conv2d(512, 512, 7, 7, 3, 3); }
 
+TensorAlgebra conv2dStrided(std::int64_t k, std::int64_t c, std::int64_t y,
+                            std::int64_t x, std::int64_t p, std::int64_t q,
+                            std::int64_t stride) {
+  // loops: k=0, c=1, y=2, x=3, p=4, q=5; A's map rows are s*y+p / s*x+q.
+  linalg::IntMatrix a(3, 6);
+  a.at(0, 1) = 1;
+  a.at(1, 2) = stride;
+  a.at(1, 4) = 1;
+  a.at(2, 3) = stride;
+  a.at(2, 5) = 1;
+  return TensorAlgebra(
+      "Strided-Conv2D",
+      {{"k", k}, {"c", c}, {"y", y}, {"x", x}, {"p", p}, {"q", q}},
+      ref("C", 6, {{0}, {2}, {3}}),
+      {TensorRef{"A", AffineAccess(std::move(a))},
+       ref("B", 6, {{0}, {1}, {4}, {5}})});
+}
+
+TensorAlgebra conv2dDilated(std::int64_t k, std::int64_t c, std::int64_t y,
+                            std::int64_t x, std::int64_t p, std::int64_t q,
+                            std::int64_t dilation) {
+  // loops: k=0, c=1, y=2, x=3, p=4, q=5; A's map rows are y+d*p / x+d*q.
+  linalg::IntMatrix a(3, 6);
+  a.at(0, 1) = 1;
+  a.at(1, 2) = 1;
+  a.at(1, 4) = dilation;
+  a.at(2, 3) = 1;
+  a.at(2, 5) = dilation;
+  return TensorAlgebra(
+      "Dilated-Conv2D",
+      {{"k", k}, {"c", c}, {"y", y}, {"x", x}, {"p", p}, {"q", q}},
+      ref("C", 6, {{0}, {2}, {3}}),
+      {TensorRef{"A", AffineAccess(std::move(a))},
+       ref("B", 6, {{0}, {1}, {4}, {5}})});
+}
+
+TensorAlgebra attention(std::int64_t i, std::int64_t j, std::int64_t k) {
+  // loops: i=0, j=1, k=2
+  return TensorAlgebra(
+      "Attention", {{"i", i}, {"j", j}, {"k", k}},
+      ref("S", 3, {{0}, {1}}),
+      {ref("Q", 3, {{0}, {2}}), ref("K", 3, {{1}, {2}})});
+}
+
+TensorAlgebra batchedAttention(std::int64_t b, std::int64_t i, std::int64_t j,
+                               std::int64_t k) {
+  // loops: b=0, i=1, j=2, k=3
+  return TensorAlgebra(
+      "Batched-Attention", {{"b", b}, {"i", i}, {"j", j}, {"k", k}},
+      ref("S", 4, {{0}, {1}, {2}}),
+      {ref("Q", 4, {{0}, {1}, {3}}), ref("K", 4, {{0}, {2}, {3}})});
+}
+
+TensorAlgebra contraction3(std::int64_t i, std::int64_t j, std::int64_t k,
+                           std::int64_t l) {
+  // loops: i=0, j=1, k=2, l=3
+  return TensorAlgebra(
+      "Contraction3", {{"i", i}, {"j", j}, {"k", k}, {"l", l}},
+      ref("D", 4, {{0}, {3}}),
+      {ref("A", 4, {{0}, {1}}), ref("B", 4, {{1}, {2}}),
+       ref("C", 4, {{2}, {3}})});
+}
+
+TensorAlgebra pointwiseResidual(std::int64_t b, std::int64_t i, std::int64_t j) {
+  // loops: b=0, i=1, j=2
+  return TensorAlgebra(
+      "Pointwise-Residual", {{"b", b}, {"i", i}, {"j", j}},
+      ref("R", 3, {{0}, {1}, {2}}),
+      {ref("X", 3, {{0}, {1}, {2}}), ref("G", 3, {{2}})});
+}
+
+std::vector<NamedWorkload> allWorkloads() {
+  return {
+      {"gemm", gemm(5, 5, 5), 40},
+      {"batched-gemv", batchedGemv(5, 5, 5), 40},
+      {"conv2d", conv2d(4, 4, 4, 4, 2, 2), 12},
+      {"depthwise", depthwiseConv(4, 4, 4, 2, 2), 12},
+      {"mttkrp", mttkrp(4, 4, 4, 4), 12},
+      {"ttmc", ttmc(3, 3, 3, 3, 3), 12},
+      {"conv2d-strided", conv2dStrided(3, 3, 3, 3, 2, 2, 2), 10},
+      {"conv2d-dilated", conv2dDilated(3, 3, 3, 3, 2, 2, 2), 10},
+      {"attention", attention(4, 4, 4), 24},
+      {"batched-attention", batchedAttention(2, 3, 3, 3), 12},
+      {"contraction3", contraction3(3, 3, 3, 3), 12},
+      {"pointwise-residual", pointwiseResidual(3, 4, 4), 12,
+       /*allowAllUnicast=*/true},
+  };
+}
+
+const NamedWorkload* findWorkload(const std::string& name) {
+  static const std::vector<NamedWorkload> table = allWorkloads();
+  for (const auto& w : table)
+    if (w.name == name) return &w;
+  return nullptr;
+}
+
 }  // namespace tensorlib::tensor::workloads

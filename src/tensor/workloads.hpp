@@ -1,4 +1,5 @@
-// The six tensor algebras evaluated by the paper (Table II):
+// The scenario library: the six Table-II algebras of the paper plus the
+// extended shapes the conformance subsystem sweeps.
 //
 //   GEMM            C[m,n]   += A[m,k]     * B[n,k]
 //   Batched-GEMV    C[m,n]   += A[m,k,n]   * B[m,k]
@@ -6,12 +7,23 @@
 //   Depthwise-Conv  C[k,y,x] += A[k,y+p,x+q] * B[k,p,q]
 //   MTTKRP          D[i,j]   += A[i,k,l]   * B[k,j] * C[l,j]
 //   TTMc            D[i,j,k] += A[i,l,m]   * B[l,j] * C[m,k]
+//   Strided-Conv2D  C[k,y,x] += A[c,s*y+p,s*x+q] * B[k,c,p,q]
+//   Dilated-Conv2D  C[k,y,x] += A[c,y+d*p,x+d*q] * B[k,c,p,q]
+//   Attention       S[i,j]   += Q[i,k]     * K[j,k]
+//   Batched-Attn    S[b,i,j] += Q[b,i,k]   * K[b,j,k]
+//   Contraction3    D[i,l]   += A[i,j] * B[j,k] * C[k,l]
+//   Pointwise       R[b,i,j] += X[b,i,j]   * G[j]
 //
 // Each factory takes loop extents so tests can use tiny instances and
 // benches can use the paper's sizes (e.g. ResNet layers for Conv2D).
+// allWorkloads() registers one small, simulation-friendly instance of every
+// scenario; the property sweep, the conformance oracle, the scenario bench
+// and tools/conformance_runner all iterate that single table.
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "tensor/algebra.hpp"
 
@@ -39,5 +51,52 @@ TensorAlgebra ttmc(std::int64_t i, std::int64_t j, std::int64_t k,
 /// layer-5 (7x7 maps, 512ch), both 3x3 kernels.
 TensorAlgebra conv2dResNetLayer2();
 TensorAlgebra conv2dResNetLayer5();
+
+/// Conv2D with input stride s: C[k,y,x] += A[c, s*y+p, s*x+q] * B[k,c,p,q].
+TensorAlgebra conv2dStrided(std::int64_t k, std::int64_t c, std::int64_t y,
+                            std::int64_t x, std::int64_t p, std::int64_t q,
+                            std::int64_t stride);
+
+/// Conv2D with kernel dilation d: C[k,y,x] += A[c, y+d*p, x+d*q] * B[k,c,p,q].
+TensorAlgebra conv2dDilated(std::int64_t k, std::int64_t c, std::int64_t y,
+                            std::int64_t x, std::int64_t p, std::int64_t q,
+                            std::int64_t dilation);
+
+/// Attention-score kernel S[i,j] += Q[i,k] * K[j,k] (Q·K^T; structurally a
+/// GEMM with both operands row-indexed by their own loop).
+TensorAlgebra attention(std::int64_t i, std::int64_t j, std::int64_t k);
+
+/// Batched attention scores S[b,i,j] += Q[b,i,k] * K[b,j,k].
+TensorAlgebra batchedAttention(std::int64_t b, std::int64_t i, std::int64_t j,
+                               std::int64_t k);
+
+/// Three-operand chained contraction D[i,l] += A[i,j] * B[j,k] * C[k,l].
+TensorAlgebra contraction3(std::int64_t i, std::int64_t j, std::int64_t k,
+                           std::int64_t l);
+
+/// Pointwise/residual shape R[b,i,j] += X[b,i,j] * G[j]: an elementwise
+/// update scaled by a per-channel gain. The identity output access means
+/// every design streams the output (Unicast) — consumers must enumerate
+/// with dropAllUnicast disabled (see NamedWorkload::allowAllUnicast).
+TensorAlgebra pointwiseResidual(std::int64_t b, std::int64_t i, std::int64_t j);
+
+/// One registered scenario: a small, simulation-friendly instance plus the
+/// sweep hints test harnesses need.
+struct NamedWorkload {
+  std::string name;
+  TensorAlgebra algebra;
+  /// Per-selection spec cap for exhaustive sweeps (keeps ctest runtime flat).
+  std::size_t sweepCap;
+  /// True for workloads whose only realizable designs stream every tensor
+  /// (pointwise shapes): enumerate with EnumerationOptions::dropAllUnicast
+  /// = false or the design space is empty.
+  bool allowAllUnicast = false;
+};
+
+/// The scenario table: every workload above at small verification extents.
+std::vector<NamedWorkload> allWorkloads();
+
+/// Table lookup by name; nullptr when absent.
+const NamedWorkload* findWorkload(const std::string& name);
 
 }  // namespace tensorlib::tensor::workloads

@@ -1,0 +1,243 @@
+#include "verify/conformance.hpp"
+
+#include <sstream>
+
+#include "arch/testbench.hpp"
+#include "sim/dfsim.hpp"
+#include "support/error.hpp"
+#include "tensor/reference.hpp"
+
+namespace tensorlib::verify {
+
+const char* layerName(Layer layer) {
+  switch (layer) {
+    case Layer::Reference: return "reference";
+    case Layer::DataflowSim: return "dataflow-sim";
+    case Layer::DataflowSimRebuild: return "dataflow-sim-rebuild";
+    case Layer::RtlCompiled: return "rtl-compiled";
+    case Layer::RtlLegacy: return "rtl-legacy";
+  }
+  return "?";
+}
+
+bool SpecReport::pass() const { return !firstDivergence().has_value(); }
+
+std::optional<Layer> SpecReport::firstDivergence() const {
+  for (const auto& l : layers)
+    if (l.ran && !l.matched) return l.layer;
+  return std::nullopt;
+}
+
+std::string SpecReport::summary() const {
+  std::ostringstream os;
+  os << specLabel << " seed=" << dataSeed;
+  const auto div = firstDivergence();
+  if (!div) {
+    os << ": conformant";
+    return os.str();
+  }
+  os << ": FIRST DIVERGENCE at " << layerName(*div);
+  for (const auto& l : layers) {
+    os << "\n  " << layerName(l.layer) << ": ";
+    if (!l.ran) {
+      os << "skipped" << (l.detail.empty() ? "" : " (" + l.detail + ")");
+    } else if (l.matched) {
+      os << "ok";
+    } else {
+      os << "MISMATCH maxAbsDiff=" << l.maxAbsDiff
+         << (l.detail.empty() ? "" : " " + l.detail);
+    }
+  }
+  os << "\n  transform:\n" << transform;
+  return os.str();
+}
+
+std::string ConformanceReport::summary() const {
+  std::ostringstream os;
+  os << algebra << "\n  seed=" << dataSeed << " specs=" << specsChecked
+     << " rtlSpecs=" << rtlSpecsChecked;
+  if (specsChecked == 0) {
+    os << " : VACUOUS (empty design space under these enumeration options)";
+    return os.str();
+  }
+  if (pass()) {
+    os << " : all conformant";
+    return os.str();
+  }
+  os << " : " << failures.size() << " divergent design point(s)";
+  for (const auto& f : failures) os << "\n" << f.summary();
+  return os.str();
+}
+
+namespace {
+
+LayerResult compareOutputs(Layer layer, const tensor::DenseTensor& got,
+                           const tensor::DenseTensor& golden) {
+  LayerResult r;
+  r.layer = layer;
+  r.ran = true;
+  if (!got.sameShape(golden)) {
+    r.matched = false;
+    r.detail = "output shape mismatch";
+    return r;
+  }
+  r.maxAbsDiff = got.maxAbsDiff(golden);
+  r.matched = r.maxAbsDiff == 0.0;
+  return r;
+}
+
+LayerResult skipped(Layer layer, std::string why) {
+  LayerResult r;
+  r.layer = layer;
+  r.ran = false;
+  r.detail = std::move(why);
+  return r;
+}
+
+/// One behavioral simulation with the given trace policy, compared against
+/// the golden output. Errors thrown by the simulator count as divergence at
+/// this layer (the layers upstream accepted the spec).
+LayerResult runDataflowSim(Layer layer, const stt::DataflowSpec& spec,
+                           const ConformanceOptions& options,
+                           const tensor::TensorEnv& env,
+                           const tensor::DenseTensor& golden,
+                           bool reuseTraces) {
+  sim::SimOptions simOpts;
+  simOpts.reuseTraces = reuseTraces;
+  try {
+    const sim::SimResult result =
+        sim::simulate(spec, options.array, &env, simOpts);
+    return compareOutputs(layer, result.output, golden);
+  } catch (const Error& e) {
+    LayerResult r;
+    r.layer = layer;
+    r.ran = true;
+    r.matched = false;
+    r.detail = std::string("simulator error: ") + e.what();
+    return r;
+  }
+}
+
+/// One RTL testbench run of the accelerator's tile under `engine`. The
+/// testbench compares the collected port outputs against its own golden tile
+/// values, so a mismatch localizes to the netlist/engine, not the mapping.
+LayerResult runRtlEngine(Layer layer, const arch::GeneratedAccelerator& acc,
+                         const tensor::TensorEnv& env, hwir::SimEngine engine,
+                         bool tamper) {
+  arch::RtlRunOptions runOpts;
+  runOpts.engine = engine;
+  runOpts.corruptTapeMasks = tamper;
+  const arch::RtlRunResult run = arch::runAcceleratorTile(acc, env, runOpts);
+  LayerResult r;
+  r.layer = layer;
+  r.ran = true;
+  r.maxAbsDiff = run.maxAbsDiff;
+  r.matched = run.matches();
+  return r;
+}
+
+}  // namespace
+
+SpecReport checkSpec(const stt::DataflowSpec& spec,
+                     const ConformanceOptions& options, bool runRtl) {
+  SpecReport report;
+  report.specLabel = spec.label();
+  report.transform = spec.transform().str();
+  report.dataSeed = options.dataSeed;
+
+  const auto& algebra = spec.algebra();
+  const tensor::TensorEnv env =
+      tensor::makeRandomInputs(algebra, options.dataSeed);
+  const tensor::DenseTensor golden = tensor::referenceExecute(algebra, env);
+
+  LayerResult ref;
+  ref.layer = Layer::Reference;
+  ref.ran = true;
+  report.layers.push_back(ref);
+
+  report.layers.push_back(runDataflowSim(Layer::DataflowSim, spec, options,
+                                         env, golden, /*reuseTraces=*/true));
+  report.layers.push_back(runDataflowSim(Layer::DataflowSimRebuild, spec,
+                                         options, env, golden,
+                                         /*reuseTraces=*/false));
+
+  if (!runRtl) {
+    report.layers.push_back(skipped(Layer::RtlCompiled, "rtl budget"));
+    report.layers.push_back(skipped(Layer::RtlLegacy, "rtl budget"));
+    return report;
+  }
+  if (spec.outputRole().dataflow.reuseRank > 1) {
+    report.layers.push_back(
+        skipped(Layer::RtlCompiled, "rank-2 output not netlist-generable"));
+    report.layers.push_back(
+        skipped(Layer::RtlLegacy, "rank-2 output not netlist-generable"));
+    return report;
+  }
+  std::optional<arch::GeneratedAccelerator> acc;
+  try {
+    acc.emplace(arch::generateAccelerator(spec, options.array));
+  } catch (const Error& e) {
+    // Known generator limitation for this dataflow combination: the
+    // behavioral layers above still fully verified the mapping.
+    report.layers.push_back(
+        skipped(Layer::RtlCompiled, std::string("not generable: ") + e.what()));
+    report.layers.push_back(
+        skipped(Layer::RtlLegacy, std::string("not generable: ") + e.what()));
+    return report;
+  }
+  // Errors past this point are engine defects, not generator limitations:
+  // they must surface as divergence at their layer, never as a skip.
+  const auto runEngine = [&](Layer layer, hwir::SimEngine engine, bool tamper) {
+    try {
+      return runRtlEngine(layer, *acc, env, engine, tamper);
+    } catch (const Error& e) {
+      LayerResult r;
+      r.layer = layer;
+      r.ran = true;
+      r.matched = false;
+      r.detail = std::string("rtl error: ") + e.what();
+      return r;
+    }
+  };
+  report.layers.push_back(runEngine(Layer::RtlCompiled,
+                                    hwir::SimEngine::Compiled,
+                                    options.tamperRtlTape));
+  report.layers.push_back(
+      runEngine(Layer::RtlLegacy, hwir::SimEngine::Legacy, /*tamper=*/false));
+  return report;
+}
+
+ConformanceReport checkAlgebra(const tensor::TensorAlgebra& algebra,
+                               const ConformanceOptions& options) {
+  ConformanceReport report;
+  report.algebra = algebra.str();
+  report.dataSeed = options.dataSeed;
+
+  for (const auto& sel : stt::allLoopSelections(algebra)) {
+    auto specs = stt::enumerateTransforms(algebra, sel, options.enumeration);
+    const std::size_t count =
+        std::min(options.maxSpecsPerSelection, specs.size());
+    for (std::size_t i = 0; i < count; ++i) {
+      const bool runRtl = report.rtlSpecsChecked < options.maxRtlSpecs;
+      SpecReport sr = checkSpec(specs[i], options, runRtl);
+      // Only designs whose RTL layers actually executed consume the budget;
+      // rank-2 outputs and generator limitations are free skips.
+      if (sr.layers.size() > 3 && sr.layers[3].ran) ++report.rtlSpecsChecked;
+      ++report.specsChecked;
+      if (!sr.pass()) report.failures.push_back(std::move(sr));
+    }
+  }
+  return report;
+}
+
+FailurePredicate divergencePredicate(const ConformanceOptions& options) {
+  return [options](const tensor::TensorAlgebra& candidate) {
+    try {
+      return !checkAlgebra(candidate, options).failures.empty();
+    } catch (const Error&) {
+      return true;
+    }
+  };
+}
+
+}  // namespace tensorlib::verify

@@ -1,0 +1,118 @@
+// Cross-layer differential conformance oracle.
+//
+// The codebase keeps two implementations of every hot path (legacy vs. fast
+// enumeration, legacy vs. compiled-tape RTL interpretation, rebuilt vs.
+// memoized tile traces). This oracle runs one design point through every
+// engine in lockstep against the dense reference executor and reports the
+// FIRST divergent layer with enough context to replay it:
+//
+//   Reference          tensor::referenceExecute       (the golden model)
+//   DataflowSim        sim::simulate, trace memoization on
+//   DataflowSimRebuild sim::simulate, trace memoization off
+//   RtlCompiled        generated netlist under the compiled evaluation tape
+//   RtlLegacy          generated netlist under the legacy node interpreter
+//
+// A divergence in DataflowSim but not DataflowSimRebuild indicts the trace
+// cache; one in RtlCompiled but not RtlLegacy indicts the tape compiler; and
+// so on. checkAlgebra() sweeps the enumerated design space of an algebra so
+// a single call conformance-checks a whole scenario.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stt/enumerate.hpp"
+#include "stt/mapping.hpp"
+#include "tensor/algebra.hpp"
+#include "verify/fuzz.hpp"
+
+namespace tensorlib::verify {
+
+/// The engines a design point is run through, in comparison order.
+enum class Layer {
+  Reference,           ///< dense reference executor (baseline)
+  DataflowSim,         ///< functional dataflow sim, TileTraceCache on
+  DataflowSimRebuild,  ///< functional dataflow sim, per-tile rebuild
+  RtlCompiled,         ///< netlist testbench under the compiled tape
+  RtlLegacy,           ///< netlist testbench under the legacy interpreter
+};
+
+const char* layerName(Layer layer);
+
+struct ConformanceOptions {
+  /// Array the designs are mapped onto. Small arrays keep tile traces (and
+  /// therefore netlists) small, which is what a sweeping oracle wants.
+  stt::ArrayConfig array{4, 4, 320.0, 32.0, 2};
+  /// Seed for the deterministic tensor contents (the replay handle).
+  std::uint64_t dataSeed = 1;
+  /// Enumeration engine/knobs under test (checkAlgebra only).
+  stt::EnumerationOptions enumeration;
+  /// Per-selection cap on design points (checkAlgebra only).
+  std::size_t maxSpecsPerSelection = 6;
+  /// RTL runs cost ~10x a behavioral run; cap them per algebra. 0 disables
+  /// the RTL layers entirely.
+  std::size_t maxRtlSpecs = 4;
+  /// Fault-injection demo: corrupt the compiled tape's width masks so the
+  /// oracle must localize the defect to RtlCompiled.
+  bool tamperRtlTape = false;
+};
+
+/// Outcome of one engine on one design point.
+struct LayerResult {
+  Layer layer = Layer::Reference;
+  bool ran = false;       ///< false: skipped (detail says why)
+  bool matched = true;    ///< vs. the reference/golden output
+  double maxAbsDiff = 0.0;
+  std::string detail;
+};
+
+/// All layers of one design point.
+struct SpecReport {
+  std::string specLabel;
+  std::string transform;  ///< the 3x3 STT matrix, for exact replay
+  std::uint64_t dataSeed = 0;
+  std::vector<LayerResult> layers;
+
+  bool pass() const;
+  /// First layer that ran and mismatched; nullopt when conformant.
+  std::optional<Layer> firstDivergence() const;
+  std::string summary() const;
+};
+
+/// Aggregate over the design space of one algebra.
+struct ConformanceReport {
+  std::string algebra;  ///< TensorAlgebra::str(), for replay context
+  std::uint64_t dataSeed = 0;
+  std::size_t specsChecked = 0;
+  std::size_t rtlSpecsChecked = 0;
+  std::vector<SpecReport> failures;  ///< only divergent design points
+
+  /// Conformant AND non-vacuous: an empty design space (everything dropped
+  /// by the enumeration filters) is not a green verdict — nothing was
+  /// checked. Callers sweeping algebras that may legitimately enumerate
+  /// empty should inspect `failures`/`specsChecked` directly.
+  bool pass() const { return failures.empty() && specsChecked > 0; }
+  std::string summary() const;
+};
+
+/// Runs one design point through every engine. `runRtl` additionally drives
+/// the generated netlist through both RTL engines (skipped automatically for
+/// rank-2 outputs, which the netlist generator does not support).
+SpecReport checkSpec(const stt::DataflowSpec& spec,
+                     const ConformanceOptions& options = {}, bool runRtl = true);
+
+/// Enumerates the algebra's design space (capped per selection) and checks
+/// every point; failures carry the replay seed and the exact transform.
+ConformanceReport checkAlgebra(const tensor::TensorAlgebra& algebra,
+                               const ConformanceOptions& options = {});
+
+/// shrinkAlgebra predicate: a candidate "still fails" when its conformance
+/// sweep produces at least one divergent design point; a pipeline Error on
+/// a valid algebra also counts (it is a defect worth keeping), a vacuously
+/// empty design space does not. Shared by the fuzz test and the CLI so a
+/// shrunken replay means the same thing in both.
+FailurePredicate divergencePredicate(const ConformanceOptions& options);
+
+}  // namespace tensorlib::verify

@@ -1,0 +1,283 @@
+#include "verify/fuzz.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/prng.hpp"
+
+namespace tensorlib::verify {
+
+namespace {
+
+using tensor::TensorAlgebra;
+
+/// Mutable decomposition of an algebra the shrinker edits freely; build()
+/// re-validates through the TensorAlgebra constructor.
+struct ProtoTensor {
+  std::string name;
+  linalg::IntMatrix coeff;
+  linalg::IntVector offset;
+};
+
+struct Proto {
+  std::string name;
+  std::vector<tensor::Iterator> loops;
+  ProtoTensor output;
+  std::vector<ProtoTensor> inputs;
+};
+
+Proto toProto(const TensorAlgebra& a) {
+  Proto p;
+  p.name = a.name();
+  p.loops = a.loops();
+  p.output = {a.output().tensor, a.output().access.coeff(),
+              a.output().access.offset()};
+  for (const auto& in : a.inputs())
+    p.inputs.push_back({in.tensor, in.access.coeff(), in.access.offset()});
+  return p;
+}
+
+std::optional<TensorAlgebra> build(const Proto& p) {
+  try {
+    tensor::TensorRef out{p.output.name,
+                          tensor::AffineAccess(p.output.coeff, p.output.offset)};
+    std::vector<tensor::TensorRef> ins;
+    for (const auto& t : p.inputs)
+      ins.push_back({t.name, tensor::AffineAccess(t.coeff, t.offset)});
+    return TensorAlgebra(p.name, p.loops, std::move(out), std::move(ins));
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+}
+
+linalg::IntMatrix dropColumn(const linalg::IntMatrix& m, std::size_t col) {
+  linalg::IntMatrix out(m.rows(), m.cols() - 1);
+  for (std::size_t r = 0; r < m.rows(); ++r)
+    for (std::size_t c = 0, o = 0; c < m.cols(); ++c)
+      if (c != col) out.at(r, o++) = m.at(r, c);
+  return out;
+}
+
+linalg::IntMatrix dropRow(const linalg::IntMatrix& m, std::size_t row) {
+  linalg::IntMatrix out(m.rows() - 1, m.cols());
+  for (std::size_t r = 0, o = 0; r < m.rows(); ++r) {
+    if (r == row) continue;
+    for (std::size_t c = 0; c < m.cols(); ++c) out.at(o, c) = m.at(r, c);
+    ++o;
+  }
+  return out;
+}
+
+/// All single-step reductions of `a`, smallest-result-first: structural
+/// drops (inputs, loops, dimensions) before scalar reductions (extents,
+/// offsets, coefficients).
+std::vector<TensorAlgebra> shrinkCandidates(const TensorAlgebra& a,
+                                            const FuzzOptions& options) {
+  std::vector<TensorAlgebra> out;
+  const Proto base = toProto(a);
+  auto push = [&](const Proto& p) {
+    if (auto built = build(p)) out.push_back(std::move(*built));
+  };
+
+  // Drop one input (keep >= 1).
+  for (std::size_t i = 0; base.inputs.size() > 1 && i < base.inputs.size();
+       ++i) {
+    Proto p = base;
+    p.inputs.erase(p.inputs.begin() + static_cast<std::ptrdiff_t>(i));
+    push(p);
+  }
+  // Drop one loop (keep >= minLoops): the loop column vanishes from every
+  // access, i.e. the loop is pinned at 0.
+  for (std::size_t j = 0; base.loops.size() > options.minLoops &&
+                          j < base.loops.size();
+       ++j) {
+    Proto p = base;
+    p.loops.erase(p.loops.begin() + static_cast<std::ptrdiff_t>(j));
+    p.output.coeff = dropColumn(p.output.coeff, j);
+    for (auto& t : p.inputs) t.coeff = dropColumn(t.coeff, j);
+    push(p);
+  }
+  // Drop one tensor dimension (keep rank >= 1).
+  auto dropDims = [&](bool isOutput, std::size_t tensorIdx) {
+    const ProtoTensor& t =
+        isOutput ? base.output : base.inputs[tensorIdx];
+    for (std::size_t d = 0; t.coeff.rows() > 1 && d < t.coeff.rows(); ++d) {
+      Proto p = base;
+      ProtoTensor& pt = isOutput ? p.output : p.inputs[tensorIdx];
+      pt.coeff = dropRow(pt.coeff, d);
+      linalg::IntVector off = pt.offset;
+      off.erase(off.begin() + static_cast<std::ptrdiff_t>(d));
+      pt.offset = std::move(off);
+      push(p);
+    }
+  };
+  dropDims(/*isOutput=*/true, 0);
+  for (std::size_t i = 0; i < base.inputs.size(); ++i) dropDims(false, i);
+  // Shrink one extent: jump to 1 first, then decrement.
+  for (std::size_t j = 0; j < base.loops.size(); ++j) {
+    if (base.loops[j].extent <= 1) continue;
+    Proto p = base;
+    p.loops[j].extent = 1;
+    push(p);
+    if (base.loops[j].extent > 2) {
+      Proto q = base;
+      --q.loops[j].extent;
+      push(q);
+    }
+  }
+  // Zero one offset entry.
+  auto zeroOffsets = [&](bool isOutput, std::size_t tensorIdx) {
+    const ProtoTensor& t = isOutput ? base.output : base.inputs[tensorIdx];
+    for (std::size_t d = 0; d < t.offset.size(); ++d) {
+      if (t.offset[d] == 0) continue;
+      Proto p = base;
+      (isOutput ? p.output : p.inputs[tensorIdx]).offset[d] = 0;
+      push(p);
+    }
+  };
+  zeroOffsets(true, 0);
+  for (std::size_t i = 0; i < base.inputs.size(); ++i) zeroOffsets(false, i);
+  // Lower one coefficient: >1 -> 1, 1 -> 0.
+  auto lowerCoeffs = [&](bool isOutput, std::size_t tensorIdx) {
+    const ProtoTensor& t = isOutput ? base.output : base.inputs[tensorIdx];
+    for (std::size_t r = 0; r < t.coeff.rows(); ++r)
+      for (std::size_t c = 0; c < t.coeff.cols(); ++c) {
+        const std::int64_t v = t.coeff.at(r, c);
+        if (v == 0) continue;
+        Proto p = base;
+        (isOutput ? p.output : p.inputs[tensorIdx]).coeff.at(r, c) =
+            v > 1 ? 1 : 0;
+        push(p);
+      }
+  };
+  lowerCoeffs(true, 0);
+  for (std::size_t i = 0; i < base.inputs.size(); ++i) lowerCoeffs(false, i);
+  return out;
+}
+
+}  // namespace
+
+tensor::TensorAlgebra randomAlgebra(std::uint64_t seed,
+                                    const FuzzOptions& options) {
+  TL_CHECK(options.minLoops >= 3 && options.maxLoops >= options.minLoops,
+           "randomAlgebra: need at least 3 loops for STT selections");
+  TL_CHECK(options.maxInputs >= 1 && options.maxInputs <= 3,
+           "randomAlgebra: supports 1-3 input tensors");
+  Prng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+
+  const std::size_t loopCount = static_cast<std::size_t>(rng.uniformInt(
+      static_cast<std::int64_t>(options.minLoops),
+      static_cast<std::int64_t>(options.maxLoops)));
+  std::vector<tensor::Iterator> loops(loopCount);
+  for (std::size_t j = 0; j < loopCount; ++j) {
+    loops[j].name = "i" + std::to_string(j);
+    loops[j].extent = rng.uniformInt(1, options.maxExtent);
+  }
+
+  // Raw access matrices first; validity fixes are applied before building.
+  struct Raw {
+    linalg::IntMatrix coeff;
+    linalg::IntVector offset;
+  };
+  auto makeRaw = [&]() {
+    const std::size_t rank = static_cast<std::size_t>(rng.uniformInt(
+        1, static_cast<std::int64_t>(
+               std::min(options.maxTensorRank, loopCount))));
+    Raw raw{linalg::IntMatrix(rank, loopCount), linalg::IntVector(rank, 0)};
+    for (std::size_t d = 0; d < rank; ++d) {
+      for (std::size_t j = 0; j < loopCount; ++j) {
+        const std::int64_t roll = rng.uniformInt(0, 9);
+        if (roll < 6) continue;                       // sparse by default
+        raw.coeff.at(d, j) =
+            roll < 9 ? 1 : rng.uniformInt(2, std::max<std::int64_t>(
+                                                 2, options.maxCoeff));
+      }
+      if (options.maxOffset > 0 && rng.uniformInt(0, 3) == 0)
+        raw.offset[d] = rng.uniformInt(1, options.maxOffset);
+    }
+    return raw;
+  };
+
+  Raw output = makeRaw();
+  const std::size_t numInputs = static_cast<std::size_t>(
+      rng.uniformInt(1, static_cast<std::int64_t>(options.maxInputs)));
+  std::vector<Raw> inputs;
+  for (std::size_t i = 0; i < numInputs; ++i) inputs.push_back(makeRaw());
+
+  // Fix degenerate accesses (all-zero matrix would make the tensor a single
+  // scalar, which the enumeration filters drop wholesale).
+  auto ensureNonZero = [&](Raw& raw) {
+    for (std::size_t d = 0; d < raw.coeff.rows(); ++d)
+      for (std::size_t j = 0; j < raw.coeff.cols(); ++j)
+        if (raw.coeff.at(d, j) != 0) return;
+    raw.coeff.at(
+        static_cast<std::size_t>(rng.uniformInt(
+            0, static_cast<std::int64_t>(raw.coeff.rows()) - 1)),
+        static_cast<std::size_t>(rng.uniformInt(
+            0, static_cast<std::int64_t>(loopCount) - 1))) = 1;
+  };
+  ensureNonZero(output);
+  for (auto& raw : inputs) ensureNonZero(raw);
+
+  // Every loop must be referenced by some tensor, or it is pure replication
+  // the analysis never observes.
+  std::vector<const Raw*> allRaw{&output};
+  for (const auto& r : inputs) allRaw.push_back(&r);
+  for (std::size_t j = 0; j < loopCount; ++j) {
+    bool used = false;
+    for (const Raw* raw : allRaw)
+      for (std::size_t d = 0; d < raw->coeff.rows(); ++d)
+        used = used || raw->coeff.at(d, j) != 0;
+    if (used) continue;
+    Raw& target = inputs[static_cast<std::size_t>(rng.uniformInt(
+        0, static_cast<std::int64_t>(inputs.size()) - 1))];
+    target.coeff.at(
+        static_cast<std::size_t>(rng.uniformInt(
+            0, static_cast<std::int64_t>(target.coeff.rows()) - 1)),
+        j) = 1;
+  }
+
+  static const char* kInputNames[] = {"A", "B", "C"};
+  std::vector<tensor::TensorRef> inputRefs;
+  for (std::size_t i = 0; i < inputs.size(); ++i)
+    inputRefs.push_back({kInputNames[i], tensor::AffineAccess(
+                                             std::move(inputs[i].coeff),
+                                             std::move(inputs[i].offset))});
+  return TensorAlgebra(
+      "fuzz-" + std::to_string(seed), std::move(loops),
+      tensor::TensorRef{"Out", tensor::AffineAccess(std::move(output.coeff),
+                                                    std::move(output.offset))},
+      std::move(inputRefs));
+}
+
+std::string describeAlgebra(const tensor::TensorAlgebra& algebra) {
+  std::ostringstream os;
+  os << algebra.str() << "\n  output " << algebra.output().tensor << ": "
+     << algebra.output().access.str();
+  for (const auto& in : algebra.inputs())
+    os << "\n  input " << in.tensor << ": " << in.access.str();
+  return os.str();
+}
+
+tensor::TensorAlgebra shrinkAlgebra(const tensor::TensorAlgebra& failing,
+                                    const FailurePredicate& stillFails,
+                                    const FuzzOptions& options) {
+  tensor::TensorAlgebra current = failing;
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (auto& candidate : shrinkCandidates(current, options)) {
+      if (!stillFails(candidate)) continue;
+      current = std::move(candidate);
+      progressed = true;
+      break;
+    }
+  }
+  return current;
+}
+
+}  // namespace tensorlib::verify

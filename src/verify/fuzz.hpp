@@ -1,0 +1,57 @@
+// Randomized tensor-algebra generation and shrinking.
+//
+// randomAlgebra(seed) synthesizes a valid TensorAlgebra — random loop count
+// and extents, 1-3 input tensors, affine accesses with strides (coefficient
+// 2) and nonzero offsets — deterministically from the seed, so any failing
+// conformance run is replayed with just that number. shrinkAlgebra() then
+// greedily minimizes a failing algebra while a caller-supplied predicate
+// keeps failing: it drops inputs, loops and tensor dimensions, shrinks
+// extents, and zeroes offsets/coefficients until no single reduction
+// reproduces the failure. The pair gives the property-based front end of the
+// conformance oracle (see verify/conformance.hpp and
+// tools/conformance_runner.cpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "tensor/algebra.hpp"
+
+namespace tensorlib::verify {
+
+struct FuzzOptions {
+  std::size_t minLoops = 3;   ///< selections need >= 3 loops
+  std::size_t maxLoops = 4;
+  std::int64_t maxExtent = 4;
+  std::size_t maxInputs = 3;
+  std::size_t maxTensorRank = 3;
+  std::int64_t maxCoeff = 2;   ///< 2 allows strided/dilated-style accesses
+  std::int64_t maxOffset = 2;  ///< nonzero offsets exercise halo indexing
+};
+
+/// Deterministically generates a valid algebra from the seed. Guarantees:
+/// every loop extent >= 1, every tensor rank >= 1 with a non-degenerate
+/// access (at least one nonzero coefficient), every loop referenced by some
+/// tensor, and distinct tensor names ("Out", "A", "B", "C").
+tensor::TensorAlgebra randomAlgebra(std::uint64_t seed,
+                                    const FuzzOptions& options = {});
+
+/// Full-fidelity description for failure reports: str() plus every access
+/// function, enough to reconstruct the algebra exactly.
+std::string describeAlgebra(const tensor::TensorAlgebra& algebra);
+
+/// Returns true when the algebra still reproduces the failure under
+/// investigation. Must be deterministic. Called on *candidate* shrinks, all
+/// of which are valid algebras with >= minLoops loops.
+using FailurePredicate = std::function<bool(const tensor::TensorAlgebra&)>;
+
+/// Greedy shrink: repeatedly applies the smallest-first reduction steps
+/// (drop an input, drop a loop, drop a tensor dimension, shrink an extent,
+/// zero an offset, lower a coefficient) and keeps any candidate for which
+/// `stillFails` returns true, until a fixpoint. `stillFails(failing)` is
+/// assumed true on entry.
+tensor::TensorAlgebra shrinkAlgebra(const tensor::TensorAlgebra& failing,
+                                    const FailurePredicate& stillFails,
+                                    const FuzzOptions& options = {});
+
+}  // namespace tensorlib::verify

@@ -1,5 +1,8 @@
 // Cross-cutting property sweeps over the enumerated design spaces of every
-// Table-II workload: the invariants that make the generator trustworthy.
+// registered workload scenario (tensor/workloads.hpp allWorkloads()), run
+// under BOTH enumeration engines (fast direct-canonical and legacy
+// decode-all-and-filter) — the invariants that make the generator
+// trustworthy.
 //
 //  P1  mapping conserves work: sum of tile MACs x outer iterations equals
 //      the algebra's total MAC count, and tile footprints fit the array.
@@ -11,10 +14,12 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <tuple>
 
 #include "arch/testbench.hpp"
 #include "sim/dfsim.hpp"
 #include "stt/enumerate.hpp"
+#include "support/error.hpp"
 #include "tensor/workloads.hpp"
 
 namespace tensorlib {
@@ -22,35 +27,41 @@ namespace {
 
 namespace wl = tensor::workloads;
 
-struct SweepCase {
-  const char* name;
-  tensor::TensorAlgebra algebra;       ///< small instance for simulation
-  std::size_t maxSpecs;                ///< cap per selection for runtime
+/// Param: (index into allWorkloads(), use the legacy enumeration engine).
+class WorkloadSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, bool>> {
+ protected:
+  WorkloadSweepTest()
+      : workload_(
+            wl::allWorkloads()[static_cast<std::size_t>(std::get<0>(GetParam()))]),
+        options_(engineOptions(std::get<1>(GetParam()), workload_)) {}
+
+  static stt::EnumerationOptions engineOptions(bool legacy,
+                                               const wl::NamedWorkload& w) {
+    stt::EnumerationOptions o;
+    o.useLegacyEnumeration = legacy;
+    o.dropAllUnicast = !w.allowAllUnicast;
+    return o;
+  }
+
+  std::vector<stt::DataflowSpec> specsFor(const stt::LoopSelection& sel) const {
+    return stt::enumerateTransforms(workload_.algebra, sel, options_);
+  }
+
+  const wl::NamedWorkload workload_;
+  const stt::EnumerationOptions options_;
 };
 
-std::vector<SweepCase> sweepCases() {
-  return {
-      {"gemm", wl::gemm(5, 5, 5), 40},
-      {"batched-gemv", wl::batchedGemv(5, 5, 5), 40},
-      {"conv2d", wl::conv2d(4, 4, 4, 4, 2, 2), 12},
-      {"depthwise", wl::depthwiseConv(4, 4, 4, 2, 2), 12},
-      {"mttkrp", wl::mttkrp(4, 4, 4, 4), 12},
-      {"ttmc", wl::ttmc(3, 3, 3, 3, 3), 12},
-  };
-}
-
-class WorkloadSweepTest : public ::testing::TestWithParam<int> {};
-
 TEST_P(WorkloadSweepTest, MappingConservesWorkAndFits) {
-  const SweepCase c = sweepCases()[static_cast<std::size_t>(GetParam())];
   stt::ArrayConfig cfg;
   cfg.rows = cfg.cols = 4;
-  for (const auto& sel : stt::allLoopSelections(c.algebra)) {
-    const auto specs = stt::enumerateTransforms(c.algebra, sel);
-    for (std::size_t i = 0; i < std::min(c.maxSpecs, specs.size()); ++i) {
+  for (const auto& sel : stt::allLoopSelections(workload_.algebra)) {
+    const auto specs = specsFor(sel);
+    for (std::size_t i = 0; i < std::min(workload_.sweepCap, specs.size());
+         ++i) {
       const auto mapping = stt::computeMapping(specs[i], cfg);
-      EXPECT_EQ(mapping.totalMacs(), c.algebra.totalMacs())
-          << c.name << " " << specs[i].describe();
+      EXPECT_EQ(mapping.totalMacs(), workload_.algebra.totalMacs())
+          << workload_.name << " " << specs[i].describe();
       EXPECT_LE(mapping.spatialRowsUsed, cfg.rows) << specs[i].describe();
       EXPECT_LE(mapping.spatialColsUsed, cfg.cols) << specs[i].describe();
       EXPECT_GE(mapping.replication, 1) << specs[i].describe();
@@ -59,11 +70,10 @@ TEST_P(WorkloadSweepTest, MappingConservesWorkAndFits) {
 }
 
 TEST_P(WorkloadSweepTest, TraceInvariantsHold) {
-  const SweepCase c = sweepCases()[static_cast<std::size_t>(GetParam())];
   stt::ArrayConfig cfg;
   cfg.rows = cfg.cols = 4;
-  for (const auto& sel : stt::allLoopSelections(c.algebra)) {
-    const auto specs = stt::enumerateTransforms(c.algebra, sel);
+  for (const auto& sel : stt::allLoopSelections(workload_.algebra)) {
+    const auto specs = specsFor(sel);
     for (std::size_t i = 0; i < std::min<std::size_t>(8, specs.size()); ++i) {
       const auto mapping = stt::computeMapping(specs[i], cfg);
       const auto trace = sim::buildTileTrace(specs[i], mapping.fullTile);
@@ -90,63 +100,100 @@ TEST_P(WorkloadSweepTest, TraceInvariantsHold) {
 }
 
 TEST_P(WorkloadSweepTest, LettersRoundTrip) {
-  const SweepCase c = sweepCases()[static_cast<std::size_t>(GetParam())];
-  const auto sels = stt::allLoopSelections(c.algebra);
-  const auto specs = stt::enumerateTransforms(c.algebra, sels.front());
+  const auto sels = stt::allLoopSelections(workload_.algebra);
+  const auto specs = specsFor(sels.front());
   std::set<std::string> letterSets;
   for (const auto& s : specs) letterSets.insert(s.letters());
   for (const auto& letters : letterSets) {
-    const auto found = stt::findDataflow(c.algebra, sels.front(), letters);
-    ASSERT_TRUE(found.has_value()) << c.name << " " << letters;
+    const auto found =
+        stt::findDataflow(workload_.algebra, sels.front(), letters, options_);
+    ASSERT_TRUE(found.has_value()) << workload_.name << " " << letters;
     EXPECT_EQ(found->letters(), letters);
   }
 }
 
 TEST_P(WorkloadSweepTest, BehavioralFunctionalCorrectness) {
-  const SweepCase c = sweepCases()[static_cast<std::size_t>(GetParam())];
   stt::ArrayConfig cfg;
   cfg.rows = cfg.cols = 4;
-  const auto env = tensor::makeRandomInputs(c.algebra, 97);
-  const auto golden = tensor::referenceExecute(c.algebra, env);
-  const auto sels = stt::allLoopSelections(c.algebra);
+  const auto env = tensor::makeRandomInputs(workload_.algebra, 97);
+  const auto golden = tensor::referenceExecute(workload_.algebra, env);
+  const auto sels = stt::allLoopSelections(workload_.algebra);
   // Sweep the first selection fully and one spec from each other selection.
-  std::vector<stt::DataflowSpec> specs =
-      stt::enumerateTransforms(c.algebra, sels.front());
-  if (specs.size() > c.maxSpecs)
-    specs.erase(specs.begin() + static_cast<std::ptrdiff_t>(c.maxSpecs),
+  std::vector<stt::DataflowSpec> specs = specsFor(sels.front());
+  if (specs.size() > workload_.sweepCap)
+    specs.erase(specs.begin() + static_cast<std::ptrdiff_t>(workload_.sweepCap),
                 specs.end());
   for (std::size_t s = 1; s < sels.size(); ++s) {
-    auto extra = stt::enumerateTransforms(c.algebra, sels[s]);
+    auto extra = specsFor(sels[s]);
     if (!extra.empty()) specs.push_back(std::move(extra.front()));
   }
   for (const auto& spec : specs) {
     const auto result = sim::simulate(spec, cfg, &env);
     EXPECT_EQ(result.output.maxAbsDiff(golden), 0.0)
-        << c.name << " " << spec.describe();
+        << workload_.name << " " << spec.describe();
   }
 }
 
 TEST_P(WorkloadSweepTest, RtlFunctionalCorrectnessWhereGenerable) {
-  const SweepCase c = sweepCases()[static_cast<std::size_t>(GetParam())];
   stt::ArrayConfig cfg;
   cfg.rows = cfg.cols = 4;
-  const auto env = tensor::makeRandomInputs(c.algebra, 101);
-  const auto sels = stt::allLoopSelections(c.algebra);
+  const auto env = tensor::makeRandomInputs(workload_.algebra, 101);
+  const auto sels = stt::allLoopSelections(workload_.algebra);
   std::size_t generated = 0;
   for (const auto& sel : sels) {
-    const auto specs = stt::enumerateTransforms(c.algebra, sel);
+    const auto specs = specsFor(sel);
     for (std::size_t i = 0; i < std::min<std::size_t>(6, specs.size()); ++i) {
       if (specs[i].outputRole().dataflow.reuseRank > 1) continue;
-      const auto acc = arch::generateAccelerator(specs[i], cfg);
-      const auto run = arch::runAcceleratorTile(acc, env);
-      EXPECT_TRUE(run.matches()) << c.name << " " << specs[i].describe();
+      std::optional<arch::GeneratedAccelerator> acc;
+      try {
+        acc.emplace(arch::generateAccelerator(specs[i], cfg));
+      } catch (const Error& e) {
+        // Only the schedule-soundness gate is a legitimate skip; any other
+        // generator throw is a regression this sweep must surface.
+        const std::string what = e.what();
+        if (what.find("unsound schedule") == std::string::npos &&
+            what.find("bus conflict") == std::string::npos)
+          ADD_FAILURE() << workload_.name << " " << specs[i].describe()
+                        << "\nunexpected generator error: " << what;
+        continue;
+      }
+      const auto run = arch::runAcceleratorTile(*acc, env);
+      EXPECT_TRUE(run.matches())
+          << workload_.name << " " << specs[i].describe();
       ++generated;
     }
   }
-  EXPECT_GT(generated, 0u) << c.name;
+  EXPECT_GT(generated, 0u) << workload_.name;
 }
 
-INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadSweepTest, ::testing::Range(0, 6));
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadSweepTest,
+    ::testing::Combine(
+        ::testing::Range(0, static_cast<int>(wl::allWorkloads().size())),
+        ::testing::Bool()),
+    [](const ::testing::TestParamInfo<std::tuple<int, bool>>& info) {
+      const auto table = wl::allWorkloads();
+      std::string name =
+          table[static_cast<std::size_t>(std::get<0>(info.param))].name;
+      name += std::get<1>(info.param) ? "_legacy" : "_fast";
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+// The registered table must keep covering at least the ISSUE-2 scenario
+// floor (the six Table-II algebras plus the extended shapes).
+TEST(WorkloadTable, RegistersAtLeastTenScenarios) {
+  const auto table = wl::allWorkloads();
+  EXPECT_GE(table.size(), 10u);
+  std::set<std::string> names;
+  for (const auto& w : table) {
+    EXPECT_TRUE(names.insert(w.name).second) << "duplicate " << w.name;
+    EXPECT_GE(w.algebra.loopCount(), 3u) << w.name;
+    EXPECT_EQ(wl::findWorkload(w.name)->algebra.str(), w.algebra.str());
+  }
+  EXPECT_EQ(wl::findWorkload("no-such-workload"), nullptr);
+}
 
 // Traffic-signature property: per-tensor traffic reported by the simulator
 // matches the dataflow class expectation on GEMM.

@@ -1,0 +1,112 @@
+// The differential oracle itself: every registered workload scenario must be
+// fully conformant across all four engines, an injected fault in the
+// compiled RTL tape must be caught AND localized to exactly that layer, and
+// the driver-level entry point must expose the same verdicts.
+#include "verify/conformance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "driver/session.hpp"
+#include "stt/enumerate.hpp"
+#include "tensor/workloads.hpp"
+
+namespace tensorlib::verify {
+namespace {
+
+namespace wl = tensor::workloads;
+
+ConformanceOptions testOptions() {
+  ConformanceOptions o;
+  o.maxSpecsPerSelection = 4;  // runtime cap; the CLI sweeps the full table
+  o.maxRtlSpecs = 2;
+  return o;
+}
+
+TEST(Conformance, AllRegisteredWorkloadsConform) {
+  for (const auto& w : wl::allWorkloads()) {
+    ConformanceOptions o = testOptions();
+    o.enumeration.dropAllUnicast = !w.allowAllUnicast;
+    const ConformanceReport report = checkAlgebra(w.algebra, o);
+    EXPECT_TRUE(report.pass()) << w.name << "\n" << report.summary();
+    EXPECT_GT(report.specsChecked, 0u) << w.name;
+    EXPECT_GT(report.rtlSpecsChecked, 0u) << w.name;
+  }
+}
+
+TEST(Conformance, ReportCarriesReplayContext) {
+  const auto g = wl::gemm(6, 6, 6);
+  ConformanceOptions o = testOptions();
+  o.dataSeed = 1234;
+  const ConformanceReport report = checkAlgebra(g, o);
+  EXPECT_TRUE(report.pass()) << report.summary();
+  EXPECT_EQ(report.dataSeed, 1234u);
+  EXPECT_NE(report.summary().find("seed=1234"), std::string::npos);
+}
+
+// Fault-injection demo: flip the compiled tape's width masks. The oracle
+// must fail, and the FIRST divergent layer must be rtl-compiled — reference,
+// both behavioral paths and the legacy RTL interpreter all still agree.
+TEST(Conformance, InjectedTapeFaultIsLocalizedToCompiledRtl) {
+  const auto g = wl::gemm(6, 6, 6);
+  const auto spec = stt::findDataflowByLabel(g, "MNK-SST");
+  ASSERT_TRUE(spec.has_value());
+
+  ConformanceOptions o = testOptions();
+  o.tamperRtlTape = true;
+  const SpecReport report = checkSpec(*spec, o);
+  ASSERT_FALSE(report.pass()) << report.summary();
+  ASSERT_TRUE(report.firstDivergence().has_value());
+  EXPECT_EQ(*report.firstDivergence(), Layer::RtlCompiled) << report.summary();
+  for (const auto& layer : report.layers) {
+    if (layer.layer == Layer::RtlCompiled) {
+      EXPECT_TRUE(layer.ran && !layer.matched);
+    } else {
+      EXPECT_TRUE(!layer.ran || layer.matched)
+          << layerName(layer.layer) << " should not diverge";
+    }
+  }
+  // Untampered, the same design point is conformant.
+  o.tamperRtlTape = false;
+  EXPECT_TRUE(checkSpec(*spec, o).pass());
+}
+
+TEST(Conformance, RankTwoOutputsSkipRtlButStillVerifyBehaviorally) {
+  // MTTKRP enumerations include rank-2 ("B") outputs; those design points
+  // must report the RTL layers as skipped, not as divergent.
+  const auto mt = wl::mttkrp(4, 4, 4, 4);
+  ConformanceOptions o = testOptions();
+  o.maxSpecsPerSelection = 12;
+  const ConformanceReport report = checkAlgebra(mt, o);
+  EXPECT_TRUE(report.pass()) << report.summary();
+}
+
+TEST(Conformance, SessionEntryPointUsesTheSessionArray) {
+  stt::ArrayConfig array;
+  array.rows = array.cols = 4;
+  driver::Session session(wl::attention(4, 4, 4), array);
+  const ConformanceReport report = session.verifyConformance(testOptions());
+  EXPECT_TRUE(report.pass()) << report.summary();
+  EXPECT_GT(report.specsChecked, 0u);
+}
+
+TEST(Conformance, EmptyDesignSpaceIsNotAGreenVerdict) {
+  // Under the default dropAllUnicast filter the pointwise shape enumerates
+  // nothing; the oracle must report that as vacuous, never as conformant.
+  const ConformanceReport report =
+      checkAlgebra(wl::pointwiseResidual(3, 4, 4), testOptions());
+  EXPECT_FALSE(report.pass());
+  EXPECT_EQ(report.specsChecked, 0u);
+  EXPECT_TRUE(report.failures.empty());
+  EXPECT_NE(report.summary().find("VACUOUS"), std::string::npos);
+}
+
+TEST(Conformance, RtlBudgetZeroDisablesRtlLayers) {
+  ConformanceOptions o = testOptions();
+  o.maxRtlSpecs = 0;
+  const ConformanceReport report = checkAlgebra(wl::gemm(5, 5, 5), o);
+  EXPECT_TRUE(report.pass());
+  EXPECT_EQ(report.rtlSpecsChecked, 0u);
+}
+
+}  // namespace
+}  // namespace tensorlib::verify

@@ -1,0 +1,89 @@
+// Negative paths: malformed algebras must raise tensorlib::Error at
+// construction/validation time and never reach the simulators. (The fuzz
+// shrinker relies on this: every reduction candidate is revalidated through
+// the TensorAlgebra constructor.)
+#include <gtest/gtest.h>
+
+#include "sim/dfsim.hpp"
+#include "stt/enumerate.hpp"
+#include "support/error.hpp"
+#include "tensor/reference.hpp"
+#include "tensor/workloads.hpp"
+#include "verify/fuzz.hpp"
+
+namespace tensorlib {
+namespace {
+
+using tensor::AffineAccess;
+using tensor::TensorAlgebra;
+using tensor::TensorRef;
+
+TensorRef refFor(const std::string& name, std::size_t rank,
+                 std::size_t loopCount) {
+  linalg::IntMatrix coeff(rank, loopCount);
+  for (std::size_t d = 0; d < rank && d < loopCount; ++d) coeff.at(d, d) = 1;
+  return TensorRef{name, AffineAccess(std::move(coeff))};
+}
+
+TEST(NegativePaths, RankMismatchedAccessThrows) {
+  // Access over 2 loops attached to a 3-loop nest.
+  EXPECT_THROW(
+      TensorAlgebra("bad", {{"i", 2}, {"j", 2}, {"k", 2}}, refFor("O", 2, 3),
+                    {refFor("A", 1, 2)}),
+      Error);
+  EXPECT_THROW(
+      TensorAlgebra("bad", {{"i", 2}, {"j", 2}, {"k", 2}}, refFor("O", 2, 2),
+                    {refFor("A", 1, 3)}),
+      Error);
+}
+
+TEST(NegativePaths, ZeroExtentIteratorThrows) {
+  EXPECT_THROW(
+      TensorAlgebra("bad", {{"i", 0}, {"j", 2}, {"k", 2}}, refFor("O", 2, 3),
+                    {refFor("A", 1, 3)}),
+      Error);
+  EXPECT_THROW(
+      TensorAlgebra("bad", {{"i", 2}, {"j", -3}, {"k", 2}}, refFor("O", 2, 3),
+                    {refFor("A", 1, 3)}),
+      Error);
+}
+
+TEST(NegativePaths, EmptyInputsThrow) {
+  EXPECT_THROW(TensorAlgebra("bad", {{"i", 2}, {"j", 2}, {"k", 2}},
+                             refFor("O", 2, 3), {}),
+               Error);
+}
+
+TEST(NegativePaths, EmptyLoopNestThrows) {
+  EXPECT_THROW(TensorAlgebra("bad", {}, refFor("O", 1, 0), {refFor("A", 1, 0)}),
+               Error);
+}
+
+TEST(NegativePaths, TooFewLoopsNeverReachEnumeration) {
+  // A valid 2-loop algebra exists, but STT selection needs 3 loops: the
+  // enumeration front door must reject it before any simulator runs.
+  const TensorAlgebra twoLoops("2d", {{"i", 2}, {"j", 2}}, refFor("O", 2, 2),
+                               {refFor("A", 2, 2)});
+  EXPECT_THROW(stt::allLoopSelections(twoLoops), Error);
+}
+
+TEST(NegativePaths, SimulatorRejectsMissingEnvironment) {
+  const auto g = tensor::workloads::gemm(4, 4, 4);
+  const auto spec = stt::findDataflowByLabel(g, "MNK-SST");
+  ASSERT_TRUE(spec.has_value());
+  // Functional simulation without an environment.
+  EXPECT_THROW(sim::simulate(*spec, stt::ArrayConfig{}, nullptr), Error);
+  // Reference execution with a missing input tensor.
+  tensor::TensorEnv empty;
+  EXPECT_THROW(tensor::referenceExecute(g, empty), Error);
+}
+
+TEST(NegativePaths, FuzzRejectsUnselectableLoopFloors) {
+  verify::FuzzOptions bad;
+  bad.minLoops = 2;  // selections need >= 3 loops
+  bad.maxLoops = 2;
+  EXPECT_THROW(verify::randomAlgebra(1, bad), Error);
+}
+
+}  // namespace
+}  // namespace tensorlib

@@ -1,0 +1,172 @@
+// conformance_runner: sweep the cross-layer differential oracle.
+//
+//   conformance_runner                         # all registered workloads
+//   conformance_runner --workload conv2d-strided
+//   conformance_runner --seeds 200             # 200 random algebras
+//   conformance_runner --seeds 1000 --time-budget-ms 120000   # CI smoke
+//   conformance_runner --seeds 1 --seed-base 1337             # replay
+//
+// Every design point of every scenario runs through the dense reference,
+// the behavioral simulator with trace memoization on and off, and the
+// generated netlist under both RTL engines; the first divergent layer is
+// reported with the replay seed. Fuzz failures are shrunk to a minimal
+// failing algebra before printing. Exit code 0 iff everything conformed.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "support/error.hpp"
+#include "tensor/workloads.hpp"
+#include "verify/conformance.hpp"
+#include "verify/fuzz.hpp"
+
+namespace {
+
+using namespace tensorlib;
+
+int usage() {
+  std::printf(
+      "usage: conformance_runner [--workload NAME] [--seeds N]\n"
+      "                          [--seed-base S] [--data-seed S]\n"
+      "                          [--rows R --cols C] [--max-specs N]\n"
+      "                          [--max-rtl N] [--time-budget-ms T]\n"
+      "                          [--no-shrink] [--list]\n"
+      "With no --seeds/--workload, checks every registered workload.\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string workload;
+  std::int64_t seeds = 0, seedBase = 1;
+  std::int64_t timeBudgetMs = 0;
+  bool shrink = true, list = false;
+  verify::ConformanceOptions options;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      auto next = [&]() -> std::string {
+        if (i + 1 >= argc) { usage(); std::exit(2); }
+        return argv[++i];
+      };
+      if (a == "--workload") workload = next();
+      else if (a == "--seeds") seeds = std::stoll(next());
+      else if (a == "--seed-base") seedBase = std::stoll(next());
+      else if (a == "--data-seed") options.dataSeed = std::stoull(next());
+      else if (a == "--rows") options.array.rows = std::stoll(next());
+      else if (a == "--cols") options.array.cols = std::stoll(next());
+      else if (a == "--max-specs") options.maxSpecsPerSelection = std::stoull(next());
+      else if (a == "--max-rtl") options.maxRtlSpecs = std::stoull(next());
+      else if (a == "--time-budget-ms") timeBudgetMs = std::stoll(next());
+      else if (a == "--no-shrink") shrink = false;
+      else if (a == "--list") list = true;
+      else return usage();
+    }
+  } catch (const std::exception&) {  // non-numeric / overflowing flag value
+    return usage();
+  }
+
+  if (list) {
+    for (const auto& w : tensor::workloads::allWorkloads())
+      std::printf("%-20s %s\n", w.name.c_str(), w.algebra.str().c_str());
+    return 0;
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto budgetLeft = [&] {
+    if (timeBudgetMs <= 0) return true;
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+    return elapsed < timeBudgetMs;
+  };
+
+  int tableDivergent = 0, fuzzDivergent = 0;
+  std::int64_t checked = 0;
+
+  // --- Scenario table ---------------------------------------------------
+  if (seeds == 0 || !workload.empty()) {
+    for (const auto& w : tensor::workloads::allWorkloads()) {
+      if (!workload.empty() && w.name != workload) continue;
+      if (!budgetLeft()) {
+        std::printf("time budget exhausted after %lld scenario(s)\n",
+                    static_cast<long long>(checked));
+        break;
+      }
+      verify::ConformanceOptions o = options;
+      o.enumeration.dropAllUnicast = !w.allowAllUnicast;
+      o.maxSpecsPerSelection =
+          std::min(o.maxSpecsPerSelection, w.sweepCap);
+      const auto report = verify::checkAlgebra(w.algebra, o);
+      ++checked;
+      const std::string detail =
+          report.pass() ? std::string() : "\n" + report.summary();
+      std::printf("[%s] %-20s specs=%zu rtl=%zu%s\n",
+                  report.pass() ? "PASS" : "FAIL", w.name.c_str(),
+                  report.specsChecked, report.rtlSpecsChecked, detail.c_str());
+      if (!report.pass()) ++tableDivergent;
+    }
+    if (!workload.empty() && checked == 0) {
+      std::fprintf(stderr, "unknown workload '%s' (try --list)\n",
+                   workload.c_str());
+      return 2;
+    }
+  }
+
+  // --- Fuzzed algebras --------------------------------------------------
+  if (seeds > 0) {
+    const verify::FuzzOptions fuzzOpts;
+    // Keep all-unicast (streaming) designs: without them ~1% of random
+    // algebras enumerate an empty — vacuous — design space.
+    verify::ConformanceOptions fuzzConformance = options;
+    fuzzConformance.enumeration.dropAllUnicast = false;
+    std::int64_t ran = 0;
+    for (std::int64_t s = 0; s < seeds; ++s) {
+      if (!budgetLeft()) {
+        std::printf("time budget exhausted after %lld of %lld seeds\n",
+                    static_cast<long long>(ran), static_cast<long long>(seeds));
+        break;
+      }
+      const std::uint64_t seed = static_cast<std::uint64_t>(seedBase + s);
+      const auto algebra = verify::randomAlgebra(seed, fuzzOpts);
+      verify::ConformanceReport report;
+      bool errored = false;
+      std::string errorText;
+      try {
+        report = verify::checkAlgebra(algebra, fuzzConformance);
+      } catch (const Error& e) {
+        errored = true;
+        errorText = e.what();
+      }
+      ++ran;
+      if (!errored && report.pass()) continue;
+
+      ++fuzzDivergent;
+      std::printf("[FAIL] fuzz seed %llu\n  %s\n",
+                  static_cast<unsigned long long>(seed),
+                  verify::describeAlgebra(algebra).c_str());
+      if (errored)
+        std::printf("  pipeline error: %s\n", errorText.c_str());
+      else
+        std::printf("%s\n", report.summary().c_str());
+
+      // Shrinking minimizes divergences; a vacuous failure (empty design
+      // space) or pipeline error has nothing for the predicate to hold onto.
+      if (shrink && !errored && !report.failures.empty()) {
+        const auto minimal = verify::shrinkAlgebra(
+            algebra, verify::divergencePredicate(fuzzConformance), fuzzOpts);
+        std::printf("  shrunken to:\n  %s\n",
+                    verify::describeAlgebra(minimal).c_str());
+      }
+      std::printf("  replay: conformance_runner --seeds 1 --seed-base %llu\n",
+                  static_cast<unsigned long long>(seed));
+    }
+    std::printf("fuzz: %lld seed(s) checked, %d divergent\n",
+                static_cast<long long>(ran), fuzzDivergent);
+  }
+
+  return tableDivergent + fuzzDivergent == 0 ? 0 : 1;
+}
