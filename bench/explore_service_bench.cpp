@@ -1,0 +1,208 @@
+// Batched-vs-naive exploration benchmark (the service-layer perf anchor).
+//
+// Runs a batch of 10 overlapping queries — the paper-geometry GEMM under
+// three objectives on the ASIC backend and two on the FPGA backend, an
+// attention kernel under three objectives, plus two exact duplicates (the
+// realistic heavy-traffic case) — two ways:
+//
+//   naive    one fresh ExplorationService per query: every query pays its
+//            own enumeration + full design-space evaluation, the
+//            one-query-at-a-time Session::exploreAll regime.
+//   batched  one service, one runBatch: overlapping queries share the
+//            enumerated spec list and every design-point evaluation
+//            through the sharded cross-query cache.
+//
+// Asserts the two produce bit-identical frontiers and winners, then merges
+// a "service" section (with the batched/naive speedup gate) into
+// BENCH_hotpaths.json next to the PR-1 hot-path gates.
+//
+// Usage: bench_explore_service [--smoke] [--out <path>]
+//   --smoke   maxEntry=1 spaces, correctness asserts only, no timing gate
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "driver/explore_service.hpp"
+#include "support/error.hpp"
+#include "tensor/workloads.hpp"
+
+namespace {
+
+using namespace tensorlib;
+using Clock = std::chrono::steady_clock;
+
+double msSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+constexpr double kGateMinSpeedup = 1.5;
+
+std::vector<driver::ExploreQuery> buildBatch(int maxEntry) {
+  const auto gemm = tensor::workloads::gemm(256, 256, 256);
+  const auto attn = tensor::workloads::attention(64, 64, 64);
+  auto query = [&](const tensor::TensorAlgebra& algebra,
+                   driver::Objective objective, cost::BackendKind backend) {
+    driver::ExploreQuery q(algebra);
+    q.objective = objective;
+    q.backend = backend;
+    q.enumeration.maxEntry = maxEntry;
+    return q;
+  };
+  using O = driver::Objective;
+  using B = cost::BackendKind;
+  return {
+      query(gemm, O::Performance, B::Asic),
+      query(gemm, O::Power, B::Asic),
+      query(gemm, O::EnergyDelay, B::Asic),
+      query(gemm, O::Performance, B::Fpga),
+      query(gemm, O::EnergyDelay, B::Fpga),
+      query(attn, O::Performance, B::Asic),
+      query(attn, O::Power, B::Asic),
+      query(attn, O::EnergyDelay, B::Asic),
+      query(gemm, O::Performance, B::Asic),  // duplicate traffic
+      query(attn, O::Performance, B::Asic),  // duplicate traffic
+  };
+}
+
+void checkSameResults(const std::vector<driver::QueryResult>& a,
+                      const std::vector<driver::QueryResult>& b) {
+  TL_CHECK(a.size() == b.size(), "result count mismatch");
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    TL_CHECK(a[i].designs == b[i].designs, "designs mismatch");
+    TL_CHECK(a[i].frontier.size() == b[i].frontier.size(),
+             "frontier size mismatch at query " + std::to_string(i));
+    for (std::size_t j = 0; j < a[i].frontier.size(); ++j) {
+      const auto& ra = a[i].frontier[j];
+      const auto& rb = b[i].frontier[j];
+      const auto fa = ra.figures(), fb = rb.figures();
+      TL_CHECK(ra.spec.label() == rb.spec.label() &&
+                   ra.perf.totalCycles == rb.perf.totalCycles &&
+                   fa.powerMw == fb.powerMw && fa.area == fb.area,
+               "frontier divergence at query " + std::to_string(i));
+    }
+    TL_CHECK(a[i].best.has_value() == b[i].best.has_value(), "best mismatch");
+    if (a[i].best)
+      TL_CHECK(a[i].best->spec.label() == b[i].best->spec.label(),
+               "best label mismatch at query " + std::to_string(i));
+  }
+}
+
+struct ServiceReport {
+  std::size_t queries = 0;
+  std::size_t designs = 0;  ///< design points across the batch (with repeats)
+  double naiveMs = 0, batchedMs = 0;
+  std::uint64_t hits = 0, misses = 0;
+  double speedup() const { return naiveMs / batchedMs; }
+};
+
+ServiceReport benchService(int maxEntry) {
+  const auto batch = buildBatch(maxEntry);
+  ServiceReport r;
+  r.queries = batch.size();
+
+  // Naive: a cold service per query — no cross-query reuse anywhere.
+  std::vector<driver::QueryResult> naive;
+  auto t = Clock::now();
+  for (const auto& q : batch) {
+    driver::ExplorationService service;
+    naive.push_back(service.run(q));
+  }
+  r.naiveMs = msSince(t);
+
+  // Batched: one service, one batch.
+  driver::ExplorationService service;
+  t = Clock::now();
+  const auto batched = service.runBatch(batch);
+  r.batchedMs = msSince(t);
+
+  checkSameResults(naive, batched);
+  for (const auto& res : batched) {
+    r.designs += res.designs;
+    r.hits += res.cache.hits;
+    r.misses += res.cache.misses;
+  }
+  return r;
+}
+
+/// Merges `serviceLine` into the line-oriented BENCH_hotpaths.json (each
+/// section lives on its own line). Replaces an existing "service" line;
+/// starts a fresh document if the file is absent.
+void mergeJson(const std::string& path, const std::string& serviceLine) {
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(path);
+    std::string line;
+    while (in && std::getline(in, line)) {
+      const auto firstChar = line.find_first_not_of(" \t");
+      if (firstChar != std::string::npos &&
+          line.compare(firstChar, 10, "\"service\":") == 0)
+        continue;  // replaced below
+      lines.push_back(line);
+    }
+  }
+  while (!lines.empty() && lines.back().empty()) lines.pop_back();
+  if (lines.size() < 2 || lines.front() != "{" || lines.back() != "}")
+    lines = {"{", "  \"bench\": \"hotpaths\",", "}"};
+
+  // Re-terminate the final property with a comma, then splice in ours.
+  std::string& lastProp = lines[lines.size() - 2];
+  if (!lastProp.empty() && lastProp.back() == ',') lastProp.pop_back();
+  lastProp += ",";
+  lines.insert(lines.end() - 1, "  " + serviceLine);
+
+  std::ofstream out(path);
+  TL_CHECK(static_cast<bool>(out), "cannot write " + path);
+  for (const auto& l : lines) out << l << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out = "BENCH_hotpaths.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out = argv[++i];
+    else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--out <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  try {
+    bench::printHeader(smoke ? "Exploration service (smoke)"
+                             : "Exploration service batched-vs-naive");
+    const ServiceReport r = benchService(smoke ? 1 : 2);
+    std::printf(
+        "  %zu queries (%zu design evals)  naive %.1f ms | batched %.1f ms "
+        "(%.2fx)  cache %llu hits / %llu misses  [results bit-identical]\n",
+        r.queries, r.designs, r.naiveMs, r.batchedMs, r.speedup(),
+        static_cast<unsigned long long>(r.hits),
+        static_cast<unsigned long long>(r.misses));
+
+    const bool pass = smoke || r.speedup() >= kGateMinSpeedup;
+    std::ostringstream line;
+    line << "\"service\": {\"workloads\": \"gemm256+attention64\", \"queries\": "
+         << r.queries << ", \"design_evals\": " << r.designs
+         << ", \"naive_ms\": " << r.naiveMs << ", \"batched_ms\": "
+         << r.batchedMs << ", \"speedup\": " << r.speedup()
+         << ", \"cache_hits\": " << r.hits << ", \"cache_misses\": " << r.misses
+         << ", \"gate_min_speedup\": " << kGateMinSpeedup << ", \"pass\": "
+         << (pass ? "true" : "false") << "}";
+    mergeJson(out, line.str());
+    std::printf("  merged into %s\n", out.c_str());
+
+    if (!pass)
+      std::printf("  GATE FAIL: batched speedup %.2f < %.1f\n", r.speedup(),
+                  kGateMinSpeedup);
+    return pass ? 0 : 1;
+  } catch (const tensorlib::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

@@ -63,10 +63,21 @@ struct AsicCostTable {
   double clockTreePowerPerPe = 1.1e-2;
 };
 
+/// Backend-neutral cost figures shared by the ASIC and FPGA reports — the
+/// two axes objectives and Pareto frontiers optimize besides cycles. `area`
+/// is mm² for ASIC and device-resource fraction (0..1 of the limiting
+/// resource) for FPGA; within one query the backend is fixed, so the
+/// frontier never mixes units.
+struct CostFigures {
+  double powerMw = 0.0;
+  double area = 0.0;
+};
+
 struct AsicReport {
   double areaMm2 = 0.0;
   double powerMw = 0.0;
   StructureInventory inventory;
+  CostFigures figures() const { return {powerMw, areaMm2}; }
   std::string str() const;
 };
 

@@ -1,0 +1,110 @@
+#include "cost/backend.hpp"
+
+#include <sstream>
+
+namespace tensorlib::cost {
+
+std::string backendKindName(BackendKind kind) {
+  return kind == BackendKind::Asic ? "asic" : "fpga";
+}
+
+std::optional<BackendKind> parseBackendKind(const std::string& name) {
+  if (name == "asic") return BackendKind::Asic;
+  if (name == "fpga") return BackendKind::Fpga;
+  return std::nullopt;
+}
+
+std::string CostReport::str() const { return fpga ? fpga->str() : asic.str(); }
+
+namespace {
+
+class AsicBackend final : public CostBackend {
+ public:
+  AsicBackend(int dataWidth, AsicCostTable table)
+      : dataWidth_(dataWidth), table_(table) {}
+
+  BackendKind kind() const override { return BackendKind::Asic; }
+  std::string name() const override { return "asic"; }
+
+  std::string cacheKey() const override {
+    // Every field of the cost table is fingerprinted: equal keys must mean
+    // identical reports, and ablations vary single unit costs.
+    std::ostringstream os;
+    os << "asic:w" << dataWidth_;
+    for (double v :
+         {table_.mulAreaPerBit2, table_.addAreaPerBit, table_.regAreaPerBit,
+          table_.muxAreaPerBit, table_.ctrlAreaPerPe,
+          table_.ctrlAreaStationaryPe, table_.busAreaPerTap,
+          table_.memPortArea, table_.peOverheadArea, table_.mulPowerPerBit2,
+          table_.addPowerPerBit, table_.regPowerPerBit, table_.muxPowerPerBit,
+          table_.ctrlPowerPerPe, table_.ctrlPowerStationaryPe,
+          table_.busPowerPerTapBit, table_.memPortPower,
+          table_.clockTreePowerPerPe})
+      os << ":" << v;
+    return os.str();
+  }
+
+  CostReport evaluate(const stt::DataflowSpec& spec,
+                      const stt::ArrayConfig& array) const override {
+    CostReport rep;
+    rep.asic = estimateAsic(spec, array, dataWidth_, table_);
+    rep.figures = rep.asic.figures();
+    return rep;
+  }
+
+  sim::PerfResult estimatePerf(const stt::DataflowSpec& spec,
+                               const stt::ArrayConfig& array) const override {
+    return sim::estimatePerformance(spec, array);
+  }
+
+ private:
+  int dataWidth_;
+  AsicCostTable table_;
+};
+
+class FpgaBackend final : public CostBackend {
+ public:
+  explicit FpgaBackend(FpgaConfig config) : config_(std::move(config)) {}
+
+  BackendKind kind() const override { return BackendKind::Fpga; }
+  std::string name() const override { return "fpga"; }
+
+  std::string cacheKey() const override {
+    std::ostringstream os;
+    os << "fpga:" << config_.device.name << ":" << config_.device.luts << ":"
+       << config_.device.dsps << ":" << config_.device.bram36 << ":"
+       << (config_.fp32 ? "fp32" : "int16") << ":v" << config_.vectorLanes
+       << (config_.placementOptimized ? ":placed" : "");
+    return os.str();
+  }
+
+  CostReport evaluate(const stt::DataflowSpec& spec,
+                      const stt::ArrayConfig& array) const override {
+    CostReport rep;
+    rep.fpga = estimateFpga(spec, array, config_);
+    rep.figures = rep.fpga->figures();
+    return rep;
+  }
+
+  sim::PerfResult estimatePerf(const stt::DataflowSpec& spec,
+                               const stt::ArrayConfig& array) const override {
+    return sim::estimatePerformance(spec,
+                                    fpgaPerfConfig(spec, array, config_));
+  }
+
+ private:
+  FpgaConfig config_;
+};
+
+}  // namespace
+
+std::shared_ptr<const CostBackend> makeAsicBackend(int dataWidth,
+                                                   AsicCostTable table) {
+  return std::make_shared<AsicBackend>(dataWidth, table);
+}
+
+std::shared_ptr<const CostBackend> makeFpgaBackend(FpgaConfig config) {
+  return std::make_shared<FpgaBackend>(std::move(config));
+}
+
+}  // namespace tensorlib::cost

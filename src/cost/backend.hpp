@@ -1,0 +1,60 @@
+// Pluggable cost backends: one objective surface over the ASIC model
+// (Fig. 6 / Synopsys-DC role) and the FPGA model (Table III / Vivado role).
+//
+// The exploration service evaluates every design point through a
+// CostBackend, so a query selects its implementation target the same way it
+// selects an objective; both backends report CostFigures (power mW + an
+// area axis) and keep their full native report alongside. Backends are
+// stateless and cheap to construct; cacheKey() makes evaluations from
+// differently-configured backends distinguishable in the cross-query cache.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "cost/fpga.hpp"
+#include "sim/perf.hpp"
+
+namespace tensorlib::cost {
+
+enum class BackendKind { Asic, Fpga };
+
+/// "asic" / "fpga" (the names accepted by tools and batch files).
+std::string backendKindName(BackendKind kind);
+/// Parses "asic"/"fpga"; nullopt for anything else.
+std::optional<BackendKind> parseBackendKind(const std::string& name);
+
+/// One evaluated cost: the backend-neutral figures plus whichever native
+/// report the backend produced.
+struct CostReport {
+  CostFigures figures;
+  AsicReport asic;                 ///< populated when kind == Asic
+  std::optional<FpgaReport> fpga;  ///< populated when kind == Fpga
+  std::string str() const;
+};
+
+class CostBackend {
+ public:
+  virtual ~CostBackend() = default;
+  virtual BackendKind kind() const = 0;
+  virtual std::string name() const = 0;
+  /// Distinguishes evaluations in the cross-query cache: two backends with
+  /// the same cacheKey must produce identical reports for every spec.
+  virtual std::string cacheKey() const = 0;
+  virtual CostReport evaluate(const stt::DataflowSpec& spec,
+                              const stt::ArrayConfig& array) const = 0;
+  /// Performance of `spec` under this backend's operating point — the ASIC
+  /// backend runs the array as configured; the FPGA backend models the
+  /// achieved post-route frequency and the datapath's word size, so
+  /// cycles/utilization on a frontier always match the cost model beside
+  /// them.
+  virtual sim::PerfResult estimatePerf(const stt::DataflowSpec& spec,
+                                       const stt::ArrayConfig& array) const = 0;
+};
+
+std::shared_ptr<const CostBackend> makeAsicBackend(int dataWidth = 16,
+                                                   AsicCostTable table = {});
+std::shared_ptr<const CostBackend> makeFpgaBackend(FpgaConfig config = {});
+
+}  // namespace tensorlib::cost

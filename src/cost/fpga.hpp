@@ -36,8 +36,32 @@ struct FpgaReport {
   double lutPct = 0.0, dspPct = 0.0, bramPct = 0.0;
   double frequencyMHz = 0.0;
   double gops = 0.0;  ///< 2 * MACs/s at achieved frequency and utilization
+  /// Activity-weighted dynamic power at the achieved frequency plus the
+  /// device static floor — same axis (mW) as AsicReport::powerMw so the
+  /// two backends present one objective surface.
+  double powerMw = 0.0;
+  /// The structural inventory the resource counts were derived from
+  /// (mirrors AsicReport::inventory).
+  StructureInventory inventory;
+  /// Fraction of the limiting device resource consumed (0..1); the FPGA
+  /// "area" axis for objectives and Pareto frontiers.
+  double utilizationFraction() const;
+  CostFigures figures() const { return {powerMw, utilizationFraction()}; }
   std::string str() const;
 };
+
+/// Post-route clock the interconnect model predicts for `spec` under `cfg`
+/// (systolic designs close timing highest; broadcast nets and unicast
+/// fabrics cost routing slack; placement optimization lifts the result).
+double fpgaFrequencyMHz(const stt::DataflowSpec& spec, const FpgaConfig& cfg);
+
+/// The array configuration FPGA performance must be modeled at: the caller's
+/// geometry/bandwidth with the frequency forced to fpgaFrequencyMHz and the
+/// word size forced to match the fp32 flag (a stale INT16 dataBytes would
+/// double the deliverable words/cycle for FP32 designs).
+stt::ArrayConfig fpgaPerfConfig(const stt::DataflowSpec& spec,
+                                const stt::ArrayConfig& arrayConfig,
+                                const FpgaConfig& cfg);
 
 /// Estimates the FPGA implementation of `spec` mapped on `arrayConfig`
 /// (rows x cols PEs, each with cfg.vectorLanes MAC lanes) running the

@@ -1,0 +1,396 @@
+#include "driver/explore_service.hpp"
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+
+#include "sim/perf.hpp"
+#include "support/error.hpp"
+#include "support/threadpool.hpp"
+
+namespace tensorlib::driver {
+
+namespace {
+
+// ---- canonical cache keys --------------------------------------------------
+// Two queries share cached work iff their keys match, so keys must capture
+// everything the cached value depends on — and nothing more (perf knobs like
+// useLegacyEnumeration produce byte-identical output and are excluded).
+
+std::string algebraKey(const tensor::TensorAlgebra& a) {
+  std::ostringstream os;
+  os << a.name() << ";";
+  for (const auto& loop : a.loops()) os << loop.name << "=" << loop.extent << ",";
+  os << ";" << a.output().tensor << ":" << a.output().access.str();
+  for (const auto& in : a.inputs()) os << ";" << in.tensor << ":" << in.access.str();
+  return os.str();
+}
+
+std::string arrayKey(const stt::ArrayConfig& c) {
+  std::ostringstream os;
+  os << c.rows << "x" << c.cols << "@" << c.frequencyMHz << "/"
+     << c.bandwidthGBps << "/" << c.dataBytes;
+  return os.str();
+}
+
+std::string enumKey(const stt::EnumerationOptions& o) {
+  std::ostringstream os;
+  os << "e" << o.maxEntry << (o.requireUnimodular ? "u" : "-")
+     << (o.canonicalize ? "c" : "-") << (o.dedupeBySignature ? "d" : "-")
+     << (o.dropFullReuse ? "f" : "-") << (o.dropAllUnicast ? "a" : "-");
+  return os.str();
+}
+
+std::string specKey(const stt::DataflowSpec& spec) {
+  // The selection's loop INDICES are part of the key: labels abbreviate
+  // loops to initials, so two selections over same-initial loops (e.g.
+  // {m,n,ka} and {m,n,kb}) would otherwise collide at equal transforms.
+  std::ostringstream os;
+  for (std::size_t idx : spec.selection().indices()) os << idx << ".";
+  os << "|" << spec.letters() << "|" << spec.transform().str();
+  return os.str();
+}
+
+std::shared_ptr<const cost::CostBackend> makeBackend(const ExploreQuery& q) {
+  return q.backend == cost::BackendKind::Asic
+             ? cost::makeAsicBackend(q.dataWidth)
+             : cost::makeFpgaBackend(q.fpga);
+}
+
+ParetoEntry paretoEntryOf(const sim::PerfResult& perf,
+                          const cost::CostFigures& figures, std::size_t order,
+                          std::string label) {
+  ParetoEntry e;
+  e.cost.cycles = static_cast<double>(perf.totalCycles);
+  e.cost.powerMw = figures.powerMw;
+  e.cost.area = figures.area;
+  e.cost.utilization = perf.utilization;
+  e.order = order;
+  e.label = std::move(label);
+  return e;
+}
+
+}  // namespace
+
+std::string CacheStats::str() const {
+  std::ostringstream os;
+  os << "hits=" << hits << " misses=" << misses << " evictions=" << evictions
+     << " entries=" << entries << " shards=" << shards;
+  return os.str();
+}
+
+// ---- service implementation ------------------------------------------------
+
+struct ExplorationService::Impl {
+  /// One memoized evaluation. The first thread to reach the entry computes
+  /// it under the once_flag; concurrent askers block until it is ready, so
+  /// overlapping queries inside one batch still evaluate each point once.
+  struct EvalEntry {
+    std::once_flag once;
+    sim::PerfResult perf;
+    cost::CostReport cost;
+  };
+
+  struct EvalShard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::string, std::shared_ptr<EvalEntry>> map;
+    std::deque<std::string> fifo;  ///< insertion order, for eviction
+    std::uint64_t hits = 0, misses = 0, evictions = 0;
+  };
+
+  /// Memoized enumerated design space (shared across queries; in-flight
+  /// holders keep evicted lists alive through the shared_ptr).
+  struct SpecListEntry {
+    std::once_flag once;
+    std::shared_ptr<const std::vector<stt::DataflowSpec>> specs;
+  };
+
+  ServiceOptions options;
+  ThreadPool pool;
+  std::vector<EvalShard> shards;
+
+  std::mutex specMutex;
+  std::unordered_map<std::string, std::shared_ptr<SpecListEntry>> specMap;
+  std::deque<std::string> specFifo;
+
+  // In-flight submit() runs; the destructor waits for zero so a future
+  // that outlives the service cannot touch freed state.
+  std::mutex pendingMutex;
+  std::condition_variable pendingDone;
+  std::size_t pendingSubmits = 0;
+
+  explicit Impl(ServiceOptions opts)
+      : options(resolve(opts)), pool(options.threads - 1), shards(options.shardCount) {}
+
+  static ServiceOptions resolve(ServiceOptions o) {
+    if (o.threads == 0) {
+      const unsigned hw = std::thread::hardware_concurrency();
+      o.threads = hw > 0 ? hw : 1;
+    }
+    if (o.shardCount == 0) o.shardCount = 1;
+    if (o.workUnitSpecs == 0) o.workUnitSpecs = 1;
+    return o;
+  }
+
+  std::size_t perShardCapacity() const {
+    const std::size_t cap = options.cacheCapacity / options.shardCount;
+    return cap > 0 ? cap : 1;
+  }
+
+  /// Finds or creates the entry for `key`; second element is true on a hit.
+  std::pair<std::shared_ptr<EvalEntry>, bool> evalEntry(const std::string& key) {
+    EvalShard& shard = shards[std::hash<std::string>{}(key) % shards.size()];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      ++shard.hits;
+      return {it->second, true};
+    }
+    ++shard.misses;
+    auto entry = std::make_shared<EvalEntry>();
+    shard.map.emplace(key, entry);
+    shard.fifo.push_back(key);
+    while (shard.map.size() > perShardCapacity()) {
+      shard.map.erase(shard.fifo.front());
+      shard.fifo.pop_front();
+      ++shard.evictions;
+    }
+    return {entry, false};
+  }
+
+  const EvalEntry& force(const std::shared_ptr<EvalEntry>& entry,
+                         const stt::DataflowSpec& spec,
+                         const stt::ArrayConfig& array,
+                         const cost::CostBackend& backend) {
+    std::call_once(entry->once, [&] {
+      entry->perf = backend.estimatePerf(spec, array);
+      entry->cost = backend.evaluate(spec, array);
+    });
+    return *entry;
+  }
+
+  std::shared_ptr<const std::vector<stt::DataflowSpec>> specList(
+      const ExploreQuery& q) {
+    const std::string key = algebraKey(q.algebra) + "|" + enumKey(q.enumeration);
+    std::shared_ptr<SpecListEntry> entry;
+    {
+      std::lock_guard<std::mutex> lock(specMutex);
+      auto it = specMap.find(key);
+      if (it != specMap.end()) {
+        entry = it->second;
+      } else {
+        entry = std::make_shared<SpecListEntry>();
+        specMap.emplace(key, entry);
+        specFifo.push_back(key);
+        while (specMap.size() > std::max<std::size_t>(1, options.specListCacheCapacity)) {
+          specMap.erase(specFifo.front());
+          specFifo.pop_front();
+        }
+      }
+    }
+    std::call_once(entry->once, [&] {
+      entry->specs = std::make_shared<const std::vector<stt::DataflowSpec>>(
+          stt::enumerateDesignSpace(q.algebra, q.enumeration));
+    });
+    return entry->specs;
+  }
+
+  std::string evalPrefix(const ExploreQuery& q, const cost::CostBackend& backend) {
+    return algebraKey(q.algebra) + "|" + arrayKey(q.array) + "|" +
+           backend.cacheKey() + "|";
+  }
+};
+
+ExplorationService::ExplorationService(ServiceOptions options)
+    : impl_(std::make_unique<Impl>(options)) {}
+
+ExplorationService::~ExplorationService() {
+  std::unique_lock<std::mutex> lock(impl_->pendingMutex);
+  impl_->pendingDone.wait(lock, [&] { return impl_->pendingSubmits == 0; });
+}
+
+std::vector<QueryResult> ExplorationService::runBatch(
+    const std::vector<ExploreQuery>& batch) {
+  const std::size_t n = batch.size();
+  std::vector<QueryResult> results(n);
+  if (n == 0) return results;
+
+  // Phase 1: resolve each query's backend and (cached) design space.
+  std::vector<std::shared_ptr<const cost::CostBackend>> backends(n);
+  std::vector<std::shared_ptr<const std::vector<stt::DataflowSpec>>> lists(n);
+  std::vector<std::string> prefixes(n);
+  parallelForOn(impl_->pool, n, [&](std::size_t i) {
+    backends[i] = makeBackend(batch[i]);
+    lists[i] = impl_->specList(batch[i]);
+    prefixes[i] = impl_->evalPrefix(batch[i], *backends[i]);
+  });
+
+  // Phase 2: shard every query's space into work units; fan the whole
+  // batch's units out together so a wide query cannot serialize the batch.
+  struct Unit {
+    std::size_t query, begin, end;
+  };
+  std::vector<Unit> units;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t total = lists[i]->size();
+    for (std::size_t b = 0; b < total; b += impl_->options.workUnitSpecs)
+      units.push_back({i, b, std::min(total, b + impl_->options.workUnitSpecs)});
+  }
+
+  struct UnitOut {
+    ParetoFrontier frontier;
+    std::unordered_map<std::size_t, DesignReport> kept;  ///< order -> report
+    std::uint64_t hits = 0, misses = 0;
+  };
+  std::vector<UnitOut> outs(units.size());
+
+  parallelForOn(impl_->pool, units.size(), [&](std::size_t u) {
+    const Unit& unit = units[u];
+    const ExploreQuery& q = batch[unit.query];
+    const auto& specs = *lists[unit.query];
+    UnitOut& out = outs[u];
+    std::vector<std::size_t> pruned;
+    for (std::size_t i = unit.begin; i < unit.end; ++i) {
+      const stt::DataflowSpec& spec = specs[i];
+      auto [entry, hit] = impl_->evalEntry(prefixes[unit.query] + specKey(spec));
+      impl_->force(entry, spec, q.array, *backends[unit.query]);
+      (hit ? out.hits : out.misses) += 1;
+      pruned.clear();
+      if (out.frontier.insert(
+              paretoEntryOf(entry->perf, entry->cost.figures, i, spec.label()),
+              &pruned))
+        out.kept.emplace(i, DesignReport(spec, entry->perf, entry->cost));
+      for (std::size_t o : pruned) out.kept.erase(o);
+    }
+  });
+
+  // Phase 3: merge unit frontiers per query (unit order; the kept set is
+  // insertion-order independent, so any schedule above lands here equal).
+  for (std::size_t i = 0; i < n; ++i) {
+    ParetoFrontier frontier;
+    std::unordered_map<std::size_t, DesignReport> kept;
+    std::vector<std::size_t> pruned;
+    for (std::size_t u = 0; u < units.size(); ++u) {
+      if (units[u].query != i) continue;
+      UnitOut& out = outs[u];
+      results[i].cache.hits += out.hits;
+      results[i].cache.misses += out.misses;
+      for (const ParetoEntry& e : out.frontier.entries()) {
+        pruned.clear();
+        if (frontier.insert(e, &pruned))
+          kept.emplace(e.order, std::move(out.kept.at(e.order)));
+        for (std::size_t o : pruned) kept.erase(o);
+      }
+    }
+    const std::vector<ParetoEntry> ordered = frontier.sorted();
+    results[i].designs = lists[i]->size();
+    results[i].frontier.reserve(ordered.size());
+    for (const ParetoEntry& e : ordered)
+      results[i].frontier.push_back(std::move(kept.at(e.order)));
+    if (const auto bestIdx = pickBest(ordered, batch[i].objective))
+      results[i].best = results[i].frontier[*bestIdx];
+  }
+  return results;
+}
+
+QueryResult ExplorationService::run(const ExploreQuery& query) {
+  return std::move(runBatch({query}).front());
+}
+
+std::future<QueryResult> ExplorationService::submit(ExploreQuery query) {
+  // A fresh thread (not a pool worker): run() blocks on the pool's own
+  // fan-out, and a blocked worker could deadlock a single-worker pool.
+  {
+    std::lock_guard<std::mutex> lock(impl_->pendingMutex);
+    ++impl_->pendingSubmits;
+  }
+  try {
+    return std::async(std::launch::async, [this, q = std::move(query)] {
+      struct Done {
+        Impl* impl;
+        ~Done() {
+          std::lock_guard<std::mutex> lock(impl->pendingMutex);
+          --impl->pendingSubmits;
+          impl->pendingDone.notify_all();
+        }
+      } done{impl_.get()};
+      return run(q);
+    });
+  } catch (...) {
+    // Thread creation failed before the task (and its Done guard) existed.
+    std::lock_guard<std::mutex> lock(impl_->pendingMutex);
+    --impl_->pendingSubmits;
+    impl_->pendingDone.notify_all();
+    throw;
+  }
+}
+
+std::vector<DesignReport> ExplorationService::evaluateAll(
+    const ExploreQuery& query) {
+  const auto backend = makeBackend(query);
+  const auto list = impl_->specList(query);
+  const std::string prefix = impl_->evalPrefix(query, *backend);
+  const std::size_t n = list->size();
+
+  std::vector<std::optional<DesignReport>> slots(n);
+  const std::size_t chunk = impl_->options.workUnitSpecs;
+  const std::size_t unitCount = (n + chunk - 1) / chunk;
+  parallelForOn(impl_->pool, unitCount, [&](std::size_t u) {
+    const std::size_t begin = u * chunk, end = std::min(n, begin + chunk);
+    for (std::size_t i = begin; i < end; ++i) {
+      const stt::DataflowSpec& spec = (*list)[i];
+      const auto entry = impl_->evalEntry(prefix + specKey(spec)).first;
+      impl_->force(entry, spec, query.array, *backend);
+      slots[i].emplace(spec, entry->perf, entry->cost);
+    }
+  });
+
+  std::vector<DesignReport> out;
+  out.reserve(n);
+  for (auto& slot : slots) out.push_back(std::move(*slot));
+  return out;
+}
+
+DesignReport ExplorationService::evaluate(const ExploreQuery& query,
+                                          const stt::DataflowSpec& spec) {
+  const auto backend = makeBackend(query);
+  const auto entry =
+      impl_->evalEntry(impl_->evalPrefix(query, *backend) + specKey(spec)).first;
+  impl_->force(entry, spec, query.array, *backend);
+  return DesignReport(spec, entry->perf, entry->cost);
+}
+
+CacheStats ExplorationService::cacheStats() const {
+  CacheStats stats;
+  stats.shards = impl_->shards.size();
+  for (const auto& shard : impl_->shards) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    stats.hits += shard.hits;
+    stats.misses += shard.misses;
+    stats.evictions += shard.evictions;
+    stats.entries += shard.map.size();
+  }
+  return stats;
+}
+
+void ExplorationService::clearCache() {
+  for (auto& shard : impl_->shards) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.map.clear();
+    shard.fifo.clear();
+    shard.hits = shard.misses = shard.evictions = 0;
+  }
+  std::lock_guard<std::mutex> lock(impl_->specMutex);
+  impl_->specMap.clear();
+  impl_->specFifo.clear();
+}
+
+ExplorationService& ExplorationService::shared() {
+  static ExplorationService service;
+  return service;
+}
+
+}  // namespace tensorlib::driver

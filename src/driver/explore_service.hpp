@@ -1,0 +1,134 @@
+// Batched design-space exploration service — the traffic-facing layer over
+// enumerate → analyze → evaluate.
+//
+// One-shot Session::exploreAll() re-enumerates and re-evaluates everything
+// per call; the service amortizes that across many concurrent queries:
+//
+//   * Batching/sharding: each query's enumerated design space is split
+//     into fixed-size work units and the whole batch's units fan out over
+//     the service's own thread pool (support/parallelForOn). Results land
+//     in per-unit slots and merge in unit order, so output is bit-identical
+//     at every worker count.
+//   * Cross-query caching: evaluations are memoized in a sharded map keyed
+//     by canonical (algebra, array, cost-backend, spec). Overlapping
+//     queries — same GEMM at different objectives, array sweeps that share
+//     the algebra, duplicate user queries — pay for each design point once.
+//     Enumerated spec lists are cached the same way. Hit/miss/eviction
+//     stats are surfaced per query and service-wide.
+//   * Incremental Pareto streaming: run()/runBatch() fold every evaluated
+//     point into a (cycles, power, area) ParetoFrontier on the fly and keep
+//     reports only for frontier residents, instead of materializing the
+//     full space. evaluateAll() retains the materializing contract for
+//     Session::exploreAll.
+//   * Multi-backend objectives: a query targets the ASIC or the FPGA cost
+//     model through cost::CostBackend; frontiers and objective winners use
+//     the backend-neutral CostFigures axes.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cost/backend.hpp"
+#include "driver/pareto.hpp"
+#include "driver/session.hpp"
+
+namespace tensorlib::driver {
+
+/// One exploration request: what to enumerate, on which array, optimizing
+/// what, priced by which implementation target.
+struct ExploreQuery {
+  explicit ExploreQuery(tensor::TensorAlgebra a) : algebra(std::move(a)) {}
+
+  tensor::TensorAlgebra algebra;
+  stt::ArrayConfig array;
+  Objective objective = Objective::Performance;
+  cost::BackendKind backend = cost::BackendKind::Asic;
+  int dataWidth = 16;        ///< ASIC datapath width (ignored by FPGA)
+  cost::FpgaConfig fpga;     ///< FPGA backend configuration (ignored by ASIC)
+  stt::EnumerationOptions enumeration;
+};
+
+/// Evaluation-cache traffic attributable to one query. Exact on a
+/// single-threaded service; approximate under concurrency (simultaneous
+/// misses on one key each count themselves a miss).
+struct QueryCacheCounts {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
+struct QueryResult {
+  /// Pareto-optimal designs over (cycles, power, area), sorted by
+  /// (cycles, power, area, enumeration index) — bit-identical across
+  /// thread counts and cold/warm caches.
+  std::vector<DesignReport> frontier;
+  /// The query-objective winner (canonical tie-breaks; see pickBest).
+  std::optional<DesignReport> best;
+  std::size_t designs = 0;  ///< design points evaluated (cache hits included)
+  QueryCacheCounts cache;
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;  ///< evaluations currently resident
+  std::size_t shards = 0;
+  std::string str() const;
+};
+
+struct ServiceOptions {
+  /// Evaluation threads including the calling thread; 0 = hardware size.
+  std::size_t threads = 0;
+  std::size_t shardCount = 16;            ///< evaluation-cache shards
+  std::size_t cacheCapacity = 1u << 16;   ///< cached evaluations (FIFO/shard)
+  std::size_t specListCacheCapacity = 8;  ///< enumerated design spaces kept
+  std::size_t workUnitSpecs = 128;        ///< specs per scheduled work unit
+};
+
+class ExplorationService {
+ public:
+  explicit ExplorationService(ServiceOptions options = {});
+  ~ExplorationService();
+  ExplorationService(const ExplorationService&) = delete;
+  ExplorationService& operator=(const ExplorationService&) = delete;
+
+  /// Explores one query through the streaming-frontier path.
+  QueryResult run(const ExploreQuery& query);
+
+  /// Explores a batch: all queries' work units share the pool and the
+  /// cache, so overlapping queries evaluate each design point once.
+  /// Results are positionally aligned with `batch`.
+  std::vector<QueryResult> runBatch(const std::vector<ExploreQuery>& batch);
+
+  /// Asynchronous run() on a fresh thread (the service pool stays free for
+  /// the evaluation fan-out); safe to overlap with other runs — they share
+  /// the cache.
+  std::future<QueryResult> submit(ExploreQuery query);
+
+  /// Every evaluated design point in enumeration order (the materializing
+  /// contract behind Session::exploreAll/compileBest).
+  std::vector<DesignReport> evaluateAll(const ExploreQuery& query);
+
+  /// Evaluates one already-analyzed spec through the cache (the path behind
+  /// Session::compileLabel).
+  DesignReport evaluate(const ExploreQuery& query,
+                        const stt::DataflowSpec& spec);
+
+  CacheStats cacheStats() const;
+  /// Drops all cached evaluations and spec lists and zeroes the stats.
+  void clearCache();
+
+  /// Process-wide instance Sessions delegate to (hardware-sized pool,
+  /// default capacities).
+  static ExplorationService& shared();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace tensorlib::driver

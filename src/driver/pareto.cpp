@@ -1,0 +1,131 @@
+#include "driver/pareto.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tensorlib::driver {
+
+bool finiteCost(const ParetoCost& cost) {
+  return std::isfinite(cost.cycles) && std::isfinite(cost.powerMw) &&
+         std::isfinite(cost.area);
+}
+
+bool dominates(const ParetoCost& a, const ParetoCost& b) {
+  if (a.cycles > b.cycles || a.powerMw > b.powerMw || a.area > b.area)
+    return false;
+  return a.cycles < b.cycles || a.powerMw < b.powerMw || a.area < b.area;
+}
+
+namespace {
+
+bool equalCost(const ParetoCost& a, const ParetoCost& b) {
+  return a.cycles == b.cycles && a.powerMw == b.powerMw && a.area == b.area;
+}
+
+}  // namespace
+
+bool ParetoFrontier::insert(const ParetoEntry& entry,
+                            std::vector<std::size_t>* pruned) {
+  if (!finiteCost(entry.cost)) return false;
+  for (const ParetoEntry& kept : entries_) {
+    if (dominates(kept.cost, entry.cost)) return false;
+    if (equalCost(kept.cost, entry.cost) && kept.order <= entry.order)
+      return false;
+  }
+  // Survived: evict residents it dominates (or cost-ties with larger order).
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < entries_.size(); ++r) {
+    const bool drop = dominates(entry.cost, entries_[r].cost) ||
+                      (equalCost(entry.cost, entries_[r].cost) &&
+                       entry.order < entries_[r].order);
+    if (drop) {
+      if (pruned) pruned->push_back(entries_[r].order);
+      continue;
+    }
+    if (w != r) entries_[w] = std::move(entries_[r]);
+    ++w;
+  }
+  entries_.resize(w);
+  entries_.push_back(entry);
+  return true;
+}
+
+void ParetoFrontier::merge(const ParetoFrontier& other,
+                           std::vector<std::size_t>* pruned) {
+  for (const ParetoEntry& e : other.entries_) insert(e, pruned);
+}
+
+std::vector<ParetoEntry> ParetoFrontier::sorted() const {
+  std::vector<ParetoEntry> out = entries_;
+  std::sort(out.begin(), out.end(), [](const ParetoEntry& a, const ParetoEntry& b) {
+    if (a.cost.cycles != b.cost.cycles) return a.cost.cycles < b.cost.cycles;
+    if (a.cost.powerMw != b.cost.powerMw) return a.cost.powerMw < b.cost.powerMw;
+    if (a.cost.area != b.cost.area) return a.cost.area < b.cost.area;
+    return a.order < b.order;
+  });
+  return out;
+}
+
+namespace {
+
+/// True iff candidate `a` beats incumbent `b` under a lexicographic list of
+/// (value, minimize?) criteria; the final tie-break is always min order.
+bool beats(const ParetoEntry& a, const ParetoEntry& b,
+           const std::vector<std::pair<double, double>>& keysAB) {
+  for (const auto& [ka, kb] : keysAB) {
+    if (ka != kb) return ka < kb;
+  }
+  return a.order < b.order;
+}
+
+}  // namespace
+
+std::optional<std::size_t> pickBest(const std::vector<ParetoEntry>& entries,
+                                    Objective objective) {
+  if (entries.empty()) return std::nullopt;
+
+  double bestUtil = 0.0;
+  for (const ParetoEntry& e : entries)
+    bestUtil = std::max(bestUtil, e.cost.utilization);
+
+  std::optional<std::size_t> best;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const ParetoEntry& e = entries[i];
+    std::vector<std::pair<double, double>> keys;
+    switch (objective) {
+      case Objective::Performance:
+        break;  // keys built below against the incumbent
+      case Objective::Power:
+        if (e.cost.utilization < 0.9 * bestUtil) continue;
+        break;
+      case Objective::EnergyDelay:
+        break;
+    }
+    if (!best) {
+      best = i;
+      continue;
+    }
+    const ParetoEntry& b = entries[*best];
+    switch (objective) {
+      case Objective::Performance:
+        keys = {{-e.cost.utilization, -b.cost.utilization},
+                {e.cost.powerMw, b.cost.powerMw},
+                {e.cost.area, b.cost.area}};
+        break;
+      case Objective::Power:
+        keys = {{e.cost.powerMw, b.cost.powerMw},
+                {-e.cost.utilization, -b.cost.utilization},
+                {e.cost.area, b.cost.area}};
+        break;
+      case Objective::EnergyDelay:
+        keys = {{e.cost.powerMw * e.cost.cycles, b.cost.powerMw * b.cost.cycles},
+                {e.cost.cycles, b.cost.cycles},
+                {e.cost.area, b.cost.area}};
+        break;
+    }
+    if (beats(e, b, keys)) best = i;
+  }
+  return best;
+}
+
+}  // namespace tensorlib::driver

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "arch/testbench.hpp"
+#include "driver/explore_service.hpp"
 #include "hwir/verilog.hpp"
 #include "sim/dfsim.hpp"
 #include "support/error.hpp"
@@ -12,11 +13,15 @@
 namespace tensorlib::driver {
 
 std::string DesignReport::summary() const {
+  const cost::CostFigures f = figures();
   std::ostringstream os;
   os << spec.label() << ": util " << 100.0 * perf.utilization << "%, "
-     << perf.totalCycles << " cycles, " << asic.powerMw << " mW, "
-     << asic.areaMm2 << " mm2"
-     << (perf.bandwidthBound ? " [bandwidth-bound]" : "");
+     << perf.totalCycles << " cycles, " << f.powerMw << " mW, ";
+  if (backend == cost::BackendKind::Fpga)
+    os << 100.0 * f.area << "% of device";
+  else
+    os << f.area << " mm2";
+  os << (perf.bandwidthBound ? " [bandwidth-bound]" : "");
   return os.str();
 }
 
@@ -24,10 +29,19 @@ Session::Session(tensor::TensorAlgebra algebra, stt::ArrayConfig array,
                  int dataWidth)
     : algebra_(std::move(algebra)), array_(array), dataWidth_(dataWidth) {}
 
+/// The session as a service query: ASIC backend at the session's data
+/// width, default enumeration — the seed exploreAll() contract.
+static ExploreQuery sessionQuery(const tensor::TensorAlgebra& algebra,
+                                 const stt::ArrayConfig& array, int dataWidth) {
+  ExploreQuery q(algebra);
+  q.array = array;
+  q.dataWidth = dataWidth;
+  return q;
+}
+
 DesignReport Session::evaluate(stt::DataflowSpec spec) const {
-  const auto perf = sim::estimatePerformance(spec, array_);
-  auto asic = cost::estimateAsic(spec, array_, dataWidth_);
-  return DesignReport(std::move(spec), perf, std::move(asic));
+  return ExplorationService::shared().evaluate(
+      sessionQuery(algebra_, array_, dataWidth_), spec);
 }
 
 std::optional<DesignReport> Session::compileLabel(const std::string& label) const {
@@ -37,13 +51,16 @@ std::optional<DesignReport> Session::compileLabel(const std::string& label) cons
 }
 
 std::vector<DesignReport> Session::exploreAll() const {
-  std::vector<DesignReport> out;
-  for (const auto& sel : stt::allLoopSelections(algebra_))
-    for (auto& spec : stt::enumerateTransforms(algebra_, sel))
-      out.push_back(evaluate(std::move(spec)));
-  return out;
+  return ExplorationService::shared().evaluateAll(
+      sessionQuery(algebra_, array_, dataWidth_));
 }
 
+// Winner selection here intentionally keeps the seed semantics — first of
+// equal candidates in enumeration order wins — rather than delegating to
+// driver::pickBest, whose canonical tie-breaks (utilization, then area)
+// serve the service's order-independent frontier path. The two agree on
+// every strict winner; only exact ties can name different (equal-cost)
+// designs.
 DesignReport Session::compileBest(Objective objective) const {
   std::vector<DesignReport> all = exploreAll();
   TL_CHECK(!all.empty(), "design space is empty for " + algebra_.name());
@@ -66,7 +83,7 @@ DesignReport Session::compileBest(Objective objective) const {
       DesignReport* pick = nullptr;
       for (auto& r : all) {
         if (r.perf.utilization < 0.9 * bestUtil) continue;
-        if (!pick || r.asic.powerMw < pick->asic.powerMw) pick = &r;
+        if (!pick || r.figures().powerMw < pick->figures().powerMw) pick = &r;
       }
       TL_CHECK(pick != nullptr, "no design within 10% of best performance");
       return std::move(*pick);

@@ -13,32 +13,41 @@
 #include <string>
 #include <vector>
 
-#include "cost/asic.hpp"
+#include "cost/backend.hpp"
+#include "driver/pareto.hpp"
 #include "sim/perf.hpp"
 #include "stt/enumerate.hpp"
 #include "verify/conformance.hpp"
 
 namespace tensorlib::driver {
 
-/// What to optimize during exploration.
-enum class Objective {
-  Performance,  ///< max utilization (min cycles)
-  Power,        ///< min mW among designs within 10% of best performance
-  EnergyDelay,  ///< min (power x cycles) product
-};
-
 /// One evaluated design point: the spec plus its measured performance and
-/// ASIC cost on the session's array.
+/// implementation cost on the target array. The cost comes from one of the
+/// pluggable backends — `asic` is populated for the ASIC backend (the
+/// Session default), `fpga` for the FPGA backend; `figures()` is the
+/// backend-neutral view objectives and Pareto frontiers use.
 struct DesignReport {
   stt::DataflowSpec spec;
   sim::PerfResult perf;
   cost::AsicReport asic;
+  std::optional<cost::FpgaReport> fpga;
+  cost::BackendKind backend = cost::BackendKind::Asic;
 
   DesignReport(stt::DataflowSpec s, sim::PerfResult p, cost::AsicReport a)
       : spec(std::move(s)), perf(p), asic(std::move(a)) {}
 
+  DesignReport(stt::DataflowSpec s, sim::PerfResult p, cost::CostReport c)
+      : spec(std::move(s)),
+        perf(p),
+        asic(std::move(c.asic)),
+        fpga(std::move(c.fpga)),
+        backend(fpga ? cost::BackendKind::Fpga : cost::BackendKind::Asic) {}
+
+  cost::CostFigures figures() const {
+    return fpga ? fpga->figures() : asic.figures();
+  }
   double energyDelay() const {
-    return asic.powerMw * static_cast<double>(perf.totalCycles);
+    return figures().powerMw * static_cast<double>(perf.totalCycles);
   }
   std::string summary() const;
 };
@@ -55,6 +64,9 @@ class Session {
   std::optional<DesignReport> compileLabel(const std::string& label) const;
 
   /// Evaluates the whole enumerated design space (all loop selections).
+  /// Delegates to the shared ExplorationService, so repeated explorations
+  /// of the same (algebra, array) — from this or any other Session — reuse
+  /// cached evaluations.
   std::vector<DesignReport> exploreAll() const;
 
   /// Runs exploration and returns the best design per the objective.

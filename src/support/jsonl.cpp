@@ -1,0 +1,155 @@
+#include "support/jsonl.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/error.hpp"
+
+namespace tensorlib::support {
+
+namespace {
+
+void skipSpace(const std::string& s, std::size_t& i) {
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+}
+
+[[noreturn]] void bad(const std::string& line, const std::string& why) {
+  fail("malformed JSON line (" + why + "): " + line);
+}
+
+std::string parseQuoted(const std::string& s, std::size_t& i,
+                        const std::string& line) {
+  if (i >= s.size() || s[i] != '"') bad(line, "expected string");
+  ++i;
+  std::string out;
+  while (i < s.size() && s[i] != '"') {
+    char c = s[i++];
+    if (c == '\\') {
+      if (i >= s.size()) bad(line, "dangling escape");
+      const char e = s[i++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        default: bad(line, std::string("unsupported escape \\") + e);
+      }
+    } else {
+      out += c;
+    }
+  }
+  if (i >= s.size()) bad(line, "unterminated string");
+  ++i;  // closing quote
+  return out;
+}
+
+std::string parseScalar(const std::string& s, std::size_t& i,
+                        const std::string& line) {
+  if (i >= s.size()) bad(line, "expected value");
+  if (s[i] == '{' || s[i] == '[') bad(line, "nested values unsupported");
+  std::string out;
+  while (i < s.size() && s[i] != ',' && s[i] != '}' &&
+         !std::isspace(static_cast<unsigned char>(s[i])))
+    out += s[i++];
+  if (out.empty()) bad(line, "expected value");
+  return out;
+}
+
+}  // namespace
+
+JsonObject parseJsonLine(const std::string& line) {
+  std::map<std::string, std::string> fields;
+  std::size_t i = 0;
+  skipSpace(line, i);
+  if (i >= line.size() || line[i] != '{') bad(line, "expected '{'");
+  ++i;
+  skipSpace(line, i);
+  if (i < line.size() && line[i] == '}') {
+    ++i;
+  } else {
+    for (;;) {
+      skipSpace(line, i);
+      const std::string key = parseQuoted(line, i, line);
+      skipSpace(line, i);
+      if (i >= line.size() || line[i] != ':') bad(line, "expected ':'");
+      ++i;
+      skipSpace(line, i);
+      const std::string value = line[i] == '"' ? parseQuoted(line, i, line)
+                                               : parseScalar(line, i, line);
+      if (!fields.emplace(key, value).second) bad(line, "duplicate key " + key);
+      skipSpace(line, i);
+      if (i >= line.size()) bad(line, "expected ',' or '}'");
+      if (line[i] == ',') { ++i; continue; }
+      if (line[i] == '}') { ++i; break; }
+      bad(line, "expected ',' or '}'");
+    }
+  }
+  skipSpace(line, i);
+  if (i != line.size()) bad(line, "trailing characters");
+  return JsonObject(std::move(fields));
+}
+
+std::optional<std::string> JsonObject::getString(const std::string& key) const {
+  auto it = fields_.find(key);
+  if (it == fields_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::int64_t> JsonObject::getInt(const std::string& key) const {
+  auto it = fields_.find(key);
+  if (it == fields_.end()) return std::nullopt;
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0' || errno == ERANGE)
+    fail("field '" + key + "' is not a representable integer: " + it->second);
+  return static_cast<std::int64_t>(v);
+}
+
+std::optional<double> JsonObject::getDouble(const std::string& key) const {
+  auto it = fields_.find(key);
+  if (it == fields_.end()) return std::nullopt;
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0' || errno == ERANGE)
+    fail("field '" + key + "' is not a representable number: " + it->second);
+  return v;
+}
+
+std::optional<bool> JsonObject::getBool(const std::string& key) const {
+  auto it = fields_.find(key);
+  if (it == fields_.end()) return std::nullopt;
+  if (it->second == "true") return true;
+  if (it->second == "false") return false;
+  fail("field '" + key + "' is not a boolean: " + it->second);
+}
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace tensorlib::support

@@ -1,0 +1,47 @@
+// Minimal flat-JSON-object codec for line-oriented tool protocols.
+//
+// tools/explore_server reads one query per line:
+//   {"workload": "gemm", "rows": 8, "objective": "power", "backend": "fpga"}
+// This parser covers exactly that shape — one object per line, string /
+// number / boolean values, no nesting — and throws tensorlib::Error with
+// the offending text for anything else, so batch files fail loudly instead
+// of silently dropping fields.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace tensorlib::support {
+
+/// A parsed flat JSON object: field name -> decoded scalar (strings are
+/// unescaped; numbers and booleans kept as their source text).
+class JsonObject {
+ public:
+  explicit JsonObject(std::map<std::string, std::string> fields)
+      : fields_(std::move(fields)) {}
+
+  bool has(const std::string& key) const { return fields_.count(key) > 0; }
+  const std::map<std::string, std::string>& fields() const { return fields_; }
+
+  /// Typed accessors: nullopt when the key is absent; throw on a value of
+  /// the wrong shape (e.g. getInt of "abc").
+  std::optional<std::string> getString(const std::string& key) const;
+  std::optional<std::int64_t> getInt(const std::string& key) const;
+  std::optional<double> getDouble(const std::string& key) const;
+  std::optional<bool> getBool(const std::string& key) const;
+
+ private:
+  std::map<std::string, std::string> fields_;
+};
+
+/// Parses one `{...}` line. Throws tensorlib::Error on malformed input,
+/// nested values, or duplicate keys.
+JsonObject parseJsonLine(const std::string& line);
+
+/// Escapes a string for embedding in emitted JSON (quotes, backslashes,
+/// control characters).
+std::string jsonEscape(const std::string& s);
+
+}  // namespace tensorlib::support

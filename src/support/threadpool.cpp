@@ -79,8 +79,12 @@ thread_local bool tInParallelRegion = false;
 
 void parallelFor(std::size_t count,
                  const std::function<void(std::size_t)>& body) {
+  parallelForOn(ThreadPool::global(), count, body);
+}
+
+void parallelForOn(ThreadPool& pool, std::size_t count,
+                   const std::function<void(std::size_t)>& body) {
   if (count == 0) return;
-  ThreadPool& pool = ThreadPool::global();
   const std::size_t helpers =
       count > 1 && !tInParallelRegion ? std::min(pool.workerCount(), count - 1)
                                       : 0;

@@ -46,4 +46,12 @@ class ThreadPool {
 /// queueing tasks the blocked outer call could deadlock on.
 void parallelFor(std::size_t count, const std::function<void(std::size_t)>& body);
 
+/// parallelFor against an explicit pool instead of the process-wide one —
+/// the exploration service sizes its own pool so batch results can be
+/// checked for determinism at exact worker counts. Same contract as
+/// parallelFor (dynamic claiming, indexed slots, first exception rethrown,
+/// nested calls run inline).
+void parallelForOn(ThreadPool& pool, std::size_t count,
+                   const std::function<void(std::size_t)>& body);
+
 }  // namespace tensorlib

@@ -5,6 +5,7 @@
 
 #include "stt/enumerate.hpp"
 #include "tensor/workloads.hpp"
+#include "workload_samples.hpp"
 
 namespace tensorlib::baselines {
 namespace {
@@ -55,6 +56,64 @@ TEST(Baselines, TensorLibCoversStrictlyMoreDataflows) {
   EXPECT_GT(baselineCount, 0u);
   EXPECT_LT(baselineCount, specs.size() / 2)
       << "systolic-only generators cover a small corner of the space";
+}
+
+// ---- table-driven coverage over the scenario library -----------------------
+
+using ::tensorlib::testing::cappedSpecs;
+
+bool pureSystolicStationary(const stt::DataflowSpec& spec) {
+  for (const auto& role : spec.tensors()) {
+    const auto c = role.dataflow.dataflowClass;
+    if (c != stt::DataflowClass::Systolic &&
+        c != stt::DataflowClass::Stationary)
+      return false;
+  }
+  return true;
+}
+
+TEST(BaselinesTableDriven, CapabilityModelMatchesDataflowLetters) {
+  // supportsDataflow must be exactly the "every tensor systolic or
+  // stationary" predicate on every scenario's design space — and PolySA
+  // and Susy share that predicate (they differ only in reported metrics).
+  const auto p = polysa();
+  const auto s = susy();
+  for (const auto& w : wl::allWorkloads()) {
+    const auto specs = cappedSpecs(w);
+    ASSERT_FALSE(specs.empty()) << w.name;
+    for (const auto& spec : specs) {
+      EXPECT_EQ(p.supportsDataflow(spec), pureSystolicStationary(spec))
+          << w.name << " " << spec.label();
+      EXPECT_EQ(p.supportsDataflow(spec), s.supportsDataflow(spec))
+          << w.name << " " << spec.label();
+    }
+    EXPECT_EQ(p.coverageOf(specs), s.coverageOf(specs)) << w.name;
+    EXPECT_LE(p.coverageOf(specs), specs.size()) << w.name;
+  }
+}
+
+TEST(BaselinesTableDriven, StreamingWorkloadsEscapeSystolicGenerators) {
+  // The generality claim at scenario-table scale: the all-unicast pointwise
+  // shape has NO design a systolic-only generator could produce, while the
+  // GEMM-shaped scenarios keep a nonzero (but partial) covered corner.
+  // These spaces are 3-loop (single selection) and small, so enumerate them
+  // fully — a truncated sample can miss the systolic corner.
+  const auto p = polysa();
+  for (const char* name : {"gemm", "attention", "pointwise-residual"}) {
+    const auto* w = wl::findWorkload(name);
+    ASSERT_NE(w, nullptr) << name;
+    stt::EnumerationOptions options;
+    options.dropAllUnicast = !w->allowAllUnicast;
+    const auto specs = stt::enumerateDesignSpace(w->algebra, options);
+    ASSERT_FALSE(specs.empty()) << name;
+    const std::size_t covered = p.coverageOf(specs);
+    if (w->allowAllUnicast) {
+      EXPECT_EQ(covered, 0u) << name;
+    } else {
+      EXPECT_GT(covered, 0u) << name;
+      EXPECT_LT(covered, specs.size()) << name;
+    }
+  }
 }
 
 }  // namespace

@@ -3,7 +3,11 @@
 // the FPGA resource model (Table III).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "arch/generator.hpp"
+#include "workload_samples.hpp"
 #include "cost/fpga.hpp"
 #include "cost/netlist_cost.hpp"
 #include "stt/enumerate.hpp"
@@ -192,6 +196,101 @@ TEST(Fpga, MulticastLowersFrequency) {
   const auto sys = estimateFpga(*stt::findDataflowByLabel(g, "MNK-SST"), arr, fc);
   const auto mc = estimateFpga(*stt::findDataflowByLabel(g, "MNK-MMT"), arr, fc);
   EXPECT_GT(sys.frequencyMHz, mc.frequencyMHz);
+}
+
+TEST(Fpga, ReportSurfaceMatchesAsicReport) {
+  // The FPGA report carries the same summary surface as the ASIC one —
+  // power in mW, a scalar area axis, the derived inventory — so the
+  // CostBackend interface needs no per-backend special cases.
+  const auto g = wl::gemm(64, 64, 64);
+  const auto spec = stt::findDataflowByLabel(g, "MNK-SST");
+  stt::ArrayConfig arr;
+  arr.rows = arr.cols = 8;
+  const auto rep = estimateFpga(*spec, arr, FpgaConfig{});
+  EXPECT_GT(rep.powerMw, 0.0);
+  EXPECT_EQ(rep.inventory.pes, 64);
+  EXPECT_GT(rep.inventory.multipliers, 0);
+  const CostFigures f = rep.figures();
+  EXPECT_EQ(f.powerMw, rep.powerMw);
+  EXPECT_GT(f.area, 0.0);
+  EXPECT_DOUBLE_EQ(
+      f.area, std::max({rep.lutPct, rep.dspPct, rep.bramPct}) / 100.0);
+  EXPECT_NE(rep.str().find("mW"), std::string::npos);
+}
+
+TEST(Fpga, WordSizeFollowsDatapathNotCallerConfig) {
+  // Unit fix: an FP32 datapath moves 4-byte words through the bandwidth
+  // model even when the caller leaves ArrayConfig::dataBytes at the INT16
+  // default — the stale field used to double the deliverable words/cycle.
+  const auto g = wl::gemm(256, 256, 256);
+  const auto spec = stt::findDataflowByLabel(g, "MNK-STS");
+  stt::ArrayConfig stale;  // dataBytes = 2
+  stt::ArrayConfig correct;
+  correct.dataBytes = 4;
+  FpgaConfig fc;  // fp32 = true
+  const auto a = estimateFpga(*spec, stale, fc);
+  const auto b = estimateFpga(*spec, correct, fc);
+  EXPECT_DOUBLE_EQ(a.gops, b.gops);
+  EXPECT_DOUBLE_EQ(a.powerMw, b.powerMw);
+}
+
+// ---- table-driven coverage over the scenario library -----------------------
+
+using ::tensorlib::testing::cappedSpecs;
+
+TEST(CostTableDriven, EveryWorkloadPricesOnBothBackends) {
+  stt::ArrayConfig arr;
+  arr.rows = arr.cols = 8;
+  FpgaConfig fc;
+  for (const auto& w : wl::allWorkloads()) {
+    const auto specs = cappedSpecs(w);
+    ASSERT_FALSE(specs.empty()) << w.name;
+    for (const auto& spec : specs) {
+      const auto asic = estimateAsic(spec, arr, 16);
+      EXPECT_TRUE(std::isfinite(asic.areaMm2) && asic.areaMm2 > 0.0)
+          << w.name << " " << spec.label();
+      EXPECT_TRUE(std::isfinite(asic.powerMw) && asic.powerMw > 0.0)
+          << w.name << " " << spec.label();
+      EXPECT_EQ(asic.inventory.pes, arr.rows * arr.cols) << w.name;
+
+      const auto fpga = estimateFpga(spec, arr, fc);
+      EXPECT_GT(fpga.luts, 0) << w.name << " " << spec.label();
+      EXPECT_GT(fpga.dsps, 0) << w.name << " " << spec.label();
+      EXPECT_GT(fpga.bram, 0) << w.name << " " << spec.label();
+      EXPECT_GE(fpga.frequencyMHz, 200.0) << w.name << " " << spec.label();
+      EXPECT_LE(fpga.frequencyMHz, 340.0) << w.name << " " << spec.label();
+      EXPECT_TRUE(std::isfinite(fpga.powerMw) && fpga.powerMw > 0.0)
+          << w.name << " " << spec.label();
+      EXPECT_TRUE(std::isfinite(fpga.gops) && fpga.gops >= 0.0)
+          << w.name << " " << spec.label();
+    }
+  }
+}
+
+TEST(CostTableDriven, BiggerArrayNeverCostsLess) {
+  // Monotonicity sanity on every scenario: growing the array can only add
+  // structure — area, power and FPGA resources must not shrink.
+  stt::ArrayConfig small;
+  small.rows = small.cols = 4;
+  stt::ArrayConfig large;
+  large.rows = large.cols = 8;
+  FpgaConfig fc;
+  for (const auto& w : wl::allWorkloads()) {
+    const auto specs = cappedSpecs(w);
+    for (const auto& spec : specs) {
+      const auto a4 = estimateAsic(spec, small, 16);
+      const auto a8 = estimateAsic(spec, large, 16);
+      EXPECT_GE(a8.areaMm2, a4.areaMm2) << w.name << " " << spec.label();
+      EXPECT_GE(a8.powerMw, a4.powerMw) << w.name << " " << spec.label();
+
+      const auto f4 = estimateFpga(spec, small, fc);
+      const auto f8 = estimateFpga(spec, large, fc);
+      EXPECT_GE(f8.luts, f4.luts) << w.name << " " << spec.label();
+      EXPECT_GE(f8.dsps, f4.dsps) << w.name << " " << spec.label();
+      EXPECT_GE(f8.bram, f4.bram) << w.name << " " << spec.label();
+      EXPECT_GE(f8.powerMw, f4.powerMw) << w.name << " " << spec.label();
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,61 @@
+// Tests for the flat JSON-line codec behind tools/explore_server batch
+// files: accepted shapes, typed accessors, and loud failure on everything
+// outside the supported subset.
+#include "support/jsonl.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace tensorlib::support {
+namespace {
+
+TEST(JsonLine, ParsesTypedFields) {
+  const auto obj = parseJsonLine(
+      R"({"workload": "gemm", "rows": 8, "bandwidth_gbps": 32.5, )"
+      R"("fp32": true, "note": "a \"quoted\" name"})");
+  EXPECT_EQ(obj.getString("workload"), "gemm");
+  EXPECT_EQ(obj.getInt("rows"), 8);
+  EXPECT_DOUBLE_EQ(*obj.getDouble("bandwidth_gbps"), 32.5);
+  EXPECT_EQ(obj.getBool("fp32"), true);
+  EXPECT_EQ(obj.getString("note"), "a \"quoted\" name");
+  EXPECT_FALSE(obj.has("cols"));
+  EXPECT_FALSE(obj.getInt("cols").has_value());
+}
+
+TEST(JsonLine, EmptyObjectAndNegativeNumbers) {
+  EXPECT_TRUE(parseJsonLine("{}").fields().empty());
+  const auto obj = parseJsonLine(R"({"x": -3, "y": -2.5})");
+  EXPECT_EQ(obj.getInt("x"), -3);
+  EXPECT_DOUBLE_EQ(*obj.getDouble("y"), -2.5);
+}
+
+TEST(JsonLine, RejectsMalformedInput) {
+  EXPECT_THROW(parseJsonLine(""), Error);
+  EXPECT_THROW(parseJsonLine("not json"), Error);
+  EXPECT_THROW(parseJsonLine(R"({"a": 1)"), Error);
+  EXPECT_THROW(parseJsonLine(R"({"a" 1})"), Error);
+  EXPECT_THROW(parseJsonLine(R"({"a": 1} trailing)"), Error);
+  EXPECT_THROW(parseJsonLine(R"({"a": {"nested": 1}})"), Error);
+  EXPECT_THROW(parseJsonLine(R"({"a": [1, 2]})"), Error);
+  EXPECT_THROW(parseJsonLine(R"({"a": 1, "a": 2})"), Error);
+  EXPECT_THROW(parseJsonLine(R"({"a": "unterminated)"), Error);
+}
+
+TEST(JsonLine, TypeMismatchesThrowInsteadOfCoercing) {
+  const auto obj = parseJsonLine(R"({"s": "abc", "n": 12})");
+  EXPECT_THROW(obj.getInt("s"), Error);
+  EXPECT_THROW(obj.getBool("s"), Error);
+  EXPECT_THROW(obj.getBool("n"), Error);
+  EXPECT_EQ(obj.getDouble("n"), 12.0);  // ints read fine as doubles
+}
+
+TEST(JsonEscape, RoundTripsControlCharacters) {
+  EXPECT_EQ(jsonEscape("plain"), "plain");
+  EXPECT_EQ(jsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(jsonEscape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(jsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+}  // namespace
+}  // namespace tensorlib::support

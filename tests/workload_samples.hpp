@@ -1,0 +1,36 @@
+// Shared test-harness sampling over the scenario library: a bounded,
+// deterministic draw of design specs per registered workload, honoring the
+// workload's all-unicast flag and sweep budget. Used by the table-driven
+// cost and baselines tests so both sample identical design spaces.
+#pragma once
+
+#include <vector>
+
+#include "stt/enumerate.hpp"
+#include "tensor/workloads.hpp"
+
+namespace tensorlib::testing {
+
+inline stt::EnumerationOptions workloadEnumOptions(
+    const tensor::workloads::NamedWorkload& w) {
+  stt::EnumerationOptions options;
+  options.dropAllUnicast = !w.allowAllUnicast;
+  return options;
+}
+
+/// Design specs drawn across loop selections (some selections enumerate
+/// empty — e.g. depthwise's first), capped by the workload's sweep budget.
+inline std::vector<stt::DataflowSpec> cappedSpecs(
+    const tensor::workloads::NamedWorkload& w) {
+  const stt::EnumerationOptions options = workloadEnumOptions(w);
+  std::vector<stt::DataflowSpec> specs;
+  for (const auto& sel : stt::allLoopSelections(w.algebra)) {
+    for (auto& spec : stt::enumerateTransforms(w.algebra, sel, options)) {
+      specs.push_back(std::move(spec));
+      if (specs.size() >= w.sweepCap) return specs;
+    }
+  }
+  return specs;
+}
+
+}  // namespace tensorlib::testing

@@ -1,0 +1,211 @@
+// explore_server: batched exploration over a JSON-lines query stream.
+//
+//   explore_server --file queries.jsonl          # batch from a file
+//   cat queries.jsonl | explore_server           # batch from stdin
+//   explore_server --list-workloads
+//
+// Each input line is one flat JSON query:
+//   {"workload": "gemm", "rows": 8, "cols": 8,
+//    "objective": "power", "backend": "fpga", "max_entry": 1}
+// Fields: workload (required; a scenario-table name, "gemm" also accepts
+// m/n/k extents), objective (performance|power|energy-delay), backend
+// (asic|fpga), rows/cols/bandwidth_gbps/frequency_mhz/data_bytes,
+// data_width (ASIC), fp32/vector_lanes/placement_optimized (FPGA),
+// max_entry (enumeration range).
+//
+// The whole stream is executed as ONE ExplorationService batch, so
+// overlapping queries share enumerations and design-point evaluations.
+// Output is JSON lines: one result per query (Pareto frontier over
+// cycles/power/area, objective winner, per-query cache traffic) plus a
+// trailing batch summary with service-wide cache stats.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "driver/explore_service.hpp"
+#include "support/error.hpp"
+#include "support/jsonl.hpp"
+#include "tensor/workloads.hpp"
+
+namespace {
+
+using namespace tensorlib;
+
+int usage() {
+  std::printf(
+      "usage: explore_server [--file F] [--threads N] [--max-frontier N]\n"
+      "                      [--list-workloads]\n"
+      "Reads one JSON query per line from --file (default stdin); runs the\n"
+      "whole stream as one batched, cached exploration.\n");
+  return 2;
+}
+
+driver::Objective parseObjective(const std::string& name) {
+  if (name == "performance") return driver::Objective::Performance;
+  if (name == "power") return driver::Objective::Power;
+  if (name == "energy-delay") return driver::Objective::EnergyDelay;
+  fail("unknown objective '" + name +
+       "' (expected performance|power|energy-delay)");
+}
+
+std::string objectiveName(driver::Objective o) {
+  switch (o) {
+    case driver::Objective::Performance: return "performance";
+    case driver::Objective::Power: return "power";
+    case driver::Objective::EnergyDelay: return "energy-delay";
+  }
+  return "?";
+}
+
+driver::ExploreQuery parseQuery(const support::JsonObject& obj) {
+  const auto workload = obj.getString("workload");
+  if (!workload) fail("query missing required field 'workload'");
+
+  tensor::TensorAlgebra algebra = [&] {
+    if (*workload == "gemm" && (obj.has("m") || obj.has("n") || obj.has("k")))
+      return tensor::workloads::gemm(obj.getInt("m").value_or(64),
+                                     obj.getInt("n").value_or(64),
+                                     obj.getInt("k").value_or(64));
+    const auto* named = tensor::workloads::findWorkload(*workload);
+    if (!named)
+      fail("unknown workload '" + *workload + "' (try --list-workloads)");
+    return named->algebra;
+  }();
+
+  driver::ExploreQuery q(std::move(algebra));
+  if (const auto* named = tensor::workloads::findWorkload(*workload))
+    q.enumeration.dropAllUnicast = !named->allowAllUnicast;
+
+  if (const auto v = obj.getString("objective")) q.objective = parseObjective(*v);
+  if (const auto v = obj.getString("backend")) {
+    const auto kind = cost::parseBackendKind(*v);
+    if (!kind) fail("unknown backend '" + *v + "' (expected asic|fpga)");
+    q.backend = *kind;
+  }
+  if (const auto v = obj.getInt("rows")) q.array.rows = *v;
+  if (const auto v = obj.getInt("cols")) q.array.cols = *v;
+  if (const auto v = obj.getDouble("bandwidth_gbps")) q.array.bandwidthGBps = *v;
+  if (const auto v = obj.getDouble("frequency_mhz")) q.array.frequencyMHz = *v;
+  if (const auto v = obj.getInt("data_bytes")) q.array.dataBytes = *v;
+  if (const auto v = obj.getInt("data_width")) q.dataWidth = static_cast<int>(*v);
+  if (const auto v = obj.getInt("max_entry"))
+    q.enumeration.maxEntry = static_cast<int>(*v);
+  if (const auto v = obj.getBool("fp32")) q.fpga.fp32 = *v;
+  if (const auto v = obj.getInt("vector_lanes")) q.fpga.vectorLanes = *v;
+  if (const auto v = obj.getBool("placement_optimized"))
+    q.fpga.placementOptimized = *v;
+  return q;
+}
+
+void printResultLine(std::size_t index, const std::string& workload,
+                     const driver::ExploreQuery& q,
+                     const driver::QueryResult& r, std::size_t maxFrontier) {
+  std::ostringstream os;
+  os << "{\"query\": " << index << ", \"workload\": \""
+     << support::jsonEscape(workload) << "\", \"backend\": \""
+     << cost::backendKindName(q.backend) << "\", \"objective\": \""
+     << objectiveName(q.objective) << "\", \"designs\": " << r.designs
+     << ", \"frontier_size\": " << r.frontier.size() << ", \"frontier\": [";
+  const std::size_t shown = std::min(maxFrontier, r.frontier.size());
+  for (std::size_t i = 0; i < shown; ++i) {
+    const auto& rep = r.frontier[i];
+    const auto f = rep.figures();
+    os << (i ? ", " : "") << "{\"label\": \""
+       << support::jsonEscape(rep.spec.label()) << "\", \"cycles\": "
+       << rep.perf.totalCycles << ", \"power_mw\": " << f.powerMw
+       << ", \"area\": " << f.area << ", \"utilization\": "
+       << rep.perf.utilization << "}";
+  }
+  os << "]";
+  if (r.best)
+    os << ", \"best\": \"" << support::jsonEscape(r.best->spec.label()) << "\"";
+  os << ", \"cache\": {\"hits\": " << r.cache.hits << ", \"misses\": "
+     << r.cache.misses << "}}";
+  std::printf("%s\n", os.str().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string file;
+  std::size_t threads = 0, maxFrontier = 16;
+  bool listWorkloads = false;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      auto next = [&]() -> std::string {
+        if (i + 1 >= argc) { usage(); std::exit(2); }
+        return argv[++i];
+      };
+      if (a == "--file") file = next();
+      else if (a == "--threads") threads = std::stoull(next());
+      else if (a == "--max-frontier") maxFrontier = std::stoull(next());
+      else if (a == "--list-workloads") listWorkloads = true;
+      else return usage();
+    }
+  } catch (const std::exception&) {
+    return usage();
+  }
+
+  if (listWorkloads) {
+    for (const auto& w : tensor::workloads::allWorkloads())
+      std::printf("%-20s %s\n", w.name.c_str(), w.algebra.str().c_str());
+    return 0;
+  }
+
+  std::ifstream fileStream;
+  if (!file.empty()) {
+    fileStream.open(file);
+    if (!fileStream) {
+      std::fprintf(stderr, "cannot open %s\n", file.c_str());
+      return 2;
+    }
+  }
+  std::istream& in = file.empty() ? std::cin : fileStream;
+
+  std::vector<driver::ExploreQuery> batch;
+  std::vector<std::string> workloadNames;
+  std::string line;
+  try {
+    while (std::getline(in, line)) {
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      const auto obj = support::parseJsonLine(line);
+      batch.push_back(parseQuery(obj));
+      workloadNames.push_back(*obj.getString("workload"));
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  if (batch.empty()) {
+    std::fprintf(stderr, "no queries on input\n");
+    return 2;
+  }
+
+  try {
+    driver::ServiceOptions options;
+    options.threads = threads;
+    driver::ExplorationService service(options);
+    const auto results = service.runBatch(batch);
+    for (std::size_t i = 0; i < results.size(); ++i)
+      printResultLine(i, workloadNames[i], batch[i], results[i], maxFrontier);
+    const auto stats = service.cacheStats();
+    std::printf(
+        "{\"batch\": {\"queries\": %zu, \"cache\": {\"hits\": %llu, "
+        "\"misses\": %llu, \"evictions\": %llu, \"entries\": %zu, "
+        "\"shards\": %zu}}}\n",
+        results.size(), static_cast<unsigned long long>(stats.hits),
+        static_cast<unsigned long long>(stats.misses),
+        static_cast<unsigned long long>(stats.evictions), stats.entries,
+        stats.shards);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
