@@ -28,6 +28,7 @@
 
 #include "bench_util.hpp"
 #include "driver/explore_service.hpp"
+#include "service_scenario.hpp"
 #include "support/error.hpp"
 #include "tensor/workloads.hpp"
 
@@ -42,56 +43,6 @@ double msSince(Clock::time_point start) {
 
 constexpr double kGateMinSpeedup = 1.5;
 
-std::vector<driver::ExploreQuery> buildBatch(int maxEntry) {
-  const auto gemm = tensor::workloads::gemm(256, 256, 256);
-  const auto attn = tensor::workloads::attention(64, 64, 64);
-  auto query = [&](const tensor::TensorAlgebra& algebra,
-                   driver::Objective objective, cost::BackendKind backend) {
-    driver::ExploreQuery q(algebra);
-    q.objective = objective;
-    q.backend = backend;
-    q.enumeration.maxEntry = maxEntry;
-    return q;
-  };
-  using O = driver::Objective;
-  using B = cost::BackendKind;
-  return {
-      query(gemm, O::Performance, B::Asic),
-      query(gemm, O::Power, B::Asic),
-      query(gemm, O::EnergyDelay, B::Asic),
-      query(gemm, O::Performance, B::Fpga),
-      query(gemm, O::EnergyDelay, B::Fpga),
-      query(attn, O::Performance, B::Asic),
-      query(attn, O::Power, B::Asic),
-      query(attn, O::EnergyDelay, B::Asic),
-      query(gemm, O::Performance, B::Asic),  // duplicate traffic
-      query(attn, O::Performance, B::Asic),  // duplicate traffic
-  };
-}
-
-void checkSameResults(const std::vector<driver::QueryResult>& a,
-                      const std::vector<driver::QueryResult>& b) {
-  TL_CHECK(a.size() == b.size(), "result count mismatch");
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    TL_CHECK(a[i].designs == b[i].designs, "designs mismatch");
-    TL_CHECK(a[i].frontier.size() == b[i].frontier.size(),
-             "frontier size mismatch at query " + std::to_string(i));
-    for (std::size_t j = 0; j < a[i].frontier.size(); ++j) {
-      const auto& ra = a[i].frontier[j];
-      const auto& rb = b[i].frontier[j];
-      const auto fa = ra.figures(), fb = rb.figures();
-      TL_CHECK(ra.spec.label() == rb.spec.label() &&
-                   ra.perf.totalCycles == rb.perf.totalCycles &&
-                   fa.powerMw == fb.powerMw && fa.area == fb.area,
-               "frontier divergence at query " + std::to_string(i));
-    }
-    TL_CHECK(a[i].best.has_value() == b[i].best.has_value(), "best mismatch");
-    if (a[i].best)
-      TL_CHECK(a[i].best->spec.label() == b[i].best->spec.label(),
-               "best label mismatch at query " + std::to_string(i));
-  }
-}
-
 struct ServiceReport {
   std::size_t queries = 0;
   std::size_t designs = 0;  ///< design points across the batch (with repeats)
@@ -101,7 +52,7 @@ struct ServiceReport {
 };
 
 ServiceReport benchService(int maxEntry) {
-  const auto batch = buildBatch(maxEntry);
+  const auto batch = bench::serviceScenarioBatch(maxEntry);
   ServiceReport r;
   r.queries = batch.size();
 
@@ -120,44 +71,13 @@ ServiceReport benchService(int maxEntry) {
   const auto batched = service.runBatch(batch);
   r.batchedMs = msSince(t);
 
-  checkSameResults(naive, batched);
+  bench::checkSameResults(naive, batched);
   for (const auto& res : batched) {
     r.designs += res.designs;
     r.hits += res.cache.hits;
     r.misses += res.cache.misses;
   }
   return r;
-}
-
-/// Merges `serviceLine` into the line-oriented BENCH_hotpaths.json (each
-/// section lives on its own line). Replaces an existing "service" line;
-/// starts a fresh document if the file is absent.
-void mergeJson(const std::string& path, const std::string& serviceLine) {
-  std::vector<std::string> lines;
-  {
-    std::ifstream in(path);
-    std::string line;
-    while (in && std::getline(in, line)) {
-      const auto firstChar = line.find_first_not_of(" \t");
-      if (firstChar != std::string::npos &&
-          line.compare(firstChar, 10, "\"service\":") == 0)
-        continue;  // replaced below
-      lines.push_back(line);
-    }
-  }
-  while (!lines.empty() && lines.back().empty()) lines.pop_back();
-  if (lines.size() < 2 || lines.front() != "{" || lines.back() != "}")
-    lines = {"{", "  \"bench\": \"hotpaths\",", "}"};
-
-  // Re-terminate the final property with a comma, then splice in ours.
-  std::string& lastProp = lines[lines.size() - 2];
-  if (!lastProp.empty() && lastProp.back() == ',') lastProp.pop_back();
-  lastProp += ",";
-  lines.insert(lines.end() - 1, "  " + serviceLine);
-
-  std::ofstream out(path);
-  TL_CHECK(static_cast<bool>(out), "cannot write " + path);
-  for (const auto& l : lines) out << l << "\n";
 }
 
 }  // namespace
@@ -194,7 +114,7 @@ int main(int argc, char** argv) {
          << ", \"cache_hits\": " << r.hits << ", \"cache_misses\": " << r.misses
          << ", \"gate_min_speedup\": " << kGateMinSpeedup << ", \"pass\": "
          << (pass ? "true" : "false") << "}";
-    mergeJson(out, line.str());
+    bench::mergeJsonSection(out, "service", line.str());
     std::printf("  merged into %s\n", out.c_str());
 
     if (!pass)

@@ -45,7 +45,8 @@ class AsicBackend final : public CostBackend {
   }
 
   CostReport evaluate(const stt::DataflowSpec& spec,
-                      const stt::ArrayConfig& array) const override {
+                      const stt::ArrayConfig& array,
+                      stt::MappingCache* /*mappings*/) const override {
     CostReport rep;
     rep.asic = estimateAsic(spec, array, dataWidth_, table_);
     rep.figures = rep.asic.figures();
@@ -53,8 +54,19 @@ class AsicBackend final : public CostBackend {
   }
 
   sim::PerfResult estimatePerf(const stt::DataflowSpec& spec,
-                               const stt::ArrayConfig& array) const override {
-    return sim::estimatePerformance(spec, array);
+                               const stt::ArrayConfig& array,
+                               stt::MappingCache* mappings) const override {
+    return sim::estimatePerformance(spec, array, mappings);
+  }
+
+  CostBound lowerBound(const stt::DataflowSpec& spec,
+                       const stt::ArrayConfig& array) const override {
+    // The ASIC area/power model is mapping-free, so the bound's figures are
+    // the exact evaluation; only cycles is a (provable) lower bound.
+    CostBound b;
+    b.cycles = static_cast<double>(sim::cyclesLowerBound(spec, array));
+    b.figures = estimateAsic(spec, array, dataWidth_, table_).figures();
+    return b;
   }
 
  private:
@@ -79,17 +91,32 @@ class FpgaBackend final : public CostBackend {
   }
 
   CostReport evaluate(const stt::DataflowSpec& spec,
-                      const stt::ArrayConfig& array) const override {
+                      const stt::ArrayConfig& array,
+                      stt::MappingCache* mappings) const override {
     CostReport rep;
-    rep.fpga = estimateFpga(spec, array, config_);
+    rep.fpga = estimateFpga(spec, array, config_, mappings);
     rep.figures = rep.fpga->figures();
     return rep;
   }
 
   sim::PerfResult estimatePerf(const stt::DataflowSpec& spec,
-                               const stt::ArrayConfig& array) const override {
-    return sim::estimatePerformance(spec,
-                                    fpgaPerfConfig(spec, array, config_));
+                               const stt::ArrayConfig& array,
+                               stt::MappingCache* mappings) const override {
+    return sim::estimatePerformance(spec, fpgaPerfConfig(spec, array, config_),
+                                    mappings);
+  }
+
+  CostBound lowerBound(const stt::DataflowSpec& spec,
+                       const stt::ArrayConfig& array) const override {
+    // Resources, frequency and power are mapping-free (estimateFpga only
+    // needs the mapping for gops), so the figures are exact; cycles is
+    // bounded at the FPGA operating point (post-route frequency, real word
+    // size) because that is what estimatePerf reports.
+    CostBound b;
+    b.cycles = static_cast<double>(
+        sim::cyclesLowerBound(spec, fpgaPerfConfig(spec, array, config_)));
+    b.figures = estimateFpgaResources(spec, array, config_).figures();
+    return b;
   }
 
  private:
@@ -97,6 +124,12 @@ class FpgaBackend final : public CostBackend {
 };
 
 }  // namespace
+
+CostBound boundFigures(const stt::DataflowSpec& spec,
+                       const stt::ArrayConfig& array,
+                       const CostBackend& backend) {
+  return backend.lowerBound(spec, array);
+}
 
 std::shared_ptr<const CostBackend> makeAsicBackend(int dataWidth,
                                                    AsicCostTable table) {

@@ -34,6 +34,18 @@ struct CostReport {
   std::string str() const;
 };
 
+/// Provable lower bound on one design point's Pareto axes, computable
+/// without the tile-mapping search: `figures` (power, area) derive from the
+/// structural inventory alone and are exact; `cycles` is the perf model's
+/// cyclesLowerBound at this backend's operating point. If an incumbent
+/// frontier point strictly dominates (cycles, powerMw, area), the true
+/// evaluation is guaranteed to be dominated too, so the full evaluation can
+/// be skipped without changing the frontier.
+struct CostBound {
+  double cycles = 0.0;
+  CostFigures figures;
+};
+
 class CostBackend {
  public:
   virtual ~CostBackend() = default;
@@ -42,16 +54,30 @@ class CostBackend {
   /// Distinguishes evaluations in the cross-query cache: two backends with
   /// the same cacheKey must produce identical reports for every spec.
   virtual std::string cacheKey() const = 0;
+  /// `mappings`, when non-null, memoizes the tile-mapping searches behind
+  /// the estimate; results are bit-identical with or without it.
   virtual CostReport evaluate(const stt::DataflowSpec& spec,
-                              const stt::ArrayConfig& array) const = 0;
+                              const stt::ArrayConfig& array,
+                              stt::MappingCache* mappings = nullptr) const = 0;
   /// Performance of `spec` under this backend's operating point — the ASIC
   /// backend runs the array as configured; the FPGA backend models the
   /// achieved post-route frequency and the datapath's word size, so
   /// cycles/utilization on a frontier always match the cost model beside
   /// them.
   virtual sim::PerfResult estimatePerf(const stt::DataflowSpec& spec,
-                                       const stt::ArrayConfig& array) const = 0;
+                                       const stt::ArrayConfig& array,
+                                       stt::MappingCache* mappings = nullptr) const = 0;
+  /// Cheap provable lower bound on what evaluate/estimatePerf would report
+  /// (see CostBound). Never exceeds the true figures in any axis.
+  virtual CostBound lowerBound(const stt::DataflowSpec& spec,
+                               const stt::ArrayConfig& array) const = 0;
 };
+
+/// Free-function face of CostBackend::lowerBound: provable lower bounds on
+/// (cycles, power, area) for `spec` on `array` priced by `backend`.
+CostBound boundFigures(const stt::DataflowSpec& spec,
+                       const stt::ArrayConfig& array,
+                       const CostBackend& backend);
 
 std::shared_ptr<const CostBackend> makeAsicBackend(int dataWidth = 16,
                                                    AsicCostTable table = {});

@@ -65,9 +65,9 @@ std::string FpgaReport::str() const {
   return os.str();
 }
 
-FpgaReport estimateFpga(const stt::DataflowSpec& spec,
-                        const stt::ArrayConfig& arrayConfig,
-                        const FpgaConfig& cfg) {
+FpgaReport estimateFpgaResources(const stt::DataflowSpec& spec,
+                                 const stt::ArrayConfig& arrayConfig,
+                                 const FpgaConfig& cfg) {
   FpgaReport rep;
   const std::int64_t pes = arrayConfig.rows * arrayConfig.cols;
   const std::int64_t lanes = pes * cfg.vectorLanes;
@@ -92,12 +92,6 @@ FpgaReport estimateFpga(const stt::DataflowSpec& spec,
   const double freq = fpgaFrequencyMHz(spec, cfg);
   rep.frequencyMHz = freq;
 
-  // Throughput: lanes * utilization at the achieved frequency and the
-  // datapath's real word size (see fpgaPerfConfig).
-  const sim::PerfResult perf =
-      sim::estimatePerformance(spec, fpgaPerfConfig(spec, arrayConfig, cfg));
-  rep.gops = 2.0 * static_cast<double>(lanes) * freq * 1e6 * perf.utilization / 1e9;
-
   // Power: activity-weighted dynamic contribution per resource at the
   // achieved frequency (UltraScale+-class: DSP columns dominate, LUT power
   // is mostly routing, BRAM ports toggle every cycle) plus the device's
@@ -116,6 +110,21 @@ FpgaReport estimateFpga(const stt::DataflowSpec& spec,
                static_cast<double>(cfg.device.dsps);
   rep.bramPct = 100.0 * static_cast<double>(rep.bram) /
                 static_cast<double>(cfg.device.bram36);
+  return rep;
+}
+
+FpgaReport estimateFpga(const stt::DataflowSpec& spec,
+                        const stt::ArrayConfig& arrayConfig,
+                        const FpgaConfig& cfg, stt::MappingCache* mappings) {
+  FpgaReport rep = estimateFpgaResources(spec, arrayConfig, cfg);
+
+  // Throughput: lanes * utilization at the achieved frequency and the
+  // datapath's real word size (see fpgaPerfConfig).
+  const std::int64_t lanes = arrayConfig.rows * arrayConfig.cols * cfg.vectorLanes;
+  const sim::PerfResult perf = sim::estimatePerformance(
+      spec, fpgaPerfConfig(spec, arrayConfig, cfg), mappings);
+  rep.gops = 2.0 * static_cast<double>(lanes) * rep.frequencyMHz * 1e6 *
+             perf.utilization / 1e9;
   return rep;
 }
 

@@ -63,11 +63,21 @@ stt::ArrayConfig fpgaPerfConfig(const stt::DataflowSpec& spec,
                                 const stt::ArrayConfig& arrayConfig,
                                 const FpgaConfig& cfg);
 
+/// The mapping-free part of the estimate: resources, frequency and power
+/// derive from the structural inventory alone, so this costs microseconds
+/// and is exact — it is what the exploration service's lower-bound pruning
+/// pass prices. `gops` is left at 0 (it needs the performance model).
+FpgaReport estimateFpgaResources(const stt::DataflowSpec& spec,
+                                 const stt::ArrayConfig& arrayConfig,
+                                 const FpgaConfig& cfg);
+
 /// Estimates the FPGA implementation of `spec` mapped on `arrayConfig`
 /// (rows x cols PEs, each with cfg.vectorLanes MAC lanes) running the
-/// spec's own workload for utilization.
+/// spec's own workload for utilization. `mappings` optionally memoizes the
+/// tile-mapping search behind the throughput model.
 FpgaReport estimateFpga(const stt::DataflowSpec& spec,
                         const stt::ArrayConfig& arrayConfig,
-                        const FpgaConfig& cfg);
+                        const FpgaConfig& cfg,
+                        stt::MappingCache* mappings = nullptr);
 
 }  // namespace tensorlib::cost

@@ -5,6 +5,7 @@
 #include <mutex>
 #include <sstream>
 #include <thread>
+#include <tuple>
 #include <unordered_map>
 
 #include "sim/perf.hpp"
@@ -78,7 +79,8 @@ ParetoEntry paretoEntryOf(const sim::PerfResult& perf,
 std::string CacheStats::str() const {
   std::ostringstream os;
   os << "hits=" << hits << " misses=" << misses << " evictions=" << evictions
-     << " entries=" << entries << " shards=" << shards;
+     << " entries=" << entries << " shards=" << shards << " mappings=["
+     << mappings.str() << "]";
   return os.str();
 }
 
@@ -111,6 +113,9 @@ struct ExplorationService::Impl {
   ServiceOptions options;
   ThreadPool pool;
   std::vector<EvalShard> shards;
+  /// Memoized tile mappings (perf + cost of one FPGA evaluation share one
+  /// search; scoped per service). Null when disabled.
+  std::unique_ptr<stt::MappingCache> mappings;
 
   std::mutex specMutex;
   std::unordered_map<std::string, std::shared_ptr<SpecListEntry>> specMap;
@@ -123,7 +128,10 @@ struct ExplorationService::Impl {
   std::size_t pendingSubmits = 0;
 
   explicit Impl(ServiceOptions opts)
-      : options(resolve(opts)), pool(options.threads - 1), shards(options.shardCount) {}
+      : options(resolve(opts)), pool(options.threads - 1), shards(options.shardCount) {
+    if (options.mappingCacheCapacity > 0)
+      mappings = std::make_unique<stt::MappingCache>(options.mappingCacheCapacity);
+  }
 
   static ServiceOptions resolve(ServiceOptions o) {
     if (o.threads == 0) {
@@ -138,6 +146,18 @@ struct ExplorationService::Impl {
   std::size_t perShardCapacity() const {
     const std::size_t cap = options.cacheCapacity / options.shardCount;
     return cap > 0 ? cap : 1;
+  }
+
+  /// Returns the entry for `key` if present (counting a hit), else null
+  /// without registering a miss — the pruning path peeks before deciding
+  /// whether the evaluation is worth admitting to the cache at all.
+  std::shared_ptr<EvalEntry> peekEntry(const std::string& key) {
+    EvalShard& shard = shards[std::hash<std::string>{}(key) % shards.size()];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.map.find(key);
+    if (it == shard.map.end()) return nullptr;
+    ++shard.hits;
+    return it->second;
   }
 
   /// Finds or creates the entry for `key`; second element is true on a hit.
@@ -166,8 +186,8 @@ struct ExplorationService::Impl {
                          const stt::ArrayConfig& array,
                          const cost::CostBackend& backend) {
     std::call_once(entry->once, [&] {
-      entry->perf = backend.estimatePerf(spec, array);
-      entry->cost = backend.evaluate(spec, array);
+      entry->perf = backend.estimatePerf(spec, array, mappings.get());
+      entry->cost = backend.evaluate(spec, array, mappings.get());
     });
     return *entry;
   }
@@ -243,27 +263,77 @@ std::vector<QueryResult> ExplorationService::runBatch(
   struct UnitOut {
     ParetoFrontier frontier;
     std::unordered_map<std::size_t, DesignReport> kept;  ///< order -> report
-    std::uint64_t hits = 0, misses = 0;
+    std::uint64_t hits = 0, misses = 0, pruned = 0;
   };
   std::vector<UnitOut> outs(units.size());
+
+  // Per-query incumbent frontiers shared across that query's work units:
+  // each completed unit publishes its survivors, each starting unit
+  // snapshots the incumbents it can prune against. Every incumbent is a
+  // fully evaluated true cost, so pruning against a racy snapshot is still
+  // sound — only *how many* candidates get cut varies with scheduling, the
+  // final frontier never does.
+  struct Incumbent {
+    std::mutex mutex;
+    ParetoFrontier frontier;
+  };
+  std::vector<Incumbent> incumbents(n);
+  const bool prune = impl_->options.enablePruning;
 
   parallelForOn(impl_->pool, units.size(), [&](std::size_t u) {
     const Unit& unit = units[u];
     const ExploreQuery& q = batch[unit.query];
     const auto& specs = *lists[unit.query];
+    const cost::CostBackend& backend = *backends[unit.query];
     UnitOut& out = outs[u];
-    std::vector<std::size_t> pruned;
+    ParetoFrontier snapshot;
+    if (prune) {
+      std::lock_guard<std::mutex> lock(incumbents[unit.query].mutex);
+      snapshot = incumbents[unit.query].frontier;
+    }
+    std::vector<std::size_t> evicted;
     for (std::size_t i = unit.begin; i < unit.end; ++i) {
       const stt::DataflowSpec& spec = specs[i];
-      auto [entry, hit] = impl_->evalEntry(prefixes[unit.query] + specKey(spec));
-      impl_->force(entry, spec, q.array, *backends[unit.query]);
+      const std::string key = prefixes[unit.query] + specKey(spec);
+      std::shared_ptr<Impl::EvalEntry> entry;
+      bool hit = false;
+      if (prune) {
+        // Cached evaluations are cheaper than bounding: peek first, bound
+        // only candidates that would actually pay for a full evaluation.
+        entry = impl_->peekEntry(key);
+        hit = entry != nullptr;
+        if (!entry) {
+          // A non-pruned candidate recomputes the mapping-free cost model
+          // inside evaluate(); that duplicate is microseconds against the
+          // tile search it risks, and keeps the cache entry a pure
+          // function of (spec, array, backend) rather than of bound state.
+          const cost::CostBound bound = backend.lowerBound(spec, q.array);
+          const ParetoCost boundCost{bound.cycles, bound.figures.powerMw,
+                                     bound.figures.area, 0.0};
+          // Strict dominance of the lower bound by a final incumbent (from
+          // the snapshot or this unit's own evaluated stream) proves the
+          // true cost would be rejected by insert(); skip the evaluation.
+          if (finiteCost(boundCost) &&
+              (snapshot.strictlyDominates(boundCost) ||
+               out.frontier.strictlyDominates(boundCost))) {
+            ++out.pruned;
+            continue;
+          }
+        }
+      }
+      if (!entry) std::tie(entry, hit) = impl_->evalEntry(key);
+      impl_->force(entry, spec, q.array, backend);
       (hit ? out.hits : out.misses) += 1;
-      pruned.clear();
+      evicted.clear();
       if (out.frontier.insert(
               paretoEntryOf(entry->perf, entry->cost.figures, i, spec.label()),
-              &pruned))
+              &evicted))
         out.kept.emplace(i, DesignReport(spec, entry->perf, entry->cost));
-      for (std::size_t o : pruned) out.kept.erase(o);
+      for (std::size_t o : evicted) out.kept.erase(o);
+    }
+    if (prune) {
+      std::lock_guard<std::mutex> lock(incumbents[unit.query].mutex);
+      incumbents[unit.query].frontier.merge(out.frontier);
     }
   });
 
@@ -278,6 +348,7 @@ std::vector<QueryResult> ExplorationService::runBatch(
       UnitOut& out = outs[u];
       results[i].cache.hits += out.hits;
       results[i].cache.misses += out.misses;
+      results[i].cache.pruned += out.pruned;
       for (const ParetoEntry& e : out.frontier.entries()) {
         pruned.clear();
         if (frontier.insert(e, &pruned))
@@ -373,6 +444,7 @@ CacheStats ExplorationService::cacheStats() const {
     stats.evictions += shard.evictions;
     stats.entries += shard.map.size();
   }
+  if (impl_->mappings) stats.mappings = impl_->mappings->stats();
   return stats;
 }
 
@@ -383,6 +455,7 @@ void ExplorationService::clearCache() {
     shard.fifo.clear();
     shard.hits = shard.misses = shard.evictions = 0;
   }
+  if (impl_->mappings) impl_->mappings->clear();
   std::lock_guard<std::mutex> lock(impl_->specMutex);
   impl_->specMap.clear();
   impl_->specFifo.clear();

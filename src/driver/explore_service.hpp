@@ -20,6 +20,13 @@
 //     reports only for frontier residents, instead of materializing the
 //     full space. evaluateAll() retains the materializing contract for
 //     Session::exploreAll.
+//   * Lower-bound dominance pruning (branch-and-bound): before fully
+//     evaluating a candidate, its provable lower bound (exact inventory
+//     power/area + cyclesLowerBound) is tested against the query's
+//     incumbent frontier; strictly dominated candidates skip evaluation
+//     entirely. Pruning only ever removes points insert() would reject, so
+//     frontiers stay bit-identical to exhaustive evaluation at any worker
+//     count (see the pruning differential tests).
 //   * Multi-backend objectives: a query targets the ASIC or the FPGA cost
 //     model through cost::CostBackend; frontiers and objective winners use
 //     the backend-neutral CostFigures axes.
@@ -54,20 +61,26 @@ struct ExploreQuery {
 
 /// Evaluation-cache traffic attributable to one query. Exact on a
 /// single-threaded service; approximate under concurrency (simultaneous
-/// misses on one key each count themselves a miss).
+/// misses on one key each count themselves a miss, and pruning depends on
+/// how fast incumbents arrive).
 struct QueryCacheCounts {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
+  /// Candidates skipped by the lower-bound dominance cut: an incumbent
+  /// frontier point strictly dominated the candidate's provable lower
+  /// bound, so its full evaluation was provably irrelevant to the frontier.
+  /// hits + misses + pruned == designs for run()/runBatch().
+  std::uint64_t pruned = 0;
 };
 
 struct QueryResult {
   /// Pareto-optimal designs over (cycles, power, area), sorted by
   /// (cycles, power, area, enumeration index) — bit-identical across
-  /// thread counts and cold/warm caches.
+  /// thread counts, cold/warm caches, and pruned/exhaustive evaluation.
   std::vector<DesignReport> frontier;
   /// The query-objective winner (canonical tie-breaks; see pickBest).
   std::optional<DesignReport> best;
-  std::size_t designs = 0;  ///< design points evaluated (cache hits included)
+  std::size_t designs = 0;  ///< design points in the enumerated space
   QueryCacheCounts cache;
 };
 
@@ -77,6 +90,7 @@ struct CacheStats {
   std::uint64_t evictions = 0;
   std::size_t entries = 0;  ///< evaluations currently resident
   std::size_t shards = 0;
+  stt::MappingCacheStats mappings;  ///< tile-mapping memo traffic
   std::string str() const;
 };
 
@@ -87,6 +101,18 @@ struct ServiceOptions {
   std::size_t cacheCapacity = 1u << 16;   ///< cached evaluations (FIFO/shard)
   std::size_t specListCacheCapacity = 8;  ///< enumerated design spaces kept
   std::size_t workUnitSpecs = 128;        ///< specs per scheduled work unit
+  /// Lower-bound dominance pruning in run()/runBatch(): candidates whose
+  /// provable (cycles, power, area) lower bound is strictly dominated by an
+  /// already-evaluated incumbent skip full evaluation. The resulting
+  /// frontier is bit-identical to exhaustive evaluation at any thread
+  /// count; only the cache-traffic split (hits/misses vs pruned) varies.
+  /// evaluateAll() never prunes (it materializes every report).
+  bool enablePruning = true;
+  /// Capacity of the service's tile-mapping memo (see stt::MappingCache);
+  /// 0 disables it. The memo halves FPGA evaluations (perf + cost both
+  /// need the mapping) and is scoped to this service, so one-shot cold
+  /// explorations stay honestly cold.
+  std::size_t mappingCacheCapacity = 1u << 14;
 };
 
 class ExplorationService {

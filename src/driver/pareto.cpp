@@ -50,6 +50,12 @@ bool ParetoFrontier::insert(const ParetoEntry& entry,
   return true;
 }
 
+bool ParetoFrontier::strictlyDominates(const ParetoCost& cost) const {
+  for (const ParetoEntry& kept : entries_)
+    if (dominates(kept.cost, cost)) return true;
+  return false;
+}
+
 void ParetoFrontier::merge(const ParetoFrontier& other,
                            std::vector<std::size_t>* pruned) {
   for (const ParetoEntry& e : other.entries_) insert(e, pruned);

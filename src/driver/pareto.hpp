@@ -61,6 +61,14 @@ class ParetoFrontier {
   void merge(const ParetoFrontier& other,
              std::vector<std::size_t>* pruned = nullptr);
 
+  /// True iff some resident strictly dominates `cost` (<= everywhere, < in
+  /// at least one axis). This is the pruning oracle of the exploration
+  /// service: when it holds for a candidate's *lower bound*, the candidate's
+  /// true cost is dominated too and insert() would reject it, so the full
+  /// evaluation can be skipped without changing the frontier. Equal-cost
+  /// points never count — the order-collapse tie rule needs the real entry.
+  bool strictlyDominates(const ParetoCost& cost) const;
+
   /// Residents in unspecified order.
   const std::vector<ParetoEntry>& entries() const { return entries_; }
 

@@ -28,8 +28,33 @@ struct PerfResult {
   std::string str() const;
 };
 
-/// Closed-form performance estimate of `spec` on `config`.
+/// Closed-form performance estimate of `spec` on `config`. When `mappings`
+/// is non-null the tile mapping is fetched through (and inserted into) the
+/// cache; results are bit-identical either way.
 PerfResult estimatePerformance(const stt::DataflowSpec& spec,
-                               const stt::ArrayConfig& config);
+                               const stt::ArrayConfig& config,
+                               stt::MappingCache* mappings = nullptr);
+
+/// Derives the ratio metrics (bandwidthBound, utilization, throughputGops)
+/// from the accumulated counters. Division-safe: zero cycles, zero PEs or a
+/// zero/invalid frequency yield 0 utilization/throughput, never NaN or inf.
+PerfResult finalizePerf(PerfResult raw, const stt::ArrayConfig& config);
+
+/// Provable lower bound on estimatePerformance(spec, config).totalCycles,
+/// computed without the tile-mapping search (a few dozen operations):
+///   * compute: total MACs / PEs — a full-rank transform maps at most one
+///     MAC per PE per cycle, at any tiling and replication.
+///   * bandwidth rate: any pass sustains at most wordsPerCycle * intensity
+///     MACs per cycle, and the arithmetic intensity of every fitting tile
+///     is capped by the unmatched-loop extent products under the per-loop
+///     spatial span caps.
+///   * bandwidth coverage: every grid tiling is charged at least the
+///     covered extent product of each tensor's selected loops (one distinct
+///     nonzero-coefficient selected loop per tensor dimension), times the
+///     outer iteration count, divided by the words-per-cycle budget.
+/// The bound is exact for some specs (e.g. utilization-1.0 GEMM designs)
+/// and never exceeds the true cycle count — see the pruning soundness tests.
+std::int64_t cyclesLowerBound(const stt::DataflowSpec& spec,
+                              const stt::ArrayConfig& config);
 
 }  // namespace tensorlib::sim

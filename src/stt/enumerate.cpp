@@ -4,6 +4,7 @@
 #include <array>
 #include <cctype>
 #include <cstdlib>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -175,32 +176,110 @@ std::vector<linalg::IntMatrix> directCandidateMatrices(
 
 using CandidateList = std::shared_ptr<const std::vector<linalg::IntMatrix>>;
 
+/// Process-wide bounded memo of candidate-matrix lists, FIFO-evicted and
+/// instrumented (mirrors the exploration service's cache pattern): distinct
+/// EnumerationOptions keys no longer grow the process footprint forever.
+struct CandidateCache {
+  using Key = std::tuple<int, bool, bool, bool>;
+  std::mutex mutex;
+  std::map<Key, CandidateList> map;
+  std::deque<Key> fifo;
+  std::size_t capacity = 16;
+  CandidateCacheStats stats;
+
+  static CandidateCache& instance() {
+    static CandidateCache cache;
+    return cache;
+  }
+};
+
 /// All full-rank (optionally unimodular) matrices in entry range, canonical
 /// representatives only, sorted simplest-first for deterministic search.
 /// Memoized process-wide: both findDataflow lookups and repeated
 /// enumerations hit the same immutable list.
 CandidateList candidateMatrices(const EnumerationOptions& options) {
-  const auto key =
+  const CandidateCache::Key key =
       std::make_tuple(options.maxEntry, options.requireUnimodular,
                       options.canonicalize, options.useLegacyEnumeration);
-  static std::mutex mutex;
-  static std::map<decltype(key), CandidateList> cache;
+  CandidateCache& cache = CandidateCache::instance();
   if (options.cacheCandidates) {
-    std::lock_guard<std::mutex> lock(mutex);
-    const auto it = cache.find(key);
-    if (it != cache.end()) return it->second;
+    std::lock_guard<std::mutex> lock(cache.mutex);
+    const auto it = cache.map.find(key);
+    if (it != cache.map.end()) {
+      ++cache.stats.hits;
+      return it->second;
+    }
+    ++cache.stats.misses;
   }
   CandidateList list = std::make_shared<const std::vector<linalg::IntMatrix>>(
       options.useLegacyEnumeration ? legacyCandidateMatrices(options)
                                    : directCandidateMatrices(options));
   if (options.cacheCandidates) {
     // If another thread raced us here, both lists are identical; keep the
-    // first one inserted.
-    std::lock_guard<std::mutex> lock(mutex);
-    list = cache.try_emplace(key, std::move(list)).first->second;
+    // first one inserted. Eviction is FIFO on insertion order; holders of
+    // an evicted list keep it alive through the shared_ptr.
+    std::lock_guard<std::mutex> lock(cache.mutex);
+    const auto [it, inserted] = cache.map.try_emplace(key, std::move(list));
+    list = it->second;
+    if (inserted) {
+      cache.fifo.push_back(key);
+      while (cache.map.size() > cache.capacity) {
+        cache.map.erase(cache.fifo.front());
+        cache.fifo.pop_front();
+        ++cache.stats.evictions;
+      }
+    }
   }
   return list;
 }
+
+/// Flat open-addressing set of 64-bit signature hashes: the dedupe hot path
+/// makes no string, no node allocation, and no tree comparison. Power-of-2
+/// capacity, linear probing, 0 reserved as the empty sentinel (a real hash
+/// of 0 is remapped to a fixed nonzero constant).
+class HashSet64 {
+ public:
+  /// True if newly inserted, false if already present.
+  bool insert(std::uint64_t h) {
+    if (h == 0) h = 0x9e3779b97f4a7c15ull;
+    if ((size_ + 1) * 4 >= slots_.size() * 3) grow();
+    std::size_t i = index(h);
+    while (slots_[i] != 0) {
+      if (slots_[i] == h) return false;
+      i = (i + 1) & (slots_.size() - 1);
+    }
+    slots_[i] = h;
+    ++size_;
+    return true;
+  }
+
+  std::size_t size() const { return size_; }
+
+ private:
+  std::size_t index(std::uint64_t h) const {
+    // Multiplicative spread: inserted values are already well mixed, but a
+    // cheap re-scramble keeps clustered inputs from probing long runs.
+    return static_cast<std::size_t>((h * 0x9e3779b97f4a7c15ull) >>
+                                    (64 - shift_)) &
+           (slots_.size() - 1);
+  }
+
+  void grow() {
+    std::vector<std::uint64_t> old = std::move(slots_);
+    shift_ += 1;
+    slots_.assign(std::size_t{1} << shift_, 0);
+    for (std::uint64_t h : old) {
+      if (h == 0) continue;
+      std::size_t i = index(h);
+      while (slots_[i] != 0) i = (i + 1) & (slots_.size() - 1);
+      slots_[i] = h;
+    }
+  }
+
+  std::size_t shift_ = 6;
+  std::vector<std::uint64_t> slots_ = std::vector<std::uint64_t>(64, 0);
+  std::size_t size_ = 0;
+};
 
 bool passesFilters(const DataflowSpec& spec, const EnumerationOptions& options) {
   if (options.dropFullReuse) {
@@ -219,7 +298,72 @@ bool passesFilters(const DataflowSpec& spec, const EnumerationOptions& options) 
   return true;
 }
 
+/// Core of enumerateTransforms over a prebuilt shared context.
+std::vector<DataflowSpec> enumerateTransformsOn(const SpecContextPtr& context,
+                                                const EnumerationOptions& options) {
+  const CandidateList candidates = candidateMatrices(options);
+  const std::size_t n = candidates->size();
+
+  // Analyze a bounded window of candidates into per-index slots
+  // (parallel-safe), then filter and dedupe serially in candidate order —
+  // output is byte-identical to a serial run, and peak memory stays at one
+  // window of unfiltered specs even for huge candidate lists.
+  constexpr std::size_t kWindow = 2048;
+  std::vector<DataflowSpec> out;
+  HashSet64 signatures;
+  std::vector<std::optional<DataflowSpec>> analyzed(std::min(n, kWindow));
+  for (std::size_t base = 0; base < n; base += kWindow) {
+    const std::size_t count = std::min(kWindow, n - base);
+    const auto analyzeAt = [&](std::size_t i) {
+      analyzed[i].emplace(
+          analyzeDataflow(context, SpaceTimeTransform((*candidates)[base + i])));
+    };
+    if (options.parallelAnalyze && count > 1) {
+      parallelFor(count, analyzeAt);
+    } else {
+      for (std::size_t i = 0; i < count; ++i) analyzeAt(i);
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      DataflowSpec& spec = *analyzed[i];
+      if (!passesFilters(spec, options)) continue;
+      if (options.dedupeBySignature && !signatures.insert(spec.signatureHash()))
+        continue;
+      out.push_back(std::move(spec));
+      analyzed[i].reset();
+    }
+  }
+  return out;
+}
+
 }  // namespace
+
+CandidateCacheStats candidateCacheStats() {
+  CandidateCache& cache = CandidateCache::instance();
+  std::lock_guard<std::mutex> lock(cache.mutex);
+  CandidateCacheStats stats = cache.stats;
+  stats.entries = cache.map.size();
+  return stats;
+}
+
+void clearCandidateCache() {
+  CandidateCache& cache = CandidateCache::instance();
+  std::lock_guard<std::mutex> lock(cache.mutex);
+  cache.map.clear();
+  cache.fifo.clear();
+}
+
+std::size_t setCandidateCacheCapacity(std::size_t capacity) {
+  CandidateCache& cache = CandidateCache::instance();
+  std::lock_guard<std::mutex> lock(cache.mutex);
+  const std::size_t previous = cache.capacity;
+  cache.capacity = capacity > 0 ? capacity : 1;
+  while (cache.map.size() > cache.capacity) {
+    cache.map.erase(cache.fifo.front());
+    cache.fifo.pop_front();
+    ++cache.stats.evictions;
+  }
+  return previous;
+}
 
 std::vector<LoopSelection> allLoopSelections(const tensor::TensorAlgebra& algebra) {
   const std::size_t n = algebra.loopCount();
@@ -235,46 +379,14 @@ std::vector<LoopSelection> allLoopSelections(const tensor::TensorAlgebra& algebr
 std::vector<DataflowSpec> enumerateTransforms(const tensor::TensorAlgebra& algebra,
                                               const LoopSelection& selection,
                                               const EnumerationOptions& options) {
-  const CandidateList candidates = candidateMatrices(options);
-  const std::size_t n = candidates->size();
-
-  // Analyze a bounded window of candidates into per-index slots
-  // (parallel-safe), then filter and dedupe serially in candidate order —
-  // output is byte-identical to a serial run, and peak memory stays at one
-  // window of unfiltered specs even for huge candidate lists.
-  constexpr std::size_t kWindow = 2048;
-  std::vector<DataflowSpec> out;
-  std::set<std::string> signatures;
-  std::vector<std::optional<DataflowSpec>> analyzed(std::min(n, kWindow));
-  for (std::size_t base = 0; base < n; base += kWindow) {
-    const std::size_t count = std::min(kWindow, n - base);
-    const auto analyzeAt = [&](std::size_t i) {
-      analyzed[i].emplace(analyzeDataflow(
-          algebra, selection, SpaceTimeTransform((*candidates)[base + i])));
-    };
-    if (options.parallelAnalyze && count > 1) {
-      parallelFor(count, analyzeAt);
-    } else {
-      for (std::size_t i = 0; i < count; ++i) analyzeAt(i);
-    }
-    for (std::size_t i = 0; i < count; ++i) {
-      DataflowSpec& spec = *analyzed[i];
-      if (!passesFilters(spec, options)) continue;
-      if (options.dedupeBySignature &&
-          !signatures.insert(spec.signature()).second)
-        continue;
-      out.push_back(std::move(spec));
-      analyzed[i].reset();
-    }
-  }
-  return out;
+  return enumerateTransformsOn(makeSpecContext(algebra, selection), options);
 }
 
 std::vector<DataflowSpec> enumerateDesignSpace(const tensor::TensorAlgebra& algebra,
                                                const EnumerationOptions& options) {
   std::vector<DataflowSpec> out;
   for (const auto& sel : allLoopSelections(algebra)) {
-    auto specs = enumerateTransforms(algebra, sel, options);
+    auto specs = enumerateTransformsOn(makeSpecContext(algebra, sel), options);
     out.insert(out.end(), std::make_move_iterator(specs.begin()),
                std::make_move_iterator(specs.end()));
   }
@@ -292,9 +404,9 @@ std::optional<DataflowSpec> findDataflow(const tensor::TensorAlgebra& algebra,
   // shared_ptr must outlive the loop — *candidateMatrices(...) inline in the
   // range-for would dangle.
   const CandidateList candidates = candidateMatrices(options);
+  const SpecContextPtr context = makeSpecContext(algebra, selection);
   for (const auto& m : *candidates) {
-    DataflowSpec spec =
-        analyzeDataflow(algebra, selection, SpaceTimeTransform(m));
+    DataflowSpec spec = analyzeDataflow(context, SpaceTimeTransform(m));
     if (spec.letters() == letters) return spec;
   }
   return std::nullopt;

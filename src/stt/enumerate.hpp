@@ -8,12 +8,34 @@
 // every named dataflow in the paper (e.g. "MNK-MTM", "KCX-STS").
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
 #include "stt/spec.hpp"
 
 namespace tensorlib::stt {
+
+/// Traffic through the process-wide candidate-matrix memo (see
+/// EnumerationOptions::cacheCandidates). The memo is bounded: once more
+/// distinct option keys than the capacity have been seen, the oldest list
+/// is evicted FIFO (in-flight holders keep evicted lists alive through
+/// their shared_ptr).
+struct CandidateCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+};
+
+CandidateCacheStats candidateCacheStats();
+
+/// Drops every memoized candidate list (stats are preserved).
+void clearCandidateCache();
+
+/// Sets the memo's capacity (distinct option keys kept); returns the
+/// previous capacity. Values below 1 clamp to 1.
+std::size_t setCandidateCacheCapacity(std::size_t capacity);
 
 struct EnumerationOptions {
   int maxEntry = 1;               ///< entry range [-maxEntry, maxEntry]

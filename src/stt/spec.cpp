@@ -6,29 +6,65 @@
 
 namespace tensorlib::stt {
 
+namespace {
+
+/// Accumulating 64-bit hasher: each value is avalanche-mixed (splitmix64
+/// finalizer) then folded FNV-style, so structurally different token
+/// sequences land far apart.
+struct Hash64 {
+  std::uint64_t state = 0xcbf29ce484222325ull;
+
+  void add(std::uint64_t v) {
+    v += 0x9e3779b97f4a7c15ull;
+    v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ull;
+    v = (v ^ (v >> 27)) * 0x94d049bb133111ebull;
+    v ^= v >> 31;
+    state = (state ^ v) * 0x100000001b3ull;
+  }
+  void add(std::int64_t v) { add(static_cast<std::uint64_t>(v)); }
+};
+
+}  // namespace
+
+SpecContext::SpecContext(tensor::TensorAlgebra a, LoopSelection s)
+    : algebra(std::move(a)), selection(std::move(s)) {
+  for (const tensor::TensorRef* ref : algebra.tensorsInLabelOrder())
+    restrictedAccesses.push_back(ref->access.restrictedTo(selection.indices()));
+}
+
+SpecContextPtr makeSpecContext(tensor::TensorAlgebra algebra,
+                               LoopSelection selection) {
+  return std::make_shared<const SpecContext>(std::move(algebra),
+                                             std::move(selection));
+}
+
+DataflowSpec::DataflowSpec(SpecContextPtr context, SpaceTimeTransform transform,
+                           std::vector<TensorRole> tensors)
+    : context_(std::move(context)),
+      transform_(std::move(transform)),
+      tensors_(std::move(tensors)) {
+  TL_CHECK(context_ != nullptr, "DataflowSpec: null context");
+  TL_CHECK(tensors_.size() == context_->algebra.inputs().size() + 1,
+           "DataflowSpec: tensor role count mismatch");
+  TL_CHECK(tensors_.back().isOutput, "DataflowSpec: output role must be last");
+  letters_.reserve(tensors_.size());
+  for (const auto& t : tensors_)
+    letters_ += dataflowLetter(t.dataflow.dataflowClass);
+}
+
 DataflowSpec::DataflowSpec(tensor::TensorAlgebra algebra, LoopSelection selection,
                            SpaceTimeTransform transform,
                            std::vector<TensorRole> tensors)
-    : algebra_(std::move(algebra)),
-      selection_(std::move(selection)),
-      transform_(std::move(transform)),
-      tensors_(std::move(tensors)) {
-  TL_CHECK(tensors_.size() == algebra_.inputs().size() + 1,
-           "DataflowSpec: tensor role count mismatch");
-  TL_CHECK(tensors_.back().isOutput, "DataflowSpec: output role must be last");
-}
+    : DataflowSpec(makeSpecContext(std::move(algebra), std::move(selection)),
+                   std::move(transform), std::move(tensors)) {}
 
-std::string DataflowSpec::label() const { return selection_.label() + "-" + letters(); }
-
-std::string DataflowSpec::letters() const {
-  std::string out;
-  for (const auto& t : tensors_) out += dataflowLetter(t.dataflow.dataflowClass);
-  return out;
+std::string DataflowSpec::label() const {
+  return selection().label() + "-" + letters_;
 }
 
 std::string DataflowSpec::signature() const {
   std::ostringstream os;
-  os << selection_.label();
+  os << selection().label();
   for (const auto& t : tensors_) {
     os << "|" << t.tensor << ":" << static_cast<int>(t.dataflow.dataflowClass);
     if (t.dataflow.reuseRank == 1) {
@@ -48,8 +84,27 @@ std::string DataflowSpec::signature() const {
   return os.str();
 }
 
-bool DataflowSpec::hasLetter(char letter) const {
-  return letters().find(letter) != std::string::npos;
+std::uint64_t DataflowSpec::signatureHash() const {
+  // Hashes exactly the canonical content signature() renders: the selection
+  // plus, per tensor in label order, the dataflow class and (rank-1) the
+  // primitive direction / (rank-2+) the RREF-canonicalized reuse basis.
+  Hash64 h;
+  for (std::size_t idx : selection().indices()) h.add(idx);
+  for (const auto& t : tensors_) {
+    h.add(static_cast<std::uint64_t>(t.dataflow.dataflowClass));
+    h.add(t.dataflow.reuseRank);
+    if (t.dataflow.reuseRank == 1) {
+      for (std::int64_t v : t.dataflow.direction) h.add(v);
+    } else if (t.dataflow.reuseRank >= 2) {
+      const auto red = linalg::rref(
+          linalg::toRational(t.dataflow.reuseBasis.transposed()));
+      for (std::size_t i = 0; i < red.rank; ++i) {
+        linalg::RatVector row = red.matrix.row(i);
+        for (std::int64_t v : linalg::clearDenominators(row)) h.add(v);
+      }
+    }
+  }
+  return h.state;
 }
 
 std::string DataflowSpec::describe() const {
@@ -64,20 +119,29 @@ std::string DataflowSpec::describe() const {
   return os.str();
 }
 
-DataflowSpec analyzeDataflow(const tensor::TensorAlgebra& algebra,
-                             const LoopSelection& selection,
+DataflowSpec analyzeDataflow(const SpecContextPtr& context,
                              const SpaceTimeTransform& transform) {
+  TL_CHECK(context != nullptr, "analyzeDataflow: null context");
+  const auto refs = context->algebra.tensorsInLabelOrder();
   std::vector<TensorRole> roles;
-  for (const tensor::TensorRef* ref : algebra.tensorsInLabelOrder()) {
+  roles.reserve(refs.size());
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    const tensor::TensorRef* ref = refs[i];
     TensorRole role;
     role.tensor = ref->tensor;
-    role.isOutput = (ref == &algebra.output());
+    role.isOutput = (ref == &context->algebra.output());
     role.fullAccess = ref->access;
-    role.access = ref->access.restrictedTo(selection.indices());
+    role.access = context->restrictedAccesses[i];
     role.dataflow = classify(analyzeReuse(role.access, transform));
     roles.push_back(std::move(role));
   }
-  return DataflowSpec(algebra, selection, transform, std::move(roles));
+  return DataflowSpec(context, transform, std::move(roles));
+}
+
+DataflowSpec analyzeDataflow(const tensor::TensorAlgebra& algebra,
+                             const LoopSelection& selection,
+                             const SpaceTimeTransform& transform) {
+  return analyzeDataflow(makeSpecContext(algebra, selection), transform);
 }
 
 }  // namespace tensorlib::stt

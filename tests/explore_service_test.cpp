@@ -56,6 +56,15 @@ ServiceOptions withThreads(std::size_t threads) {
   return o;
 }
 
+/// Cache-accounting tests pin exact hit/miss splits, so they disable the
+/// lower-bound pruning pass (whose cut count is a property of the bound's
+/// tightness, covered by the pruning tests instead).
+ServiceOptions accountingOptions(std::size_t threads) {
+  ServiceOptions o = withThreads(threads);
+  o.enablePruning = false;
+  return o;
+}
+
 void expectSameReport(const DesignReport& a, const DesignReport& b) {
   EXPECT_EQ(a.spec.label(), b.spec.label());
   EXPECT_EQ(a.spec.transform().str(), b.spec.transform().str());
@@ -153,7 +162,7 @@ TEST(Service, EvaluateAllMatchesLegacyEnumerateAndEvaluate) {
 // --- cache accounting -------------------------------------------------------
 
 TEST(ServiceCache, RepeatQueryIsAllHits) {
-  ExplorationService service(withThreads(1));
+  ExplorationService service(accountingOptions(1));
   const ExploreQuery q = gemmQuery();
   const auto first = service.run(q);
   EXPECT_EQ(first.cache.hits, 0u);
@@ -170,7 +179,7 @@ TEST(ServiceCache, RepeatQueryIsAllHits) {
 }
 
 TEST(ServiceCache, ObjectivesShareEvaluationsWithinOneBatch) {
-  ExplorationService service(withThreads(1));
+  ExplorationService service(accountingOptions(1));
   const std::vector<ExploreQuery> batch = {gemmQuery(Objective::Performance),
                                            gemmQuery(Objective::Power),
                                            gemmQuery(Objective::EnergyDelay)};
@@ -203,7 +212,7 @@ TEST(ServiceCache, SameInitialLoopsDoNotCollideInCache) {
 
   ExploreQuery q(algebra);
   q.array = array;
-  ExplorationService service(withThreads(1));
+  ExplorationService service(accountingOptions(1));
   const auto cached = service.evaluateAll(q);
 
   std::size_t i = 0;
@@ -221,7 +230,7 @@ TEST(ServiceCache, SameInitialLoopsDoNotCollideInCache) {
 }
 
 TEST(ServiceCache, ClearCacheRestoresMisses) {
-  ExplorationService service(withThreads(1));
+  ExplorationService service(accountingOptions(1));
   const ExploreQuery q = gemmQuery();
   service.run(q);
   service.clearCache();
@@ -232,7 +241,7 @@ TEST(ServiceCache, ClearCacheRestoresMisses) {
 }
 
 TEST(ServiceCache, BoundedCacheEvictsButStaysCorrect) {
-  ServiceOptions tiny = withThreads(1);
+  ServiceOptions tiny = accountingOptions(1);
   tiny.shardCount = 2;
   tiny.cacheCapacity = 16;  // far below the ~285-spec GEMM space
   ExplorationService small(tiny);
@@ -267,7 +276,7 @@ TEST(ServiceBackends, FpgaQueriesProduceFpgaReports) {
 }
 
 TEST(ServiceBackends, AsicAndFpgaEvaluationsAreCachedSeparately) {
-  ExplorationService service(withThreads(1));
+  ExplorationService service(accountingOptions(1));
   const auto asic = service.run(gemmQuery());
   const auto fpga =
       service.run(gemmQuery(Objective::Performance, cost::BackendKind::Fpga));

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "sim/dfsim.hpp"
 #include "stt/enumerate.hpp"
 #include "tensor/workloads.hpp"
@@ -161,6 +163,52 @@ TEST_P(PerfSweepTest, EnumeratedDesignsHaveSaneUtilization) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Workloads, PerfSweepTest, ::testing::Range(0, 5));
+
+// Regression for the unguarded divisions in the ratio metrics (same class
+// of bug as the PR-1 SimResult::utilization fix): zero cycles and a zero
+// frequency used to make utilization NaN and throughputGops inf.
+TEST(Perf, FinalizeIsDivisionSafe) {
+  stt::ArrayConfig cfg;
+
+  PerfResult zeroed;  // all counters zero: 0 / 0 in both ratios
+  const PerfResult empty = finalizePerf(zeroed, cfg);
+  EXPECT_EQ(empty.utilization, 0.0);
+  EXPECT_EQ(empty.throughputGops, 0.0);
+  EXPECT_TRUE(std::isfinite(empty.utilization));
+  EXPECT_TRUE(std::isfinite(empty.throughputGops));
+
+  PerfResult busy;
+  busy.totalCycles = 128;
+  busy.macs = 1024;
+  stt::ArrayConfig stopped = cfg;
+  stopped.frequencyMHz = 0.0;  // seconds == 0: throughput would be inf
+  const PerfResult atZeroHz = finalizePerf(busy, stopped);
+  EXPECT_GT(atZeroHz.utilization, 0.0);
+  EXPECT_EQ(atZeroHz.throughputGops, 0.0);
+  EXPECT_TRUE(std::isfinite(atZeroHz.throughputGops));
+
+  // The estimate path keeps producing finite metrics for a real spec.
+  const auto spec = specOf(wl::gemm(8, 8, 8), "MNK-SST");
+  stt::ArrayConfig small;
+  small.rows = small.cols = 4;
+  const PerfResult r = estimatePerformance(spec, small);
+  EXPECT_TRUE(std::isfinite(r.utilization));
+  EXPECT_TRUE(std::isfinite(r.throughputGops));
+  EXPECT_GT(r.throughputGops, 0.0);
+}
+
+// The cycles lower bound is sound on the named designs and exact for the
+// utilization-1.0 ones.
+TEST(Perf, CyclesLowerBoundHoldsForNamedDesigns) {
+  const auto g = wl::gemm(32, 32, 32);
+  stt::ArrayConfig cfg;
+  cfg.rows = cfg.cols = 8;
+  for (const char* label : {"MNK-SST", "MNK-MMT", "MNK-STS", "MNK-MTM"}) {
+    const auto spec = specOf(g, label);
+    const auto perf = estimatePerformance(spec, cfg);
+    EXPECT_LE(cyclesLowerBound(spec, cfg), perf.totalCycles) << label;
+  }
+}
 
 }  // namespace
 }  // namespace tensorlib::sim

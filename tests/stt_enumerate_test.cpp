@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <set>
 
 #include "support/error.hpp"
@@ -159,6 +160,73 @@ TEST(Enumerate, FullReuseFilterHonored) {
       if (t.dataflow.dataflowClass == DataflowClass::FullReuse)
         sawFullReuse = true;
   EXPECT_TRUE(sawFullReuse);
+}
+
+TEST(Enumerate, SignatureHashAgreesWithSignatureStrings) {
+  // The hot dedupe path keys on signatureHash(); it must partition the
+  // space exactly like the canonical signature strings it replaces.
+  for (const auto& algebra : {wl::gemm(16, 16, 16), wl::mttkrp(6, 6, 6, 6)}) {
+    EnumerationOptions keepAll;
+    keepAll.dedupeBySignature = false;
+    for (const auto& sel : allLoopSelections(algebra)) {
+      std::map<std::uint64_t, std::string> byHash;
+      std::set<std::string> bySignature;
+      for (const auto& s : enumerateTransforms(algebra, sel, keepAll)) {
+        const std::string sig = s.signature();
+        const auto [it, inserted] = byHash.emplace(s.signatureHash(), sig);
+        EXPECT_EQ(it->second, sig) << "hash collision: " << s.describe();
+        EXPECT_EQ(inserted, bySignature.insert(sig).second) << s.describe();
+      }
+      EXPECT_EQ(byHash.size(), bySignature.size());
+    }
+  }
+}
+
+TEST(Enumerate, SharedContextAliasesOneAlgebra) {
+  // Zero-copy enumeration: every spec of one sweep shares the identical
+  // (algebra, selection) context instead of owning deep copies.
+  const auto g = wl::gemm(8, 8, 8);
+  const auto specs = enumerateTransforms(g, LoopSelection(g, {0, 1, 2}));
+  ASSERT_GT(specs.size(), 1u);
+  for (const auto& s : specs) {
+    EXPECT_EQ(s.context().get(), specs.front().context().get());
+    EXPECT_EQ(&s.algebra(), &specs.front().algebra());
+  }
+  // Copying a spec shares the context rather than cloning the algebra.
+  const DataflowSpec copy = specs.front();
+  EXPECT_EQ(&copy.algebra(), &specs.front().algebra());
+}
+
+TEST(Enumerate, CandidateCacheIsBoundedWithStats) {
+  const std::size_t previousCapacity = setCandidateCacheCapacity(2);
+  clearCandidateCache();
+  const auto before = candidateCacheStats();
+
+  const auto enumerateWith = [](int maxEntry, bool unimodular) {
+    EnumerationOptions o;
+    o.maxEntry = maxEntry;
+    o.requireUnimodular = unimodular;
+    const auto g = wl::gemm(4, 4, 4);
+    return enumerateTransforms(g, LoopSelection(g, {0, 1, 2}), o).size();
+  };
+
+  // Three distinct option keys through a capacity-2 memo: the first key is
+  // evicted, re-requesting it misses again but stays correct.
+  const std::size_t a = enumerateWith(1, true);
+  enumerateWith(1, false);
+  enumerateWith(2, true);
+  const auto evicted = candidateCacheStats();
+  EXPECT_EQ(evicted.entries, 2u);
+  EXPECT_GE(evicted.evictions, before.evictions + 1);
+  EXPECT_EQ(enumerateWith(1, true), a);
+  const auto after = candidateCacheStats();
+  EXPECT_GE(after.misses, before.misses + 4);  // 3 distinct + 1 re-miss
+
+  // Warm repetition is a pure hit.
+  enumerateWith(1, true);
+  EXPECT_GE(candidateCacheStats().hits, after.hits + 1);
+
+  setCandidateCacheCapacity(previousCapacity);
 }
 
 }  // namespace
