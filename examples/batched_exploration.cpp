@@ -15,15 +15,6 @@ using namespace tensorlib;
 
 namespace {
 
-const char* objectiveName(driver::Objective o) {
-  switch (o) {
-    case driver::Objective::Performance: return "performance";
-    case driver::Objective::Power: return "power";
-    case driver::Objective::EnergyDelay: return "energy-delay";
-  }
-  return "?";
-}
-
 driver::ExploreQuery gemmQuery(driver::Objective objective,
                                cost::BackendKind backend) {
   driver::ExploreQuery q(tensor::workloads::gemm(64, 64, 64));
@@ -59,7 +50,7 @@ int main() {
                 "cache %llu hits / %llu misses\n",
                 i, q.algebra.name().c_str(),
                 cost::backendKindName(q.backend).c_str(),
-                objectiveName(q.objective), r.designs, r.frontier.size(),
+                driver::objectiveName(q.objective).c_str(), r.designs, r.frontier.size(),
                 static_cast<unsigned long long>(r.cache.hits),
                 static_cast<unsigned long long>(r.cache.misses));
     for (const auto& rep : r.frontier) std::printf("  %s\n", rep.summary().c_str());

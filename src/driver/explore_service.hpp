@@ -94,6 +94,9 @@ struct CacheStats {
   std::string str() const;
 };
 
+/// Service configuration. No knob changes results — frontiers and winners
+/// are bit-identical across every setting; knobs trade speed and memory.
+/// docs/TUNING.md documents each one with defaults and flip-guidance.
 struct ServiceOptions {
   /// Evaluation threads including the calling thread; 0 = hardware size.
   std::size_t threads = 0;

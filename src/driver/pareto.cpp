@@ -5,6 +5,22 @@
 
 namespace tensorlib::driver {
 
+std::string objectiveName(Objective objective) {
+  switch (objective) {
+    case Objective::Performance: return "performance";
+    case Objective::Power: return "power";
+    case Objective::EnergyDelay: return "energy-delay";
+  }
+  return "?";
+}
+
+std::optional<Objective> parseObjective(const std::string& name) {
+  if (name == "performance") return Objective::Performance;
+  if (name == "power") return Objective::Power;
+  if (name == "energy-delay") return Objective::EnergyDelay;
+  return std::nullopt;
+}
+
 bool finiteCost(const ParetoCost& cost) {
   return std::isfinite(cost.cycles) && std::isfinite(cost.powerMw) &&
          std::isfinite(cost.area);
@@ -16,13 +32,9 @@ bool dominates(const ParetoCost& a, const ParetoCost& b) {
   return a.cycles < b.cycles || a.powerMw < b.powerMw || a.area < b.area;
 }
 
-namespace {
-
 bool equalCost(const ParetoCost& a, const ParetoCost& b) {
   return a.cycles == b.cycles && a.powerMw == b.powerMw && a.area == b.area;
 }
-
-}  // namespace
 
 bool ParetoFrontier::insert(const ParetoEntry& entry,
                             std::vector<std::size_t>* pruned) {

@@ -25,6 +25,13 @@ enum class Objective {
   EnergyDelay,  ///< min (power x cycles) product
 };
 
+/// "performance" / "power" / "energy-delay" — the names every tool and
+/// batch protocol accepts (see docs/PROTOCOL.md).
+std::string objectiveName(Objective objective);
+
+/// Parses an objective name; nullopt for anything else.
+std::optional<Objective> parseObjective(const std::string& name);
+
 /// The three minimized axes plus utilization (derived from cycles; carried
 /// for objective selection, not a dominance dimension).
 struct ParetoCost {
@@ -46,6 +53,11 @@ bool finiteCost(const ParetoCost& cost);
 
 /// a dominates b: <= in all of (cycles, powerMw, area) and < in at least one.
 bool dominates(const ParetoCost& a, const ParetoCost& b);
+
+/// Bit-equality on the three dominance axes — the predicate behind the
+/// canonical smallest-order collapse (utilization is not compared; it is
+/// derived, not a dominance dimension).
+bool equalCost(const ParetoCost& a, const ParetoCost& b);
 
 class ParetoFrontier {
  public:

@@ -17,6 +17,8 @@
 
 namespace tensorlib::sim {
 
+/// Behavioral-simulation controls; results are identical across every
+/// setting (docs/TUNING.md documents each knob and when to flip it).
 struct SimOptions {
   /// Replay every tile and accumulate output values (needs the env).
   bool functional = true;

@@ -37,6 +37,9 @@ void clearCandidateCache();
 /// previous capacity. Values below 1 clamp to 1.
 std::size_t setCandidateCacheCapacity(std::size_t capacity);
 
+/// Design-space generation controls. The first six knobs define WHICH
+/// specs exist; the performance knobs below never change the spec list.
+/// docs/TUNING.md documents each one with defaults and flip-guidance.
 struct EnumerationOptions {
   int maxEntry = 1;               ///< entry range [-maxEntry, maxEntry]
   bool requireUnimodular = true;  ///< |det| == 1 (integral inverse)

@@ -1,0 +1,225 @@
+#include "tensor/network.hpp"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/jsonl.hpp"
+#include "tensor/workloads.hpp"
+
+namespace tensorlib::tensor {
+
+NetworkSpec::NetworkSpec(std::string name, std::vector<NetworkLayer> layers)
+    : name_(std::move(name)), layers_(std::move(layers)) {
+  require(!layers_.empty(), "network '" + name_ + "' has no layers");
+  std::set<std::string> seen;
+  for (const NetworkLayer& layer : layers_) {
+    require(!layer.name.empty(),
+            "network '" + name_ + "' has a layer with an empty name");
+    require(seen.insert(layer.name).second,
+            "network '" + name_ + "' has duplicate layer '" + layer.name + "'");
+    require(layer.algebra.loopCount() >= 3,
+            "network '" + name_ + "' layer '" + layer.name +
+                "' is degenerate: " + std::to_string(layer.algebra.loopCount()) +
+                " loops (the STT design space needs >= 3)");
+  }
+}
+
+std::int64_t NetworkSpec::totalMacs() const {
+  std::int64_t macs = 0;
+  for (const NetworkLayer& layer : layers_) macs += layer.algebra.totalMacs();
+  return macs;
+}
+
+std::string NetworkSpec::str() const {
+  std::ostringstream os;
+  os << "network " << name_ << " (" << layers_.size() << " layers)\n";
+  for (const NetworkLayer& layer : layers_)
+    os << "  " << layer.name << ": " << layer.algebra.str() << "\n";
+  return os.str();
+}
+
+namespace workloads {
+namespace {
+
+using Extents = std::vector<std::int64_t>;
+
+/// One JSONL-loadable workload factory: the accepted extent field names (in
+/// factory-argument order), the scenario-table default extents, and the
+/// constructor. docs/PROTOCOL.md documents this table for users.
+struct LayerFactory {
+  const char* name;
+  std::vector<const char*> params;
+  Extents defaults;
+  TensorAlgebra (*make)(const Extents&);
+  bool allowAllUnicast = false;
+};
+
+const std::vector<LayerFactory>& layerFactories() {
+  static const std::vector<LayerFactory> table = {
+      {"gemm", {"m", "n", "k"}, {5, 5, 5},
+       [](const Extents& e) { return gemm(e[0], e[1], e[2]); }},
+      {"batched-gemv", {"m", "n", "k"}, {5, 5, 5},
+       [](const Extents& e) { return batchedGemv(e[0], e[1], e[2]); }},
+      {"conv2d", {"k", "c", "y", "x", "p", "q"}, {4, 4, 4, 4, 2, 2},
+       [](const Extents& e) {
+         return conv2d(e[0], e[1], e[2], e[3], e[4], e[5]);
+       }},
+      {"depthwise", {"k", "y", "x", "p", "q"}, {4, 4, 4, 2, 2},
+       [](const Extents& e) {
+         return depthwiseConv(e[0], e[1], e[2], e[3], e[4]);
+       }},
+      {"mttkrp", {"i", "j", "k", "l"}, {4, 4, 4, 4},
+       [](const Extents& e) { return mttkrp(e[0], e[1], e[2], e[3]); }},
+      {"ttmc", {"i", "j", "k", "l", "m"}, {3, 3, 3, 3, 3},
+       [](const Extents& e) { return ttmc(e[0], e[1], e[2], e[3], e[4]); }},
+      {"conv2d-strided", {"k", "c", "y", "x", "p", "q", "stride"},
+       {3, 3, 3, 3, 2, 2, 2},
+       [](const Extents& e) {
+         return conv2dStrided(e[0], e[1], e[2], e[3], e[4], e[5], e[6]);
+       }},
+      {"conv2d-dilated", {"k", "c", "y", "x", "p", "q", "dilation"},
+       {3, 3, 3, 3, 2, 2, 2},
+       [](const Extents& e) {
+         return conv2dDilated(e[0], e[1], e[2], e[3], e[4], e[5], e[6]);
+       }},
+      {"attention", {"i", "j", "k"}, {4, 4, 4},
+       [](const Extents& e) { return attention(e[0], e[1], e[2]); }},
+      {"batched-attention", {"b", "i", "j", "k"}, {2, 3, 3, 3},
+       [](const Extents& e) {
+         return batchedAttention(e[0], e[1], e[2], e[3]);
+       }},
+      {"contraction3", {"i", "j", "k", "l"}, {3, 3, 3, 3},
+       [](const Extents& e) { return contraction3(e[0], e[1], e[2], e[3]); }},
+      {"pointwise-residual", {"b", "i", "j"}, {3, 4, 4},
+       [](const Extents& e) { return pointwiseResidual(e[0], e[1], e[2]); },
+       /*allowAllUnicast=*/true},
+  };
+  return table;
+}
+
+const LayerFactory* findFactory(const std::string& workload) {
+  for (const LayerFactory& f : layerFactories())
+    if (workload == f.name) return &f;
+  return nullptr;
+}
+
+}  // namespace
+
+NetworkLayer makeNetworkLayer(
+    const std::string& layerName, const std::string& workload,
+    const std::vector<std::pair<std::string, std::int64_t>>& extents) {
+  const LayerFactory* factory = findFactory(workload);
+  if (!factory)
+    fail("layer '" + layerName + "': unknown workload '" + workload + "'");
+  Extents values = factory->defaults;
+  for (const auto& [field, value] : extents) {
+    std::size_t slot = factory->params.size();
+    for (std::size_t i = 0; i < factory->params.size(); ++i)
+      if (field == factory->params[i]) slot = i;
+    if (slot == factory->params.size())
+      fail("layer '" + layerName + "': workload '" + workload +
+           "' has no extent field '" + field + "'");
+    require(value > 0, "layer '" + layerName + "': extent " + field + "=" +
+                           std::to_string(value) + " must be positive");
+    values[slot] = value;
+  }
+  return NetworkLayer{layerName, factory->make(values),
+                      factory->allowAllUnicast};
+}
+
+NetworkSpec parseNetworkJsonl(std::istream& in, const std::string& sourceName) {
+  std::string name = sourceName;
+  std::vector<NetworkLayer> layers;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    const support::JsonObject obj = support::parseJsonLine(line);
+    if (first && obj.has("model") && !obj.has("layer")) {
+      first = false;
+      const auto model = obj.getString("model");
+      require(model.has_value(), "model header must name a string model");
+      name = *model;
+      continue;
+    }
+    first = false;
+    const auto layerName = obj.getString("layer");
+    if (!layerName) fail("network layer line missing 'layer': " + line);
+    const auto workload = obj.getString("workload");
+    if (!workload)
+      fail("network layer '" + *layerName + "' missing 'workload'");
+    std::vector<std::pair<std::string, std::int64_t>> extents;
+    for (const auto& [field, unused] : obj.fields()) {
+      (void)unused;
+      if (field == "layer" || field == "workload") continue;
+      const auto value = obj.getInt(field);
+      require(value.has_value(), "layer '" + *layerName + "': field '" +
+                                     field + "' must be an integer extent");
+      extents.emplace_back(field, *value);
+    }
+    layers.push_back(makeNetworkLayer(*layerName, *workload, extents));
+  }
+  return NetworkSpec(std::move(name), std::move(layers));
+}
+
+NetworkSpec loadNetworkJsonl(const std::string& path) {
+  std::ifstream in(path);
+  TL_CHECK(static_cast<bool>(in), "cannot open network description " + path);
+  std::string name = path;
+  const auto slash = name.find_last_of('/');
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  const auto dot = name.find_last_of('.');
+  if (dot != std::string::npos && dot > 0) name = name.substr(0, dot);
+  return parseNetworkJsonl(in, name);
+}
+
+std::vector<NetworkSpec> builtinNetworks() {
+  std::vector<NetworkSpec> models;
+  // ResNet-style block: two identical 3x3 convs (the repeated shape every
+  // ResNet stage has — composed exploration pays for one), the 1x1
+  // projection lowered to a GEMM over channels, a strided downsample conv,
+  // and the residual scale.
+  models.push_back(NetworkSpec(
+      "resnet-block",
+      {makeNetworkLayer("conv1", "conv2d", {{"k", 8}, {"c", 8}, {"y", 8},
+                                            {"x", 8}, {"p", 3}, {"q", 3}}),
+       makeNetworkLayer("conv2", "conv2d", {{"k", 8}, {"c", 8}, {"y", 8},
+                                            {"x", 8}, {"p", 3}, {"q", 3}}),
+       makeNetworkLayer("proj1x1", "gemm", {{"m", 64}, {"n", 8}, {"k", 8}}),
+       makeNetworkLayer("downsample", "conv2d-strided",
+                        {{"k", 8}, {"c", 8}, {"y", 4}, {"x", 4}, {"p", 3},
+                         {"q", 3}, {"stride", 2}}),
+       makeNetworkLayer("residual", "pointwise-residual",
+                        {{"b", 4}, {"i", 8}, {"j", 8}})}));
+  // Attention block: Q.K^T scores, the score-value contraction and the
+  // output projection (identical GEMM shapes — shared evaluations), and
+  // the first FFN layer.
+  models.push_back(NetworkSpec(
+      "attention-block",
+      {makeNetworkLayer("qk-scores", "attention",
+                        {{"i", 16}, {"j", 16}, {"k", 16}}),
+       makeNetworkLayer("av", "gemm", {{"m", 16}, {"n", 16}, {"k", 16}}),
+       makeNetworkLayer("proj", "gemm", {{"m", 16}, {"n", 16}, {"k", 16}}),
+       makeNetworkLayer("ffn1", "gemm", {{"m", 16}, {"n", 64}, {"k", 16}})}));
+  // Three-layer MLP with a residual scale; fc1/fc2 share a shape.
+  models.push_back(NetworkSpec(
+      "mlp-3",
+      {makeNetworkLayer("fc1", "gemm", {{"m", 32}, {"n", 32}, {"k", 32}}),
+       makeNetworkLayer("fc2", "gemm", {{"m", 32}, {"n", 32}, {"k", 32}}),
+       makeNetworkLayer("fc3", "gemm", {{"m", 32}, {"n", 8}, {"k", 32}}),
+       makeNetworkLayer("scale", "pointwise-residual",
+                        {{"b", 4}, {"i", 8}, {"j", 8}})}));
+  return models;
+}
+
+const NetworkSpec* findNetwork(const std::string& name) {
+  static const std::vector<NetworkSpec> table = builtinNetworks();
+  for (const NetworkSpec& n : table)
+    if (n.name() == name) return &n;
+  return nullptr;
+}
+
+}  // namespace workloads
+}  // namespace tensorlib::tensor

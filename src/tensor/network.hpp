@@ -1,0 +1,103 @@
+// Network-level workload model: an ordered list of named layers, each one
+// tensor algebra, that time-share ONE PE array.
+//
+// The paper evaluates single operators; real deployments map whole models
+// (a ResNet block, an attention block, an MLP) onto one accelerator, so the
+// interesting design question is network-level: which per-layer dataflow
+// assignment minimizes total latency / peak power / peak area on a shared
+// array. NetworkSpec is the workload half of that question — the search
+// half lives in driver::NetworkExplorer, which explores every layer through
+// the ExplorationService and composes the per-layer frontiers.
+//
+// Specs come from three places, all producing the same validated object:
+//   * builtinNetworks() — a small library of ready-made models
+//     ("resnet-block", "attention-block", "mlp-3");
+//   * loadNetworkJsonl() — a JSONL model description, one layer per line
+//     (see docs/PROTOCOL.md and examples/resnet_block.jsonl):
+//       {"model": "my-net"}                               <- optional header
+//       {"layer": "conv1", "workload": "conv2d",
+//        "k": 8, "c": 8, "y": 8, "x": 8, "p": 3, "q": 3}  <- one layer
+//   * direct construction from TensorAlgebra values.
+// Validation is strict (support::Error): a network needs >= 1 layer,
+// non-empty unique layer names, and every layer algebra must have >= 3
+// loops (the STT design space is empty below that — a degenerate layer).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "tensor/algebra.hpp"
+
+namespace tensorlib::tensor {
+
+/// One layer of a network: a named tensor algebra plus the enumeration
+/// hint the scenario table carries (pointwise shapes only realize designs
+/// that stream every tensor, so they must be enumerated with
+/// EnumerationOptions::dropAllUnicast = false).
+struct NetworkLayer {
+  std::string name;       ///< unique within the network (e.g. "conv1")
+  TensorAlgebra algebra;  ///< the layer's loop nest
+  /// True for layers whose only realizable designs are all-Unicast (see
+  /// workloads::NamedWorkload::allowAllUnicast).
+  bool allowAllUnicast = false;
+};
+
+/// A validated multi-layer model mapped onto one shared PE array.
+class NetworkSpec {
+ public:
+  /// Throws support::Error for zero layers, empty or duplicate layer
+  /// names, or a degenerate layer (fewer than 3 loops).
+  NetworkSpec(std::string name, std::vector<NetworkLayer> layers);
+
+  const std::string& name() const { return name_; }
+  const std::vector<NetworkLayer>& layers() const { return layers_; }
+  std::size_t layerCount() const { return layers_.size(); }
+
+  /// MACs summed over every layer (the fixed work a shared-array schedule
+  /// must execute; the numerator of network-level utilization).
+  std::int64_t totalMacs() const;
+
+  /// One line per layer: "name: algebra".
+  std::string str() const;
+
+ private:
+  std::string name_;
+  std::vector<NetworkLayer> layers_;
+};
+
+namespace workloads {
+
+/// Builds one layer algebra from a workload factory name plus named extent
+/// fields ("gemm" reads m/n/k, "conv2d" reads k/c/y/x/p/q, ...); fields
+/// left unset fall back to the factory's scenario-table extents. Returns
+/// the layer with its allowAllUnicast hint. Throws support::Error for an
+/// unknown workload or a non-positive extent. The accepted names and
+/// fields are listed in docs/PROTOCOL.md.
+NetworkLayer makeNetworkLayer(const std::string& layerName,
+                              const std::string& workload,
+                              const std::vector<std::pair<std::string, std::int64_t>>& extents);
+
+/// Parses a JSONL model description (one layer object per line, optional
+/// leading {"model": "..."} header) into a NetworkSpec. `sourceName` seeds
+/// the network name when no header names it. Throws support::Error on
+/// malformed lines, unknown workloads/fields, or an invalid network.
+NetworkSpec parseNetworkJsonl(std::istream& in, const std::string& sourceName);
+
+/// parseNetworkJsonl over a file path; throws support::Error if the file
+/// cannot be opened.
+NetworkSpec loadNetworkJsonl(const std::string& path);
+
+/// The built-in model library: a ResNet-style conv stack ("resnet-block"),
+/// an attention block ("attention-block"), and a three-layer MLP with a
+/// residual scale ("mlp-3"). Every model has >= 4 layers and at least one
+/// repeated layer shape, so composed exploration always has cross-layer
+/// cache reuse to win.
+std::vector<NetworkSpec> builtinNetworks();
+
+/// Built-in model lookup by name; nullptr when absent.
+const NetworkSpec* findNetwork(const std::string& name);
+
+}  // namespace workloads
+
+}  // namespace tensorlib::tensor

@@ -1,0 +1,149 @@
+// tensor::NetworkSpec unit tests: validation (empty, duplicate, degenerate
+// layers), the JSONL model loader, the layer-factory table, and the
+// built-in model library contract (>= 4 layers, a repeated shape).
+#include "tensor/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/error.hpp"
+#include "tensor/workloads.hpp"
+
+namespace tensorlib::tensor {
+namespace {
+
+namespace wl = workloads;
+
+NetworkLayer gemmLayer(const std::string& name, std::int64_t m = 4,
+                       std::int64_t n = 4, std::int64_t k = 4) {
+  return NetworkLayer{name, wl::gemm(m, n, k), false};
+}
+
+/// A 2-loop algebra (C[i] += A[i] * B[j]) — below the 3 loops an STT needs.
+TensorAlgebra twoLoopAlgebra() {
+  return TensorAlgebra(
+      "TwoLoop", {{"i", 4}, {"j", 4}},
+      TensorRef{"C", accessFromTerms(2, {{0}})},
+      {TensorRef{"A", accessFromTerms(2, {{0}})},
+       TensorRef{"B", accessFromTerms(2, {{1}})}});
+}
+
+TEST(NetworkSpecTest, ValidNetwork) {
+  const NetworkSpec net("pair", {gemmLayer("a"), gemmLayer("b", 8, 8, 8)});
+  EXPECT_EQ(net.name(), "pair");
+  EXPECT_EQ(net.layerCount(), 2u);
+  EXPECT_EQ(net.totalMacs(), 4 * 4 * 4 + 8 * 8 * 8);
+  EXPECT_NE(net.str().find("a: GEMM"), std::string::npos);
+}
+
+TEST(NetworkSpecTest, RejectsEmptyNetwork) {
+  EXPECT_THROW(NetworkSpec("empty", {}), Error);
+}
+
+TEST(NetworkSpecTest, RejectsUnnamedLayer) {
+  EXPECT_THROW(NetworkSpec("anon", {gemmLayer("")}), Error);
+}
+
+TEST(NetworkSpecTest, RejectsDuplicateLayerNames) {
+  EXPECT_THROW(NetworkSpec("dup", {gemmLayer("a"), gemmLayer("a")}), Error);
+}
+
+TEST(NetworkSpecTest, RejectsDegenerateLayer) {
+  EXPECT_THROW(
+      NetworkSpec("thin", {NetworkLayer{"two", twoLoopAlgebra(), false}}),
+      Error);
+}
+
+TEST(NetworkSpecTest, LayerFactoryHonorsExtents) {
+  const NetworkLayer layer =
+      wl::makeNetworkLayer("fc", "gemm", {{"m", 7}, {"n", 3}, {"k", 5}});
+  EXPECT_EQ(layer.name, "fc");
+  EXPECT_FALSE(layer.allowAllUnicast);
+  EXPECT_EQ(layer.algebra.str(), wl::gemm(7, 3, 5).str());
+}
+
+TEST(NetworkSpecTest, LayerFactoryDefaultsMatchScenarioTable) {
+  // Unset extents fall back to the scenario-table instance of the workload.
+  const NetworkLayer layer = wl::makeNetworkLayer("c", "conv2d", {});
+  EXPECT_EQ(layer.algebra.str(), wl::findWorkload("conv2d")->algebra.str());
+}
+
+TEST(NetworkSpecTest, LayerFactoryPointwiseAllowsAllUnicast) {
+  const NetworkLayer layer =
+      wl::makeNetworkLayer("scale", "pointwise-residual", {{"b", 2}});
+  EXPECT_TRUE(layer.allowAllUnicast);
+}
+
+TEST(NetworkSpecTest, LayerFactoryRejectsUnknowns) {
+  EXPECT_THROW(wl::makeNetworkLayer("x", "not-a-workload", {}), Error);
+  EXPECT_THROW(wl::makeNetworkLayer("x", "gemm", {{"z", 4}}), Error);
+  EXPECT_THROW(wl::makeNetworkLayer("x", "gemm", {{"m", 0}}), Error);
+  EXPECT_THROW(wl::makeNetworkLayer("x", "gemm", {{"m", -2}}), Error);
+}
+
+TEST(NetworkSpecTest, ParsesJsonlModel) {
+  std::istringstream in(
+      "{\"model\": \"tiny\"}\n"
+      "\n"
+      "{\"layer\": \"fc1\", \"workload\": \"gemm\", \"m\": 6, \"n\": 6, "
+      "\"k\": 6}\n"
+      "{\"layer\": \"scale\", \"workload\": \"pointwise-residual\", "
+      "\"b\": 2, \"i\": 4, \"j\": 4}\n");
+  const NetworkSpec net = wl::parseNetworkJsonl(in, "fallback");
+  EXPECT_EQ(net.name(), "tiny");
+  ASSERT_EQ(net.layerCount(), 2u);
+  EXPECT_EQ(net.layers()[0].algebra.str(), wl::gemm(6, 6, 6).str());
+  EXPECT_TRUE(net.layers()[1].allowAllUnicast);
+}
+
+TEST(NetworkSpecTest, JsonlNameFallsBackToSource) {
+  std::istringstream in("{\"layer\": \"fc\", \"workload\": \"gemm\"}\n");
+  EXPECT_EQ(wl::parseNetworkJsonl(in, "from-source").name(), "from-source");
+}
+
+TEST(NetworkSpecTest, JsonlRejectsMalformedLines) {
+  {
+    std::istringstream in("{\"workload\": \"gemm\"}\n");  // no layer name
+    EXPECT_THROW(wl::parseNetworkJsonl(in, "x"), Error);
+  }
+  {
+    std::istringstream in("{\"layer\": \"fc\"}\n");  // no workload
+    EXPECT_THROW(wl::parseNetworkJsonl(in, "x"), Error);
+  }
+  {
+    std::istringstream in(
+        "{\"layer\": \"fc\", \"workload\": \"gemm\", \"m\": \"big\"}\n");
+    EXPECT_THROW(wl::parseNetworkJsonl(in, "x"), Error);
+  }
+  {
+    std::istringstream in("not json\n");
+    EXPECT_THROW(wl::parseNetworkJsonl(in, "x"), Error);
+  }
+  {
+    std::istringstream in("");  // zero layers
+    EXPECT_THROW(wl::parseNetworkJsonl(in, "x"), Error);
+  }
+}
+
+TEST(NetworkSpecTest, BuiltinLibraryContract) {
+  const auto models = wl::builtinNetworks();
+  ASSERT_GE(models.size(), 3u);
+  for (const NetworkSpec& model : models) {
+    EXPECT_GE(model.layerCount(), 4u) << model.name();
+    // Every built-in model repeats at least one layer shape, so composed
+    // exploration always has cross-layer cache reuse to demonstrate.
+    bool repeated = false;
+    for (std::size_t i = 0; i < model.layerCount() && !repeated; ++i)
+      for (std::size_t j = i + 1; j < model.layerCount() && !repeated; ++j)
+        repeated = model.layers()[i].algebra.str() ==
+                   model.layers()[j].algebra.str();
+    EXPECT_TRUE(repeated) << model.name();
+  }
+  ASSERT_NE(wl::findNetwork("resnet-block"), nullptr);
+  EXPECT_EQ(wl::findNetwork("resnet-block")->layerCount(), 5u);
+  EXPECT_EQ(wl::findNetwork("no-such-model"), nullptr);
+}
+
+}  // namespace
+}  // namespace tensorlib::tensor

@@ -1,34 +1,39 @@
-// explore_server: batched exploration over a JSON-lines query stream.
+// explore_server: batched exploration over a JSON-lines request stream.
 //
 //   explore_server --file queries.jsonl          # batch from a file
 //   cat queries.jsonl | explore_server           # batch from stdin
 //   explore_server --list-workloads
 //
-// Each input line is one flat JSON query:
-//   {"workload": "gemm", "rows": 8, "cols": 8,
-//    "objective": "power", "backend": "fpga", "max_entry": 1}
-// Fields: workload (required; a scenario-table name, "gemm" also accepts
-// m/n/k extents), objective (performance|power|energy-delay), backend
-// (asic|fpga), rows/cols/bandwidth_gbps/frequency_mhz/data_bytes,
-// data_width (ASIC), fp32/vector_lanes/placement_optimized (FPGA),
-// max_entry (enumeration range).
+// Two request kinds share one stream (docs/PROTOCOL.md is the full schema):
 //
-// The whole stream is executed as ONE ExplorationService batch, so
-// overlapping queries share enumerations and design-point evaluations.
-// Output is JSON lines: one result per query (Pareto frontier over
-// cycles/power/area, objective winner, per-query cache traffic) plus a
-// trailing batch summary with service-wide cache stats.
+//   * batch query — one operator on one array:
+//       {"workload": "gemm", "rows": 8, "cols": 8,
+//        "objective": "power", "backend": "fpga", "max_entry": 1}
+//   * network query — a whole multi-layer model on shared candidate
+//     arrays, marked by a "network" (built-in model) or "network_file"
+//     (JSONL model description) field:
+//       {"network": "resnet-block", "arrays": "8x8,16x16",
+//        "objective": "performance"}
+//
+// The whole stream runs against ONE ExplorationService: plain queries as
+// one batch, network queries through a NetworkExplorer borrowing the same
+// service, so every request shares enumerations, design-point evaluations
+// and the tile-mapping memo. Output is JSON lines, one result per request
+// in input order, plus a trailing batch summary with service-wide cache
+// stats.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
-#include "driver/explore_service.hpp"
+#include "driver/network_explorer.hpp"
 #include "support/error.hpp"
 #include "support/jsonl.hpp"
+#include "tensor/network.hpp"
 #include "tensor/workloads.hpp"
 
 namespace {
@@ -39,26 +44,28 @@ int usage() {
   std::printf(
       "usage: explore_server [--file F] [--threads N] [--max-frontier N]\n"
       "                      [--list-workloads]\n"
-      "Reads one JSON query per line from --file (default stdin); runs the\n"
-      "whole stream as one batched, cached exploration.\n");
+      "Reads one JSON request per line from --file (default stdin); runs\n"
+      "the whole stream as one batched, cached exploration. A line with a\n"
+      "'network' or 'network_file' field is a network-level request; see\n"
+      "docs/PROTOCOL.md.\n");
   return 2;
 }
 
-driver::Objective parseObjective(const std::string& name) {
-  if (name == "performance") return driver::Objective::Performance;
-  if (name == "power") return driver::Objective::Power;
-  if (name == "energy-delay") return driver::Objective::EnergyDelay;
-  fail("unknown objective '" + name +
-       "' (expected performance|power|energy-delay)");
+driver::Objective requireObjective(const std::string& name) {
+  const auto o = driver::parseObjective(name);
+  if (!o)
+    fail("unknown objective '" + name +
+         "' (expected performance|power|energy-delay)");
+  return *o;
 }
 
-std::string objectiveName(driver::Objective o) {
-  switch (o) {
-    case driver::Objective::Performance: return "performance";
-    case driver::Objective::Power: return "power";
-    case driver::Objective::EnergyDelay: return "energy-delay";
-  }
-  return "?";
+/// Applies the array fields every request kind shares.
+void parseArrayFields(const support::JsonObject& obj, stt::ArrayConfig* array) {
+  if (const auto v = obj.getInt("rows")) array->rows = *v;
+  if (const auto v = obj.getInt("cols")) array->cols = *v;
+  if (const auto v = obj.getDouble("bandwidth_gbps")) array->bandwidthGBps = *v;
+  if (const auto v = obj.getDouble("frequency_mhz")) array->frequencyMHz = *v;
+  if (const auto v = obj.getInt("data_bytes")) array->dataBytes = *v;
 }
 
 driver::ExploreQuery parseQuery(const support::JsonObject& obj) {
@@ -80,17 +87,14 @@ driver::ExploreQuery parseQuery(const support::JsonObject& obj) {
   if (const auto* named = tensor::workloads::findWorkload(*workload))
     q.enumeration.dropAllUnicast = !named->allowAllUnicast;
 
-  if (const auto v = obj.getString("objective")) q.objective = parseObjective(*v);
+  if (const auto v = obj.getString("objective"))
+    q.objective = requireObjective(*v);
   if (const auto v = obj.getString("backend")) {
     const auto kind = cost::parseBackendKind(*v);
     if (!kind) fail("unknown backend '" + *v + "' (expected asic|fpga)");
     q.backend = *kind;
   }
-  if (const auto v = obj.getInt("rows")) q.array.rows = *v;
-  if (const auto v = obj.getInt("cols")) q.array.cols = *v;
-  if (const auto v = obj.getDouble("bandwidth_gbps")) q.array.bandwidthGBps = *v;
-  if (const auto v = obj.getDouble("frequency_mhz")) q.array.frequencyMHz = *v;
-  if (const auto v = obj.getInt("data_bytes")) q.array.dataBytes = *v;
+  parseArrayFields(obj, &q.array);
   if (const auto v = obj.getInt("data_width")) q.dataWidth = static_cast<int>(*v);
   if (const auto v = obj.getInt("max_entry"))
     q.enumeration.maxEntry = static_cast<int>(*v);
@@ -101,14 +105,59 @@ driver::ExploreQuery parseQuery(const support::JsonObject& obj) {
   return q;
 }
 
-void printResultLine(std::size_t index, const std::string& workload,
-                     const driver::ExploreQuery& q,
-                     const driver::QueryResult& r, std::size_t maxFrontier) {
+driver::NetworkQuery parseNetworkQuery(const support::JsonObject& obj) {
+  tensor::NetworkSpec network = [&] {
+    if (const auto name = obj.getString("network")) {
+      const auto* builtin = tensor::workloads::findNetwork(*name);
+      if (!builtin)
+        fail("unknown network '" + *name +
+             "' (see network_explorer --list-models)");
+      return *builtin;
+    }
+    const auto file = obj.getString("network_file");
+    if (!file) fail("network request needs 'network' or 'network_file'");
+    return tensor::workloads::loadNetworkJsonl(*file);
+  }();
+
+  driver::NetworkQuery q(std::move(network));
+  stt::ArrayConfig base;
+  parseArrayFields(obj, &base);
+  if (const auto v = obj.getString("arrays"))
+    q.arrays = driver::parseArrayList(*v, base);
+  else
+    q.arrays = {base};
+  if (const auto v = obj.getString("objective"))
+    q.objective = requireObjective(*v);
+  if (const auto v = obj.getString("backend")) {
+    const auto kind = cost::parseBackendKind(*v);
+    if (!kind) fail("unknown backend '" + *v + "' (expected asic|fpga)");
+    q.backend = *kind;
+  }
+  if (const auto v = obj.getInt("data_width")) q.dataWidth = static_cast<int>(*v);
+  if (const auto v = obj.getInt("max_entry"))
+    q.enumeration.maxEntry = static_cast<int>(*v);
+  if (const auto v = obj.getBool("fp32")) q.fpga.fp32 = *v;
+  if (const auto v = obj.getInt("vector_lanes")) q.fpga.vectorLanes = *v;
+  if (const auto v = obj.getBool("placement_optimized"))
+    q.fpga.placementOptimized = *v;
+  return q;
+}
+
+/// One parsed input line: exactly one of `plain` / `network` is set.
+struct Request {
+  std::optional<driver::ExploreQuery> plain;
+  std::optional<driver::NetworkQuery> network;
+  std::string name;  ///< workload or model name, echoed in the response
+};
+
+std::string resultLine(std::size_t index, const std::string& workload,
+                       const driver::ExploreQuery& q,
+                       const driver::QueryResult& r, std::size_t maxFrontier) {
   std::ostringstream os;
   os << "{\"query\": " << index << ", \"workload\": \""
      << support::jsonEscape(workload) << "\", \"backend\": \""
      << cost::backendKindName(q.backend) << "\", \"objective\": \""
-     << objectiveName(q.objective) << "\", \"designs\": " << r.designs
+     << driver::objectiveName(q.objective) << "\", \"designs\": " << r.designs
      << ", \"frontier_size\": " << r.frontier.size() << ", \"frontier\": [";
   const std::size_t shown = std::min(maxFrontier, r.frontier.size());
   for (std::size_t i = 0; i < shown; ++i) {
@@ -124,8 +173,59 @@ void printResultLine(std::size_t index, const std::string& workload,
   if (r.best)
     os << ", \"best\": \"" << support::jsonEscape(r.best->spec.label()) << "\"";
   os << ", \"cache\": {\"hits\": " << r.cache.hits << ", \"misses\": "
-     << r.cache.misses << "}}";
-  std::printf("%s\n", os.str().c_str());
+     << r.cache.misses << ", \"pruned\": " << r.cache.pruned << "}}";
+  return os.str();
+}
+
+void appendNetworkDesign(std::ostringstream& os,
+                         const driver::NetworkQuery& q,
+                         const driver::NetworkDesign& d) {
+  const auto& array = q.arrays[d.arrayIndex];
+  os << "{\"array\": \"" << array.rows << "x" << array.cols
+     << "\", \"cycles\": " << d.cost.cycles << ", \"power_mw\": "
+     << d.cost.powerMw << ", \"area\": " << d.cost.area
+     << ", \"utilization\": " << d.cost.utilization << ", \"assignments\": [";
+  for (std::size_t l = 0; l < d.layers.size(); ++l) {
+    const auto& layer = d.layers[l];
+    os << (l ? ", " : "") << "{\"layer\": \""
+       << support::jsonEscape(layer.layer) << "\", \"dataflow\": \""
+       << support::jsonEscape(layer.dataflow) << "\", \"cycles\": "
+       << layer.cycles << "}";
+  }
+  os << "]}";
+}
+
+std::string networkResultLine(std::size_t index, const std::string& name,
+                              const driver::NetworkQuery& q,
+                              const driver::NetworkResult& r,
+                              std::size_t maxFrontier) {
+  driver::QueryCacheCounts cache;
+  for (const auto& s : r.layers) {
+    cache.hits += s.cache.hits;
+    cache.misses += s.cache.misses;
+    cache.pruned += s.cache.pruned;
+  }
+  std::ostringstream os;
+  os << "{\"query\": " << index << ", \"network\": \""
+     << support::jsonEscape(name) << "\", \"layers\": "
+     << q.network.layerCount() << ", \"arrays\": " << q.arrays.size()
+     << ", \"backend\": \"" << cost::backendKindName(q.backend)
+     << "\", \"objective\": \"" << driver::objectiveName(q.objective)
+     << "\", \"designs\": " << r.designs << ", \"frontier_size\": "
+     << r.frontier.size() << ", \"frontier\": [";
+  const std::size_t shown = std::min(maxFrontier, r.frontier.size());
+  for (std::size_t i = 0; i < shown; ++i) {
+    if (i) os << ", ";
+    appendNetworkDesign(os, q, r.frontier[i]);
+  }
+  os << "]";
+  if (r.best) {
+    os << ", \"best\": ";
+    appendNetworkDesign(os, q, *r.best);
+  }
+  os << ", \"cache\": {\"hits\": " << cache.hits << ", \"misses\": "
+     << cache.misses << ", \"pruned\": " << cache.pruned << "}}";
+  return os.str();
 }
 
 }  // namespace
@@ -168,22 +268,28 @@ int main(int argc, char** argv) {
   }
   std::istream& in = file.empty() ? std::cin : fileStream;
 
-  std::vector<driver::ExploreQuery> batch;
-  std::vector<std::string> workloadNames;
+  std::vector<Request> requests;
   std::string line;
   try {
     while (std::getline(in, line)) {
       if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
       const auto obj = support::parseJsonLine(line);
-      batch.push_back(parseQuery(obj));
-      workloadNames.push_back(*obj.getString("workload"));
+      Request request;
+      if (obj.has("network") || obj.has("network_file")) {
+        request.network = parseNetworkQuery(obj);
+        request.name = request.network->network.name();
+      } else {
+        request.plain = parseQuery(obj);
+        request.name = *obj.getString("workload");
+      }
+      requests.push_back(std::move(request));
     }
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
   }
-  if (batch.empty()) {
-    std::fprintf(stderr, "no queries on input\n");
+  if (requests.empty()) {
+    std::fprintf(stderr, "no requests on input\n");
     return 2;
   }
 
@@ -191,15 +297,40 @@ int main(int argc, char** argv) {
     driver::ServiceOptions options;
     options.threads = threads;
     driver::ExplorationService service(options);
-    const auto results = service.runBatch(batch);
-    for (std::size_t i = 0; i < results.size(); ++i)
-      printResultLine(i, workloadNames[i], batch[i], results[i], maxFrontier);
+
+    // Plain queries run as ONE batch; network queries run through a
+    // NetworkExplorer borrowing the same service, so the whole stream
+    // shares one evaluation cache. Responses print in input order.
+    std::vector<driver::ExploreQuery> batch;
+    for (const Request& r : requests)
+      if (r.plain) batch.push_back(*r.plain);
+    const auto batchResults = service.runBatch(batch);
+
+    driver::NetworkExplorer explorer(service);
+    std::size_t nextPlain = 0;
+    std::size_t queries = 0, networks = 0;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      const Request& r = requests[i];
+      if (r.plain) {
+        ++queries;
+        std::printf("%s\n", resultLine(i, r.name, *r.plain,
+                                       batchResults[nextPlain++], maxFrontier)
+                                .c_str());
+      } else {
+        ++networks;
+        const auto result = explorer.explore(*r.network);
+        std::printf("%s\n", networkResultLine(i, r.name, *r.network, result,
+                                              maxFrontier)
+                                .c_str());
+      }
+    }
+
     const auto stats = service.cacheStats();
     std::printf(
-        "{\"batch\": {\"queries\": %zu, \"cache\": {\"hits\": %llu, "
-        "\"misses\": %llu, \"evictions\": %llu, \"entries\": %zu, "
-        "\"shards\": %zu}}}\n",
-        results.size(), static_cast<unsigned long long>(stats.hits),
+        "{\"batch\": {\"queries\": %zu, \"networks\": %zu, \"cache\": "
+        "{\"hits\": %llu, \"misses\": %llu, \"evictions\": %llu, "
+        "\"entries\": %zu, \"shards\": %zu}}}\n",
+        queries, networks, static_cast<unsigned long long>(stats.hits),
         static_cast<unsigned long long>(stats.misses),
         static_cast<unsigned long long>(stats.evictions), stats.entries,
         stats.shards);
