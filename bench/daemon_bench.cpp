@@ -1,0 +1,154 @@
+// Snapshot restore vs cold start benchmark (the resident-daemon anchor).
+//
+// Runs the shared 10-query overlapping service scenario three ways:
+//
+//   cold      fresh service, empty candidate memo — every design point
+//             enumerated, mapped and evaluated from scratch.
+//   restored  fresh service + empty candidate memo that first restores a
+//             snapshot written by the cold run, then serves the same
+//             traffic (timed INCLUDING the restore — the daemon's real
+//             restart-to-answer latency).
+//
+// plus the restored run again at 1 and 8 worker threads. All frontiers and
+// winners are asserted bit-identical to the cold run — a snapshot may only
+// change how fast answers arrive, never what they are.
+//
+// Merges a "daemon" section into BENCH_hotpaths.json next to the
+// service/pruning gates (gate: restored >= 2x cold, full mode only).
+//
+// Usage: bench_daemon [--smoke] [--out <path>]
+//   --smoke   maxEntry=1 spaces, correctness asserts only, no timing gates
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "driver/explore_service.hpp"
+#include "service_scenario.hpp"
+#include "stt/enumerate.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using namespace tensorlib;
+using Clock = std::chrono::steady_clock;
+
+double msSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+constexpr double kGateMinSpeedup = 2.0;
+
+struct DaemonReport {
+  std::size_t designs = 0;  ///< design points across the batch
+  double coldMs = 0, restoredMs = 0;
+  std::size_t evalEntries = 0, mappingEntries = 0, candidateLists = 0;
+  double speedup() const { return coldMs / restoredMs; }
+};
+
+DaemonReport benchDaemon(int maxEntry, const std::string& snapshotPath) {
+  DaemonReport r;
+  const auto batch = bench::serviceScenarioBatch(maxEntry);
+  const std::string fingerprint =
+      driver::snapshot::cacheSchemaFingerprint(batch[0].enumeration);
+
+  // --- cold: empty process-wide candidate memo, fresh service.
+  std::vector<driver::QueryResult> cold;
+  {
+    stt::clearCandidateCache();
+    driver::ExplorationService service;
+    const auto t = Clock::now();
+    cold = service.runBatch(batch);
+    r.coldMs = msSince(t);
+    TL_CHECK(service.saveSnapshot(snapshotPath, fingerprint),
+             "snapshot write failed");
+  }
+  for (const auto& res : cold) r.designs += res.designs;
+
+  // --- restored: restart-to-answer latency = restore + serve.
+  {
+    stt::clearCandidateCache();
+    driver::ExplorationService service;
+    const auto t = Clock::now();
+    const auto restore = service.restoreSnapshot(snapshotPath, fingerprint);
+    const auto warm = service.runBatch(batch);
+    r.restoredMs = msSince(t);
+    TL_CHECK(restore.restored(),
+             "restore failed: " +
+                 driver::snapshot::restoreStatusName(restore.status) +
+                 " " + restore.message);
+    r.evalEntries = restore.evalEntries;
+    r.mappingEntries = restore.mappingEntries;
+    r.candidateLists = restore.candidateLists;
+    bench::checkSameResults(cold, warm);
+  }
+
+  // --- bit-identity of the restored service across thread counts.
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    stt::clearCandidateCache();
+    driver::ServiceOptions options;
+    options.threads = threads;
+    driver::ExplorationService service(options);
+    TL_CHECK(service.restoreSnapshot(snapshotPath, fingerprint).restored(),
+             "restore failed at " + std::to_string(threads) + " threads");
+    bench::checkSameResults(cold, service.runBatch(batch));
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out = "BENCH_hotpaths.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out = argv[++i];
+    else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--out <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const std::string snapshotPath = "bench_daemon.snap.tmp";
+  try {
+    bench::printHeader(smoke ? "Snapshot restore (smoke)"
+                             : "Snapshot restore vs cold start");
+    const DaemonReport r = benchDaemon(smoke ? 1 : 2, snapshotPath);
+    std::remove(snapshotPath.c_str());
+    std::printf(
+        "  cold %.1f ms | restored %.1f ms (%.2fx)  [%zu design evals; "
+        "snapshot: %zu evals, %zu mappings, %zu candidate lists; frontiers "
+        "bit-identical at 1 and 8 threads]\n",
+        r.coldMs, r.restoredMs, r.speedup(), r.designs, r.evalEntries,
+        r.mappingEntries, r.candidateLists);
+
+    const bool pass = smoke || r.speedup() >= kGateMinSpeedup;
+    std::ostringstream line;
+    line << "\"daemon\": {\"workloads\": \"gemm256+attention64\", "
+         << "\"batch_design_evals\": " << r.designs
+         << ", \"cold_ms\": " << r.coldMs
+         << ", \"restored_ms\": " << r.restoredMs
+         << ", \"restored_speedup\": " << r.speedup()
+         << ", \"snapshot_evals\": " << r.evalEntries
+         << ", \"snapshot_mappings\": " << r.mappingEntries
+         << ", \"snapshot_candidate_lists\": " << r.candidateLists
+         << ", \"threads_checked\": \"1,8\""
+         << ", \"gate_min_restored_speedup\": " << kGateMinSpeedup
+         << ", \"pass\": " << (pass ? "true" : "false") << "}";
+    bench::mergeJsonSection(out, "daemon", line.str());
+    std::printf("  merged into %s\n", out.c_str());
+
+    if (!pass)
+      std::printf("  GATE FAIL: restored speedup %.2f < %.1f\n", r.speedup(),
+                  kGateMinSpeedup);
+    return pass ? 0 : 1;
+  } catch (const tensorlib::Error& e) {
+    std::remove(snapshotPath.c_str());
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,246 @@
+#include "driver/explore_client.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <thread>
+
+extern "C" {
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+}
+
+extern char** environ;
+
+namespace tensorlib::driver {
+namespace {
+
+/// A dead child turns writes into SIGPIPE, which would kill the whole tool
+/// process before the client can recover; the client's contract is that a
+/// failed write is a recoverable event, so the signal must be ignored.
+void ignoreSigpipeOnce() {
+  static bool done = [] {
+    std::signal(SIGPIPE, SIG_IGN);
+    return true;
+  }();
+  (void)done;
+}
+
+}  // namespace
+
+struct ExploreClient::Impl {
+  explicit Impl(ClientOptions opts) : options(std::move(opts)) {
+    ignoreSigpipeOnce();
+  }
+
+  ~Impl() { kill(); }
+
+  bool start() {
+    if (runningNow()) return true;
+    if (options.command.empty()) return false;
+    int toChildPipe[2];
+    int fromChildPipe[2];
+    if (pipe(toChildPipe) != 0) return false;
+    if (pipe(fromChildPipe) != 0) {
+      close(toChildPipe[0]);
+      close(toChildPipe[1]);
+      return false;
+    }
+    std::vector<char*> argv;
+    argv.reserve(options.command.size() + 1);
+    for (const auto& arg : options.command) {
+      argv.push_back(const_cast<char*>(arg.c_str()));
+    }
+    argv.push_back(nullptr);
+    std::vector<char*> envp;
+    for (char** e = environ; e != nullptr && *e != nullptr; ++e) {
+      envp.push_back(*e);
+    }
+    for (const auto& extra : options.env) {
+      envp.push_back(const_cast<char*>(extra.c_str()));
+    }
+    envp.push_back(nullptr);
+
+    pid_t child = fork();
+    if (child < 0) {
+      close(toChildPipe[0]);
+      close(toChildPipe[1]);
+      close(fromChildPipe[0]);
+      close(fromChildPipe[1]);
+      return false;
+    }
+    if (child == 0) {
+      dup2(toChildPipe[0], STDIN_FILENO);
+      dup2(fromChildPipe[1], STDOUT_FILENO);
+      close(toChildPipe[0]);
+      close(toChildPipe[1]);
+      close(fromChildPipe[0]);
+      close(fromChildPipe[1]);
+      execve(argv[0], argv.data(), envp.data());
+      _exit(127);  // exec failed; parent sees EOF on first read
+    }
+    close(toChildPipe[0]);
+    close(fromChildPipe[1]);
+    pid = child;
+    toChild = fdopen(toChildPipe[1], "w");
+    fromChild = fdopen(fromChildPipe[0], "r");
+    if (toChild == nullptr || fromChild == nullptr) {
+      kill();
+      return false;
+    }
+    return true;
+  }
+
+  bool runningNow() {
+    if (pid < 0) return false;
+    int status = 0;
+    pid_t r = waitpid(pid, &status, WNOHANG);
+    if (r == pid) {
+      closeStreams();
+      pid = -1;
+      return false;
+    }
+    return true;
+  }
+
+  void closeStreams() {
+    if (toChild != nullptr) {
+      fclose(toChild);
+      toChild = nullptr;
+    }
+    if (fromChild != nullptr) {
+      fclose(fromChild);
+      fromChild = nullptr;
+    }
+  }
+
+  void kill() {
+    if (pid < 0) return;
+    ::kill(pid, SIGKILL);
+    int status = 0;
+    waitpid(pid, &status, 0);
+    closeStreams();
+    pid = -1;
+  }
+
+  int stop() {
+    if (pid < 0) return -1;
+    sendLine("{\"shutdown\": true}");
+    // Bounded graceful wait (the server drains and snapshots), then force.
+    int status = 0;
+    for (int i = 0; i < 500; ++i) {
+      pid_t r = waitpid(pid, &status, WNOHANG);
+      if (r == pid) {
+        closeStreams();
+        pid = -1;
+        return status;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ::kill(pid, SIGKILL);
+    waitpid(pid, &status, 0);
+    closeStreams();
+    pid = -1;
+    return status;
+  }
+
+  bool sendLine(const std::string& line) {
+    if (toChild == nullptr) return false;
+    if (std::fputs(line.c_str(), toChild) == EOF ||
+        std::fputc('\n', toChild) == EOF || std::fflush(toChild) != 0) {
+      markDead();
+      return false;
+    }
+    return true;
+  }
+
+  std::optional<std::string> readLine() {
+    if (fromChild == nullptr) return std::nullopt;
+    std::string line;
+    int c;
+    while ((c = std::fgetc(fromChild)) != EOF) {
+      if (c == '\n') return line;
+      line.push_back(static_cast<char>(c));
+    }
+    markDead();
+    return std::nullopt;
+  }
+
+  void markDead() {
+    if (pid >= 0) {
+      ::kill(pid, SIGKILL);
+      int status = 0;
+      waitpid(pid, &status, 0);
+      pid = -1;
+    }
+    closeStreams();
+  }
+
+  std::optional<std::string> request(const std::string& line) {
+    std::int64_t backoffMs = options.initialBackoffMs;
+    for (int attempt = 0; attempt < options.maxAttempts; ++attempt) {
+      if (attempt > 0) ++stats.retries;
+      if (!runningNow()) {
+        if (everStarted && !options.autoRestart) return std::nullopt;
+        if (!start()) return std::nullopt;
+        if (everStarted) ++stats.restarts;
+        everStarted = true;
+      }
+      if (!sendLine(line)) continue;  // child died; next attempt respawns
+      std::optional<std::string> response = readLine();
+      if (!response.has_value()) continue;
+      if (response->find("\"error\": \"overloaded\"") != std::string::npos) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoffMs));
+        backoffMs = std::min(backoffMs * 2, options.maxBackoffMs);
+        continue;
+      }
+      ++stats.requests;
+      return response;
+    }
+    return std::nullopt;
+  }
+
+  ClientOptions options;
+  ClientStats stats;
+  pid_t pid = -1;
+  std::FILE* toChild = nullptr;
+  std::FILE* fromChild = nullptr;
+  bool everStarted = false;
+};
+
+ExploreClient::ExploreClient(ClientOptions options)
+    : impl_(std::make_unique<Impl>(std::move(options))) {}
+
+ExploreClient::~ExploreClient() = default;
+
+bool ExploreClient::start() {
+  bool ok = impl_->start();
+  impl_->everStarted = impl_->everStarted || ok;
+  return ok;
+}
+
+bool ExploreClient::running() { return impl_->runningNow(); }
+
+int ExploreClient::stop() { return impl_->stop(); }
+
+void ExploreClient::killServer() { impl_->kill(); }
+
+bool ExploreClient::sendLine(const std::string& line) {
+  return impl_->sendLine(line);
+}
+
+std::optional<std::string> ExploreClient::readLine() {
+  return impl_->readLine();
+}
+
+std::optional<std::string> ExploreClient::request(const std::string& line) {
+  return impl_->request(line);
+}
+
+ClientStats ExploreClient::stats() const { return impl_->stats; }
+
+int ExploreClient::pid() const { return impl_->pid; }
+
+}  // namespace tensorlib::driver

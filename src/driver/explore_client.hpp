@@ -1,0 +1,92 @@
+// Retrying JSONL client for a resident explore_server (--serve mode).
+//
+// The client owns the server as a child process: it spawns the configured
+// command with pipes on stdin/stdout, speaks one JSON object per line in
+// each direction, and wraps that transport in the retry discipline a
+// resident daemon demands:
+//
+//   * Overload backoff: an `{"error": "overloaded", ...}` response is not a
+//     failure — the daemon shed load. request() sleeps with exponential
+//     backoff (initialBackoffMs doubling up to maxBackoffMs) and resends.
+//   * Crash recovery: a dead child (EOF on its stdout, failed write) is
+//     detected, reaped, and — when autoRestart is set — respawned before
+//     the request is retried. A server restarted from its snapshot answers
+//     warm, which is what tools/chaos_runner exercises end to end.
+//
+// The transport is deliberately dumb (blocking FILE* line I/O, no threads)
+// so its failure modes are enumerable; it is the reference client for
+// docs/PROTOCOL.md and the harness chaos tests are built on.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tensorlib::driver {
+
+struct ClientOptions {
+  /// argv for the server child, e.g. {"./explore_server", "--serve", ...}.
+  std::vector<std::string> command;
+  /// Extra KEY=VALUE environment entries for the child (appended to the
+  /// parent environment; used to arm TENSORLIB_FAULTS in chaos runs).
+  std::vector<std::string> env;
+  /// request() attempts before giving up (spawn + send + read = 1 attempt).
+  int maxAttempts = 8;
+  std::int64_t initialBackoffMs = 10;
+  std::int64_t maxBackoffMs = 1000;
+  /// Respawn a dead child on the next request instead of failing.
+  bool autoRestart = true;
+};
+
+struct ClientStats {
+  std::uint64_t requests = 0;   ///< request() calls that got a response
+  std::uint64_t retries = 0;    ///< overload backoffs + resends after death
+  std::uint64_t restarts = 0;   ///< child respawns after start()
+};
+
+class ExploreClient {
+ public:
+  explicit ExploreClient(ClientOptions options);
+  /// Kills (SIGKILL) and reaps any running child.
+  ~ExploreClient();
+  ExploreClient(const ExploreClient&) = delete;
+  ExploreClient& operator=(const ExploreClient&) = delete;
+
+  /// Spawns the server child. Returns false if the pipes or fork failed
+  /// (exec failure surfaces as immediate EOF on the first read). No-op
+  /// true when already running.
+  bool start();
+
+  /// True iff a child is running (reaps it first if it just exited).
+  bool running();
+
+  /// Graceful stop: sends `{"shutdown": true}`, waits for exit (bounded),
+  /// escalating to SIGKILL. Returns the child's raw wait status, -1 if
+  /// none was running.
+  int stop();
+
+  /// SIGKILL + reap — the crash half of a chaos cycle.
+  void killServer();
+
+  /// Raw transport: one line out / one line in. sendLine returns false on
+  /// a dead child; readLine returns nullopt on EOF. Both mark the child
+  /// dead for request() to recover from.
+  bool sendLine(const std::string& line);
+  std::optional<std::string> readLine();
+
+  /// Sends one request line and returns the matching response line,
+  /// retrying through overload rejections (exponential backoff) and — with
+  /// autoRestart — child death. nullopt when maxAttempts is exhausted.
+  std::optional<std::string> request(const std::string& line);
+
+  ClientStats stats() const;
+  int pid() const;  ///< child pid, -1 when not running
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace tensorlib::driver

@@ -1,6 +1,9 @@
 #include "driver/explore_service.hpp"
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <cstdlib>
 #include <deque>
 #include <mutex>
 #include <sstream>
@@ -10,6 +13,7 @@
 
 #include "sim/perf.hpp"
 #include "support/error.hpp"
+#include "support/fault.hpp"
 #include "support/threadpool.hpp"
 
 namespace tensorlib::driver {
@@ -94,6 +98,10 @@ struct ExplorationService::Impl {
     std::once_flag once;
     sim::PerfResult perf;
     cost::CostReport cost;
+    /// Set (release) after `once` ran: snapshot export must only persist
+    /// entries whose values are actually populated, and the once_flag
+    /// itself cannot be queried.
+    std::atomic<bool> ready{false};
   };
 
   struct EvalShard {
@@ -188,8 +196,34 @@ struct ExplorationService::Impl {
     std::call_once(entry->once, [&] {
       entry->perf = backend.estimatePerf(spec, array, mappings.get());
       entry->cost = backend.evaluate(spec, array, mappings.get());
+      entry->ready.store(true, std::memory_order_release);
     });
     return *entry;
+  }
+
+  /// Installs a restored evaluation under `key` unless one is already
+  /// resident (live entries win — they are at least as fresh). Registers
+  /// neither a hit nor a miss: restored warmth shows up as hits when
+  /// queries actually touch it.
+  bool importEval(const std::string& key, const sim::PerfResult& perf,
+                  const cost::CostReport& cost) {
+    EvalShard& shard = shards[std::hash<std::string>{}(key) % shards.size()];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.map.count(key) > 0) return false;
+    auto entry = std::make_shared<EvalEntry>();
+    std::call_once(entry->once, [&] {
+      entry->perf = perf;
+      entry->cost = cost;
+      entry->ready.store(true, std::memory_order_release);
+    });
+    shard.map.emplace(key, std::move(entry));
+    shard.fifo.push_back(key);
+    while (shard.map.size() > perShardCapacity()) {
+      shard.map.erase(shard.fifo.front());
+      shard.fifo.pop_front();
+      ++shard.evictions;
+    }
+    return true;
   }
 
   std::shared_ptr<const std::vector<stt::DataflowSpec>> specList(
@@ -263,9 +297,26 @@ std::vector<QueryResult> ExplorationService::runBatch(
   struct UnitOut {
     ParetoFrontier frontier;
     std::unordered_map<std::size_t, DesignReport> kept;  ///< order -> report
-    std::uint64_t hits = 0, misses = 0, pruned = 0;
+    std::uint64_t hits = 0, misses = 0, pruned = 0, skipped = 0;
   };
   std::vector<UnitOut> outs(units.size());
+
+  // Per-query deadlines, measured from batch entry. A query whose deadline
+  // expires stops mid-unit; its remaining candidates count as `skipped`
+  // and the result is marked timedOut with the partial frontier.
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point started = Clock::now();
+  struct DeadlineState {
+    Clock::time_point at{};
+    bool armed = false;
+    std::atomic<bool> expired{false};
+  };
+  std::vector<DeadlineState> deadlines(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (batch[i].deadlineMs <= 0) continue;
+    deadlines[i].armed = true;
+    deadlines[i].at = started + std::chrono::milliseconds(batch[i].deadlineMs);
+  }
 
   // Per-query incumbent frontiers shared across that query's work units:
   // each completed unit publishes its survivors, each starting unit
@@ -286,6 +337,18 @@ std::vector<QueryResult> ExplorationService::runBatch(
     const auto& specs = *lists[unit.query];
     const cost::CostBackend& backend = *backends[unit.query];
     UnitOut& out = outs[u];
+    DeadlineState& deadline = deadlines[unit.query];
+    // Rehearsable failure boundary: the chaos harness arms slow units
+    // (deadline/overload drills), thrown units (error responses), and
+    // mid-batch process exits (crash-recovery drills) here.
+    if (const auto fault = support::fireFault("work_unit")) {
+      if (fault->action == "sleep")
+        std::this_thread::sleep_for(std::chrono::milliseconds(fault->value));
+      else if (fault->action == "throw")
+        fail("injected work_unit fault");
+      else if (fault->action == "exit")
+        std::_Exit(static_cast<int>(fault->value));
+    }
     ParetoFrontier snapshot;
     if (prune) {
       std::lock_guard<std::mutex> lock(incumbents[unit.query].mutex);
@@ -293,6 +356,12 @@ std::vector<QueryResult> ExplorationService::runBatch(
     }
     std::vector<std::size_t> evicted;
     for (std::size_t i = unit.begin; i < unit.end; ++i) {
+      if (deadline.armed && (deadline.expired.load(std::memory_order_relaxed) ||
+                             Clock::now() >= deadline.at)) {
+        deadline.expired.store(true, std::memory_order_relaxed);
+        out.skipped += unit.end - i;
+        break;
+      }
       const stt::DataflowSpec& spec = specs[i];
       const std::string key = prefixes[unit.query] + specKey(spec);
       std::shared_ptr<Impl::EvalEntry> entry;
@@ -349,6 +418,7 @@ std::vector<QueryResult> ExplorationService::runBatch(
       results[i].cache.hits += out.hits;
       results[i].cache.misses += out.misses;
       results[i].cache.pruned += out.pruned;
+      results[i].cache.skipped += out.skipped;
       for (const ParetoEntry& e : out.frontier.entries()) {
         pruned.clear();
         if (frontier.insert(e, &pruned))
@@ -358,6 +428,11 @@ std::vector<QueryResult> ExplorationService::runBatch(
     }
     const std::vector<ParetoEntry> ordered = frontier.sorted();
     results[i].designs = lists[i]->size();
+    results[i].timedOut = deadlines[i].expired.load(std::memory_order_relaxed);
+    const QueryCacheCounts& c = results[i].cache;
+    TL_CHECK(c.hits + c.misses + c.pruned + c.skipped == results[i].designs,
+             "cache accounting broken: every design must be exactly one of "
+             "hit/miss/pruned/skipped");
     results[i].frontier.reserve(ordered.size());
     for (const ParetoEntry& e : ordered)
       results[i].frontier.push_back(std::move(kept.at(e.order)));
@@ -459,6 +534,132 @@ void ExplorationService::clearCache() {
   std::lock_guard<std::mutex> lock(impl_->specMutex);
   impl_->specMap.clear();
   impl_->specFifo.clear();
+}
+
+bool ExplorationService::saveSnapshot(const std::string& path,
+                                      const std::string& fingerprint) const {
+  namespace snap = snapshot;
+  snap::Writer w;
+  w.str(fingerprint);
+
+  // Candidate-matrix memo (process-wide; shared by every service).
+  const auto candidates = stt::exportCandidateCache();
+  w.u64(candidates.size());
+  for (const stt::CandidateCacheEntry& entry : candidates) {
+    w.i64(entry.maxEntry);
+    w.u8(static_cast<std::uint8_t>((entry.requireUnimodular ? 1 : 0) |
+                                   (entry.canonicalize ? 2 : 0) |
+                                   (entry.legacyEngine ? 4 : 0)));
+    w.u64(entry.matrices->size());
+    for (const linalg::IntMatrix& m : *entry.matrices) snap::writeMatrix(w, m);
+  }
+
+  // Tile-mapping memo.
+  const auto mappings =
+      impl_->mappings ? impl_->mappings->exportEntries()
+                      : std::vector<std::pair<
+                            std::string, std::shared_ptr<const stt::TileMapping>>>{};
+  w.u64(mappings.size());
+  for (const auto& [key, mapping] : mappings) {
+    w.str(key);
+    snap::writeMapping(w, *mapping);
+  }
+
+  // Eval cache: only entries whose evaluation completed (an in-flight
+  // once_flag's values are garbage) — collected under the shard locks.
+  std::vector<std::pair<std::string, std::shared_ptr<Impl::EvalEntry>>> evals;
+  for (const auto& shard : impl_->shards) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const std::string& key : shard.fifo) {
+      const auto it = shard.map.find(key);
+      if (it == shard.map.end()) continue;
+      if (!it->second->ready.load(std::memory_order_acquire)) continue;
+      evals.emplace_back(key, it->second);
+    }
+  }
+  w.u64(evals.size());
+  for (const auto& [key, entry] : evals) {
+    w.str(key);
+    snap::writePerf(w, entry->perf);
+    snap::writeCost(w, entry->cost);
+  }
+
+  return snap::writeSnapshotFile(path, w.takeBuffer());
+}
+
+snapshot::RestoreResult ExplorationService::restoreSnapshot(
+    const std::string& path, const std::string& fingerprint) {
+  namespace snap = snapshot;
+  snap::RestoreResult result;
+  const auto payload =
+      snap::readSnapshotFile(path, &result.status, &result.message);
+  if (!payload) return result;
+
+  // Decode the WHOLE payload into staging containers before touching any
+  // live cache: a snapshot that fails mid-decode leaves the service
+  // exactly as cold as it was, never half-populated.
+  std::vector<stt::CandidateCacheEntry> candidateLists;
+  std::vector<std::pair<std::string, std::shared_ptr<const stt::TileMapping>>>
+      mappingEntries;
+  std::vector<std::tuple<std::string, sim::PerfResult, cost::CostReport>> evals;
+  try {
+    snap::Reader r(*payload);
+    const std::string snapshotFingerprint = r.str();
+    if (snapshotFingerprint != fingerprint) {
+      result.status = snap::RestoreStatus::ConfigMismatch;
+      result.message = "snapshot fingerprint '" + snapshotFingerprint +
+                       "' != expected '" + fingerprint + "'";
+      return result;
+    }
+
+    const std::uint64_t lists = r.u64();
+    for (std::uint64_t i = 0; i < lists; ++i) {
+      stt::CandidateCacheEntry entry;
+      entry.maxEntry = static_cast<int>(r.i64());
+      const std::uint8_t flags = r.u8();
+      entry.requireUnimodular = (flags & 1) != 0;
+      entry.canonicalize = (flags & 2) != 0;
+      entry.legacyEngine = (flags & 4) != 0;
+      const std::uint64_t count = r.u64();
+      std::vector<linalg::IntMatrix> matrices;
+      matrices.reserve(count);
+      for (std::uint64_t j = 0; j < count; ++j)
+        matrices.push_back(snap::readMatrix(r));
+      entry.matrices = std::make_shared<const std::vector<linalg::IntMatrix>>(
+          std::move(matrices));
+      candidateLists.push_back(std::move(entry));
+    }
+
+    const std::uint64_t mappings = r.u64();
+    for (std::uint64_t i = 0; i < mappings; ++i) {
+      std::string key = r.str();
+      auto mapping =
+          std::make_shared<const stt::TileMapping>(snap::readMapping(r));
+      mappingEntries.emplace_back(std::move(key), std::move(mapping));
+    }
+
+    const std::uint64_t entries = r.u64();
+    for (std::uint64_t i = 0; i < entries; ++i) {
+      std::string key = r.str();
+      sim::PerfResult perf = snap::readPerf(r);
+      cost::CostReport cost = snap::readCost(r);
+      evals.emplace_back(std::move(key), perf, std::move(cost));
+    }
+
+    TL_CHECK(r.done(), "snapshot payload has trailing bytes");
+  } catch (const Error& e) {
+    result.status = snap::RestoreStatus::Corrupt;
+    result.message = e.what();
+    return result;
+  }
+
+  result.candidateLists = stt::importCandidateCache(candidateLists);
+  if (impl_->mappings)
+    result.mappingEntries = impl_->mappings->importEntries(mappingEntries);
+  for (const auto& [key, perf, cost] : evals)
+    if (impl_->importEval(key, perf, cost)) ++result.evalEntries;
+  result.status = snap::RestoreStatus::Restored;
+  return result;
 }
 
 ExplorationService& ExplorationService::shared() {

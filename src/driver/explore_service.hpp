@@ -42,6 +42,7 @@
 #include "cost/backend.hpp"
 #include "driver/pareto.hpp"
 #include "driver/session.hpp"
+#include "driver/snapshot.hpp"
 
 namespace tensorlib::driver {
 
@@ -57,6 +58,13 @@ struct ExploreQuery {
   int dataWidth = 16;        ///< ASIC datapath width (ignored by FPGA)
   cost::FpgaConfig fpga;     ///< FPGA backend configuration (ignored by ASIC)
   stt::EnumerationOptions enumeration;
+  /// Wall-clock budget in milliseconds, measured from the moment
+  /// runBatch() starts; 0 = no deadline. An expired query stops evaluating,
+  /// returns the frontier of what it did evaluate, and is marked
+  /// QueryResult::timedOut — the daemon's way of answering under overload
+  /// instead of holding a client forever. Timed-out results are PARTIAL:
+  /// the bit-identity guarantees apply only to queries that finish.
+  std::int64_t deadlineMs = 0;
 };
 
 /// Evaluation-cache traffic attributable to one query. Exact on a
@@ -69,8 +77,12 @@ struct QueryCacheCounts {
   /// Candidates skipped by the lower-bound dominance cut: an incumbent
   /// frontier point strictly dominated the candidate's provable lower
   /// bound, so its full evaluation was provably irrelevant to the frontier.
-  /// hits + misses + pruned == designs for run()/runBatch().
   std::uint64_t pruned = 0;
+  /// Candidates never reached because the query's deadline expired first.
+  /// Every enumerated design lands in exactly one bucket:
+  /// hits + misses + pruned + skipped == designs for run()/runBatch()
+  /// (skipped == 0 unless the query timed out).
+  std::uint64_t skipped = 0;
 };
 
 struct QueryResult {
@@ -82,6 +94,10 @@ struct QueryResult {
   std::optional<DesignReport> best;
   std::size_t designs = 0;  ///< design points in the enumerated space
   QueryCacheCounts cache;
+  /// True iff the query's deadline expired before every design point was
+  /// handled; the frontier (and best) then cover only the evaluated prefix
+  /// of the space and carry no bit-identity guarantee.
+  bool timedOut = false;
 };
 
 struct CacheStats {
@@ -150,6 +166,26 @@ class ExplorationService {
   CacheStats cacheStats() const;
   /// Drops all cached evaluations and spec lists and zeroes the stats.
   void clearCache();
+
+  /// Serializes the warm state — every completed eval-cache entry, the
+  /// tile-mapping memo, and the process-wide candidate-matrix memo — into
+  /// a versioned, checksummed snapshot written atomically (tmp + rename;
+  /// see driver/snapshot.*). `fingerprint` is the cache-schema
+  /// compatibility string (snapshot::cacheSchemaFingerprint) a restore
+  /// must present again. Returns false on I/O failure or an injected
+  /// `snapshot_write=fail` fault; the previous snapshot, if any, is left
+  /// intact on failure. Safe to call concurrently with queries (entries
+  /// are exported under the shard locks).
+  bool saveSnapshot(const std::string& path,
+                    const std::string& fingerprint) const;
+
+  /// Restores a snapshot into this service's caches (and the candidate
+  /// memo). A missing, truncated, corrupted, version-mismatched or
+  /// fingerprint-mismatched snapshot degrades to a clean cold start: the
+  /// result carries the reason, nothing is half-populated, and no failure
+  /// ever throws. Intended to be called once, before serving traffic.
+  snapshot::RestoreResult restoreSnapshot(const std::string& path,
+                                          const std::string& fingerprint);
 
   /// Process-wide instance Sessions delegate to (hardware-sized pool,
   /// default capacities).

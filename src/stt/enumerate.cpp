@@ -352,6 +352,44 @@ void clearCandidateCache() {
   cache.fifo.clear();
 }
 
+std::vector<CandidateCacheEntry> exportCandidateCache() {
+  CandidateCache& cache = CandidateCache::instance();
+  std::lock_guard<std::mutex> lock(cache.mutex);
+  std::vector<CandidateCacheEntry> out;
+  out.reserve(cache.fifo.size());
+  for (const CandidateCache::Key& key : cache.fifo) {
+    const auto it = cache.map.find(key);
+    if (it == cache.map.end()) continue;
+    CandidateCacheEntry entry;
+    std::tie(entry.maxEntry, entry.requireUnimodular, entry.canonicalize,
+             entry.legacyEngine) = key;
+    entry.matrices = it->second;
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+std::size_t importCandidateCache(const std::vector<CandidateCacheEntry>& entries) {
+  CandidateCache& cache = CandidateCache::instance();
+  std::lock_guard<std::mutex> lock(cache.mutex);
+  std::size_t inserted = 0;
+  for (const CandidateCacheEntry& entry : entries) {
+    if (!entry.matrices) continue;
+    const CandidateCache::Key key = std::make_tuple(
+        entry.maxEntry, entry.requireUnimodular, entry.canonicalize,
+        entry.legacyEngine);
+    if (!cache.map.try_emplace(key, entry.matrices).second) continue;
+    cache.fifo.push_back(key);
+    ++inserted;
+    while (cache.map.size() > cache.capacity) {
+      cache.map.erase(cache.fifo.front());
+      cache.fifo.pop_front();
+      ++cache.stats.evictions;
+    }
+  }
+  return inserted;
+}
+
 std::size_t setCandidateCacheCapacity(std::size_t capacity) {
   CandidateCache& cache = CandidateCache::instance();
   std::lock_guard<std::mutex> lock(cache.mutex);

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -36,6 +37,27 @@ void clearCandidateCache();
 /// Sets the memo's capacity (distinct option keys kept); returns the
 /// previous capacity. Values below 1 clamp to 1.
 std::size_t setCandidateCacheCapacity(std::size_t capacity);
+
+/// One memoized candidate-matrix list together with the option key that
+/// produced it — the unit of candidate-memo snapshot/restore (see
+/// driver/snapshot.*). The four key fields are exactly the
+/// EnumerationOptions knobs candidateMatrices() is keyed by.
+struct CandidateCacheEntry {
+  int maxEntry = 1;
+  bool requireUnimodular = true;
+  bool canonicalize = true;
+  bool legacyEngine = false;
+  std::shared_ptr<const std::vector<linalg::IntMatrix>> matrices;
+};
+
+/// The memo's current contents in FIFO (insertion) order.
+std::vector<CandidateCacheEntry> exportCandidateCache();
+
+/// Re-inserts exported entries, oldest first (insert-if-absent: a resident
+/// list for the same key wins, and capacity-driven FIFO eviction still
+/// applies). Counts as neither hit nor miss; returns how many entries were
+/// actually inserted.
+std::size_t importCandidateCache(const std::vector<CandidateCacheEntry>& entries);
 
 /// Design-space generation controls. The first six knobs define WHICH
 /// specs exist; the performance knobs below never change the spec list.

@@ -294,6 +294,40 @@ void MappingCache::clear() {
   }
 }
 
+std::vector<std::pair<std::string, std::shared_ptr<const TileMapping>>>
+MappingCache::exportEntries() const {
+  std::vector<std::pair<std::string, std::shared_ptr<const TileMapping>>> out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const std::string& key : shard.fifo) {
+      const auto it = shard.map.find(key);
+      if (it != shard.map.end()) out.emplace_back(key, it->second);
+    }
+  }
+  return out;
+}
+
+std::size_t MappingCache::importEntries(
+    const std::vector<std::pair<std::string, std::shared_ptr<const TileMapping>>>&
+        entries) {
+  std::size_t inserted = 0;
+  for (const auto& [key, mapping] : entries) {
+    if (!mapping) continue;
+    Shard& shard = shards_[std::hash<std::string>{}(key) % shards_.size()];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto [it, fresh] = shard.map.try_emplace(key, mapping);
+    if (!fresh) continue;
+    shard.fifo.push_back(it->first);
+    ++inserted;
+    while (shard.map.size() > perShardCapacity_) {
+      shard.map.erase(shard.fifo.front());
+      shard.fifo.pop_front();
+      ++shard.evictions;
+    }
+  }
+  return inserted;
+}
+
 std::shared_ptr<const TileMapping> computeMappingCached(
     const DataflowSpec& spec, const ArrayConfig& config, MappingCache* cache) {
   if (cache != nullptr) return cache->get(spec, config);

@@ -17,6 +17,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "stt/spec.hpp"
@@ -102,6 +103,21 @@ class MappingCache {
 
   MappingCacheStats stats() const;
   void clear();
+
+  /// The memo's resident records as opaque (key, mapping) pairs, in shard
+  /// then insertion order — the unit of snapshot/restore (see
+  /// driver/snapshot.*). Keys are produced internally by the exact-read-set
+  /// key function, so a restored record only ever answers a lookup that
+  /// would have recomputed the identical mapping.
+  std::vector<std::pair<std::string, std::shared_ptr<const TileMapping>>>
+  exportEntries() const;
+
+  /// Re-inserts exported records (insert-if-absent: resident entries win,
+  /// and per-shard FIFO capacity still applies). Counts as neither hit nor
+  /// miss; returns how many records were actually inserted.
+  std::size_t importEntries(
+      const std::vector<std::pair<std::string, std::shared_ptr<const TileMapping>>>&
+          entries);
 
  private:
   struct Shard {

@@ -1,0 +1,120 @@
+#include "support/fault.hpp"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace tensorlib::support {
+
+namespace {
+
+struct ArmedFault {
+  std::string point;
+  FaultAction action;
+  std::int64_t occurrence = 1;  ///< 1-based trigger call; 0 = every call
+  bool spent = false;
+};
+
+}  // namespace
+
+struct FaultInjector::Impl {
+  mutable std::mutex mutex;
+  std::vector<ArmedFault> faults;
+  std::map<std::string, std::uint64_t> calls;      ///< fire() invocations
+  std::map<std::string, std::uint64_t> triggers;   ///< actual triggers
+};
+
+FaultInjector::FaultInjector() : impl_(new Impl) {
+  if (const char* env = std::getenv("TENSORLIB_FAULTS"))
+    if (*env != '\0') arm(env);
+}
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::arm(const std::string& spec) {
+  // point=action[:value][@occurrence], comma separated.
+  std::vector<ArmedFault> parsed;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    std::size_t end = spec.find(',', begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = spec.substr(begin, end - begin);
+    begin = end + 1;
+    if (item.find_first_not_of(" \t") == std::string::npos) continue;
+
+    const std::size_t eq = item.find('=');
+    require(eq != std::string::npos && eq > 0,
+            "fault spec '" + item + "' missing 'point=action'");
+    ArmedFault f;
+    f.point = item.substr(0, eq);
+    std::string rest = item.substr(eq + 1);
+
+    const std::size_t at = rest.find('@');
+    if (at != std::string::npos) {
+      const std::string occ = rest.substr(at + 1);
+      try {
+        f.occurrence = std::stoll(occ);
+      } catch (const std::exception&) {
+        fail("fault spec '" + item + "' has malformed occurrence '" + occ + "'");
+      }
+      require(f.occurrence >= 0,
+              "fault spec '" + item + "' occurrence must be >= 0");
+      rest = rest.substr(0, at);
+    }
+    const std::size_t colon = rest.find(':');
+    if (colon != std::string::npos) {
+      const std::string value = rest.substr(colon + 1);
+      try {
+        f.action.value = std::stoll(value);
+      } catch (const std::exception&) {
+        fail("fault spec '" + item + "' has malformed value '" + value + "'");
+      }
+      rest = rest.substr(0, colon);
+    }
+    require(!rest.empty(), "fault spec '" + item + "' has empty action");
+    f.action.action = rest;
+    parsed.push_back(std::move(f));
+  }
+
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (auto& f : parsed) impl_->faults.push_back(std::move(f));
+  armed_.store(!impl_->faults.empty(), std::memory_order_release);
+}
+
+void FaultInjector::disarm() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->faults.clear();
+  impl_->calls.clear();
+  impl_->triggers.clear();
+  armed_.store(false, std::memory_order_release);
+}
+
+std::optional<FaultAction> FaultInjector::fire(const std::string& point) {
+  if (!armed_.load(std::memory_order_acquire)) return std::nullopt;
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const std::uint64_t call = ++impl_->calls[point];
+  for (ArmedFault& f : impl_->faults) {
+    if (f.spent || f.point != point) continue;
+    const bool hits = f.occurrence == 0 ||
+                      call == static_cast<std::uint64_t>(f.occurrence);
+    if (!hits) continue;
+    if (f.occurrence != 0) f.spent = true;
+    ++impl_->triggers[point];
+    return f.action;
+  }
+  return std::nullopt;
+}
+
+std::uint64_t FaultInjector::triggered(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const auto it = impl_->triggers.find(point);
+  return it == impl_->triggers.end() ? 0 : it->second;
+}
+
+}  // namespace tensorlib::support

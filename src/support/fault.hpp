@@ -1,0 +1,81 @@
+// Deterministic fault injection for robustness testing.
+//
+// Long-running services survive because their failure paths are rehearsed,
+// not discovered. The FaultInjector lets tests and the chaos harness arm
+// named fault points that production code fires at its failure-prone
+// boundaries (snapshot writes, work units); a disarmed injector costs one
+// relaxed atomic load per fire, so the hooks stay in release builds.
+//
+// Fault points currently wired into the library:
+//   snapshot_write   in driver/snapshot atomic file write
+//                      actions: fail (write reports failure),
+//                               corrupt (one payload byte flipped),
+//                               truncate (half the file dropped)
+//   work_unit        per scheduled evaluation work unit in
+//                      ExplorationService::runBatch
+//                      actions: sleep (value = milliseconds),
+//                               throw (tensorlib::Error),
+//                               exit (immediate _Exit(value), simulating a
+//                                     crash mid-batch)
+//
+// Arming is programmatic (arm()) or via the TENSORLIB_FAULTS environment
+// variable, read once at first use so spawned child processes inherit
+// their faults:
+//
+//   TENSORLIB_FAULTS="snapshot_write=fail,work_unit=sleep:20@0"
+//
+// Grammar: comma-separated `point=action[:value][@occurrence]`.
+//   value       integer parameter (milliseconds, exit code); default 0.
+//   occurrence  1-based call index at which the fault fires once
+//               (default 1 = first call); `@0` fires on EVERY call.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace tensorlib::support {
+
+/// The action a fired fault point must carry out.
+struct FaultAction {
+  std::string action;      ///< "fail", "corrupt", "sleep", "throw", ...
+  std::int64_t value = 0;  ///< action parameter (ms, exit code, ...)
+};
+
+class FaultInjector {
+ public:
+  /// Process-wide injector; TENSORLIB_FAULTS is parsed on first call.
+  static FaultInjector& instance();
+
+  /// Parses and arms a fault spec (see grammar above). Throws
+  /// tensorlib::Error on malformed specs. Arming appends — existing armed
+  /// faults stay armed.
+  void arm(const std::string& spec);
+
+  /// Clears every armed fault and every call counter.
+  void disarm();
+
+  /// Fires a fault point: increments the point's call counter and returns
+  /// the armed action whose occurrence matches, if any. One-shot faults
+  /// (occurrence >= 1) trigger exactly once; `@0` faults trigger on every
+  /// call. Near-free when nothing is armed.
+  std::optional<FaultAction> fire(const std::string& point);
+
+  /// How many times `point` has triggered (not merely been called) since
+  /// the last disarm().
+  std::uint64_t triggered(const std::string& point) const;
+
+ private:
+  FaultInjector();
+  struct Impl;
+  Impl* impl_;
+  std::atomic<bool> armed_{false};
+};
+
+/// Convenience: FaultInjector::instance().fire(point).
+inline std::optional<FaultAction> fireFault(const std::string& point) {
+  return FaultInjector::instance().fire(point);
+}
+
+}  // namespace tensorlib::support

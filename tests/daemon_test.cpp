@@ -1,0 +1,236 @@
+// Resident-daemon robustness tests: bounded admission with per-client
+// fairness, overload shedding, deadline expiry with exact cache-bucket
+// accounting, drain-on-shutdown, and snapshot-backed warm restart.
+#include "driver/daemon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "stt/enumerate.hpp"
+#include "support/fault.hpp"
+#include "tensor/workloads.hpp"
+
+namespace tensorlib::driver {
+namespace {
+
+namespace wl = tensor::workloads;
+
+ExploreQuery smallQuery(Objective objective = Objective::Performance) {
+  ExploreQuery q(wl::gemm(5, 5, 5));
+  q.array.rows = q.array.cols = 4;
+  q.objective = objective;
+  return q;
+}
+
+class DaemonTest : public ::testing::Test {
+ protected:
+  void SetUp() override { support::FaultInjector::instance().disarm(); }
+  void TearDown() override { support::FaultInjector::instance().disarm(); }
+};
+
+TEST_F(DaemonTest, RunOneAnswersLikeABareService) {
+  ExplorationDaemon daemon;
+  const auto outcome = daemon.runOne("tester", smallQuery());
+  ASSERT_TRUE(outcome.has_value());
+  ASSERT_FALSE(outcome->failed());
+
+  ExplorationService reference;
+  const auto expected = reference.run(smallQuery());
+  ASSERT_EQ(outcome->result->frontier.size(), expected.frontier.size());
+  for (std::size_t i = 0; i < expected.frontier.size(); ++i) {
+    EXPECT_EQ(outcome->result->frontier[i].spec.label(),
+              expected.frontier[i].spec.label());
+    EXPECT_EQ(outcome->result->frontier[i].perf.totalCycles,
+              expected.frontier[i].perf.totalCycles);
+  }
+}
+
+TEST_F(DaemonTest, OverloadShedsInsteadOfQueueingUnboundedly) {
+  // One worker, one queue slot, and every work unit slowed: the first
+  // request occupies the worker, the second the queue, the rest must shed.
+  support::FaultInjector::instance().arm("work_unit=sleep:20@0");
+  DaemonOptions options;
+  options.workers = 1;
+  options.queueBound = 1;
+  options.perClientQueueBound = 1;
+  ExplorationDaemon daemon(options);
+
+  std::atomic<int> completions{0};
+  auto onDone = [&completions](ExplorationDaemon::Outcome) { ++completions; };
+
+  int accepted = 0, overloaded = 0;
+  for (int i = 0; i < 6; ++i) {
+    const auto admission = daemon.submit("client", smallQuery(), onDone);
+    if (admission == Admission::Accepted) ++accepted;
+    if (admission == Admission::Overloaded) ++overloaded;
+  }
+  EXPECT_GE(accepted, 1);
+  EXPECT_GE(overloaded, 1);
+  daemon.shutdown();  // drains everything that was admitted
+  EXPECT_EQ(completions.load(), accepted);
+  const auto stats = daemon.stats();
+  EXPECT_EQ(stats.accepted, static_cast<std::uint64_t>(accepted));
+  EXPECT_EQ(stats.rejectedOverloaded, static_cast<std::uint64_t>(overloaded));
+  EXPECT_EQ(stats.completed, static_cast<std::uint64_t>(accepted));
+}
+
+TEST_F(DaemonTest, PerClientBoundKeepsOtherClientsAdmissible) {
+  support::FaultInjector::instance().arm("work_unit=sleep:50@0");
+  DaemonOptions options;
+  options.workers = 1;
+  options.queueBound = 16;
+  options.perClientQueueBound = 1;
+  ExplorationDaemon daemon(options);
+
+  auto ignore = [](ExplorationDaemon::Outcome) {};
+  // Flood one client past its share.
+  int floodAccepted = 0;
+  for (int i = 0; i < 4; ++i)
+    if (daemon.submit("flooder", smallQuery(), ignore) == Admission::Accepted)
+      ++floodAccepted;
+  // The flooder saturates its own slot (one running + one queued, plus at
+  // most one mid-loop dequeue)...
+  EXPECT_LE(floodAccepted, 3);
+  // ...but a well-behaved client still gets in under the global bound.
+  EXPECT_EQ(daemon.submit("polite", smallQuery(), ignore),
+            Admission::Accepted);
+  daemon.shutdown();
+}
+
+TEST_F(DaemonTest, DeadlineExpiryReturnsPartialWithExactAccounting) {
+  support::FaultInjector::instance().arm("work_unit=sleep:30@0");
+  ExplorationDaemon daemon;
+  auto query = smallQuery();
+  query.deadlineMs = 1;
+  const auto outcome = daemon.runOne("tester", query);
+  ASSERT_TRUE(outcome.has_value());
+  ASSERT_FALSE(outcome->failed());
+  const auto& r = *outcome->result;
+  EXPECT_TRUE(r.timedOut);
+  EXPECT_GT(r.cache.skipped, 0u);
+  // Every enumerated design lands in exactly one bucket even when the
+  // deadline cuts the query short.
+  EXPECT_EQ(r.cache.hits + r.cache.misses + r.cache.pruned + r.cache.skipped,
+            r.designs);
+}
+
+TEST_F(DaemonTest, DefaultDeadlineIsStampedOntoRequests) {
+  support::FaultInjector::instance().arm("work_unit=sleep:30@0");
+  DaemonOptions options;
+  options.defaultDeadlineMs = 1;
+  ExplorationDaemon daemon(options);
+  const auto outcome = daemon.runOne("tester", smallQuery());
+  ASSERT_TRUE(outcome.has_value());
+  ASSERT_FALSE(outcome->failed());
+  EXPECT_TRUE(outcome->result->timedOut);
+  EXPECT_EQ(daemon.stats().timedOut, 1u);
+}
+
+TEST_F(DaemonTest, GenerousDeadlineChangesNothing) {
+  ExplorationDaemon daemon;
+  auto bounded = smallQuery();
+  bounded.deadlineMs = 60'000;
+  const auto a = daemon.runOne("tester", bounded);
+  const auto b = daemon.runOne("tester", smallQuery());
+  ASSERT_TRUE(a.has_value() && b.has_value());
+  ASSERT_FALSE(a->failed() || b->failed());
+  EXPECT_FALSE(a->result->timedOut);
+  EXPECT_EQ(a->result->cache.skipped, 0u);
+  ASSERT_EQ(a->result->frontier.size(), b->result->frontier.size());
+  for (std::size_t i = 0; i < a->result->frontier.size(); ++i)
+    EXPECT_EQ(a->result->frontier[i].spec.label(),
+              b->result->frontier[i].spec.label());
+}
+
+TEST_F(DaemonTest, ShutdownDrainsEveryAcceptedRequest) {
+  DaemonOptions options;
+  options.workers = 2;
+  ExplorationDaemon daemon(options);
+  std::atomic<int> completions{0};
+  int accepted = 0;
+  for (int i = 0; i < 8; ++i) {
+    const auto admission = daemon.submit(
+        "client" + std::to_string(i % 3), smallQuery(),
+        [&completions](ExplorationDaemon::Outcome) { ++completions; });
+    if (admission == Admission::Accepted) ++accepted;
+  }
+  daemon.shutdown();
+  EXPECT_EQ(completions.load(), accepted);
+  // After shutdown, nothing is admitted.
+  EXPECT_EQ(daemon.submit("late", smallQuery(),
+                          [](ExplorationDaemon::Outcome) {}),
+            Admission::ShuttingDown);
+}
+
+TEST_F(DaemonTest, ExplorationFailureReachesCallbackNotTerminate) {
+  support::FaultInjector::instance().arm("work_unit=throw");
+  ExplorationDaemon daemon;
+  const auto outcome = daemon.runOne("tester", smallQuery());
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_TRUE(outcome->failed());
+  EXPECT_FALSE(outcome->error.empty());
+  EXPECT_EQ(daemon.stats().failed, 1u);
+  // The daemon keeps serving after a failed query.
+  support::FaultInjector::instance().disarm();
+  const auto next = daemon.runOne("tester", smallQuery());
+  ASSERT_TRUE(next.has_value());
+  EXPECT_FALSE(next->failed());
+}
+
+TEST_F(DaemonTest, SnapshotRoundtripThroughDaemonRestart) {
+  const std::string path = "daemon_test_restart.snap";
+  std::remove(path.c_str());
+  stt::clearCandidateCache();
+
+  DaemonOptions options;
+  options.snapshotPath = path;
+  std::vector<std::string> coldLabels;
+  {
+    ExplorationDaemon daemon(options);
+    EXPECT_EQ(daemon.restore().status, snapshot::RestoreStatus::Missing);
+    const auto outcome = daemon.runOne("tester", smallQuery());
+    ASSERT_TRUE(outcome.has_value() && !outcome->failed());
+    for (const auto& rep : outcome->result->frontier)
+      coldLabels.push_back(rep.spec.label());
+    daemon.shutdown();  // writes the snapshot
+  }
+
+  stt::clearCandidateCache();
+  {
+    ExplorationDaemon daemon(options);
+    EXPECT_TRUE(daemon.restore().restored());
+    EXPECT_GT(daemon.restore().evalEntries, 0u);
+    const auto outcome = daemon.runOne("tester", smallQuery());
+    ASSERT_TRUE(outcome.has_value() && !outcome->failed());
+    ASSERT_EQ(outcome->result->frontier.size(), coldLabels.size());
+    for (std::size_t i = 0; i < coldLabels.size(); ++i)
+      EXPECT_EQ(outcome->result->frontier[i].spec.label(), coldLabels[i]);
+    daemon.shutdown();
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(DaemonTest, SnapshotTimerWritesWithoutShutdown) {
+  const std::string path = "daemon_test_timer.snap";
+  std::remove(path.c_str());
+  DaemonOptions options;
+  options.snapshotPath = path;
+  options.snapshotIntervalMs = 10;
+  ExplorationDaemon daemon(options);
+  ASSERT_TRUE(daemon.runOne("tester", smallQuery()).has_value());
+  // Wait until the timer has demonstrably fired at least once.
+  for (int i = 0; i < 200 && daemon.stats().snapshotsSaved == 0; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GT(daemon.stats().snapshotsSaved, 0u);
+  daemon.shutdown();
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tensorlib::driver

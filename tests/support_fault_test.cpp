@@ -1,0 +1,98 @@
+// FaultInjector semantics: spec grammar, occurrence counting, one-shot vs
+// every-call faults, disarm, and the near-free disarmed fast path the
+// library-resident hooks rely on.
+#include "support/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace tensorlib::support {
+namespace {
+
+class FaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::instance().disarm(); }
+  void TearDown() override { FaultInjector::instance().disarm(); }
+};
+
+TEST_F(FaultTest, DisarmedFiresNothing) {
+  EXPECT_FALSE(fireFault("snapshot_write").has_value());
+  EXPECT_EQ(FaultInjector::instance().triggered("snapshot_write"), 0u);
+}
+
+TEST_F(FaultTest, OneShotFiresOnFirstCallOnly) {
+  FaultInjector::instance().arm("snapshot_write=fail");
+  const auto first = fireFault("snapshot_write");
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->action, "fail");
+  EXPECT_EQ(first->value, 0);
+  EXPECT_FALSE(fireFault("snapshot_write").has_value());
+  EXPECT_EQ(FaultInjector::instance().triggered("snapshot_write"), 1u);
+}
+
+TEST_F(FaultTest, OccurrenceSelectsNthCall) {
+  FaultInjector::instance().arm("work_unit=throw@3");
+  EXPECT_FALSE(fireFault("work_unit").has_value());
+  EXPECT_FALSE(fireFault("work_unit").has_value());
+  const auto third = fireFault("work_unit");
+  ASSERT_TRUE(third.has_value());
+  EXPECT_EQ(third->action, "throw");
+  EXPECT_FALSE(fireFault("work_unit").has_value());
+}
+
+TEST_F(FaultTest, OccurrenceZeroFiresEveryCall) {
+  FaultInjector::instance().arm("work_unit=sleep:7@0");
+  for (int i = 0; i < 4; ++i) {
+    const auto action = fireFault("work_unit");
+    ASSERT_TRUE(action.has_value());
+    EXPECT_EQ(action->action, "sleep");
+    EXPECT_EQ(action->value, 7);
+  }
+  EXPECT_EQ(FaultInjector::instance().triggered("work_unit"), 4u);
+}
+
+TEST_F(FaultTest, ValueParameterParsed) {
+  FaultInjector::instance().arm("work_unit=exit:42");
+  const auto action = fireFault("work_unit");
+  ASSERT_TRUE(action.has_value());
+  EXPECT_EQ(action->action, "exit");
+  EXPECT_EQ(action->value, 42);
+}
+
+TEST_F(FaultTest, CommaSeparatedSpecsArmIndependentPoints) {
+  FaultInjector::instance().arm("snapshot_write=corrupt,work_unit=sleep:5@0");
+  const auto snap = fireFault("snapshot_write");
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->action, "corrupt");
+  const auto unit = fireFault("work_unit");
+  ASSERT_TRUE(unit.has_value());
+  EXPECT_EQ(unit->action, "sleep");
+}
+
+TEST_F(FaultTest, ArmAppendsWithoutClearing) {
+  FaultInjector::instance().arm("work_unit=throw@1");
+  FaultInjector::instance().arm("work_unit=sleep:3@2");
+  EXPECT_EQ(fireFault("work_unit")->action, "throw");
+  EXPECT_EQ(fireFault("work_unit")->action, "sleep");
+}
+
+TEST_F(FaultTest, DisarmClearsFaultsAndCounters) {
+  FaultInjector::instance().arm("work_unit=throw@0");
+  ASSERT_TRUE(fireFault("work_unit").has_value());
+  FaultInjector::instance().disarm();
+  EXPECT_FALSE(fireFault("work_unit").has_value());
+  EXPECT_EQ(FaultInjector::instance().triggered("work_unit"), 0u);
+}
+
+TEST_F(FaultTest, MalformedSpecsThrow) {
+  EXPECT_NO_THROW(FaultInjector::instance().arm(""));  // blank = no faults
+  EXPECT_THROW(FaultInjector::instance().arm("no_equals"), Error);
+  EXPECT_THROW(FaultInjector::instance().arm("point="), Error);
+  EXPECT_THROW(FaultInjector::instance().arm("=action"), Error);
+  EXPECT_THROW(FaultInjector::instance().arm("p=a:xyz"), Error);
+  EXPECT_THROW(FaultInjector::instance().arm("p=a@xyz"), Error);
+}
+
+}  // namespace
+}  // namespace tensorlib::support

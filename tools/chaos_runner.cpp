@@ -1,0 +1,337 @@
+// chaos_runner: fault-injection harness for the resident explore_server.
+//
+//   chaos_runner --server ./explore_server            # full chaos suite
+//   chaos_runner --server ./explore_server --smoke    # one cycle (CI)
+//
+// Drives `explore_server --serve` as a child process (driver::ExploreClient)
+// through the failure modes a resident daemon must survive, checking after
+// every recovery that the server still answers the reference query set with
+// BIT-IDENTICAL responses (a baseline captured from a never-snapshotted,
+// never-faulted server; per-query cache counters are stripped before
+// comparing — warm traffic legitimately hits where cold traffic misses):
+//
+//   * graceful restart    stop (drains + snapshots) / start — must be warm
+//   * kill -9 mid-batch   crash with requests in flight; the snapshot on
+//                         disk stays whole (atomic tmp+rename)
+//   * snapshot corruption byte flip / truncation of the on-disk snapshot;
+//                         restart must log a cold start and keep answering
+//   * snapshot_write faults (TENSORLIB_FAULTS): forced write failure,
+//                         post-checksum corruption, half-file truncation
+//   * overload storm      queue bound 1 + injected per-unit sleep; the
+//                         pipelined burst must shed with "overloaded",
+//                         never block or crash, and the client's
+//                         exponential backoff must eventually get through
+//   * deadline expiry     deadline_ms=1 under injected sleep — a partial,
+//                         "timed_out" response, then full service again
+//
+// Exit codes: 0 all cycles survived, 1 divergence/crash, 2 usage.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <chrono>
+
+#include "driver/explore_client.hpp"
+
+extern "C" {
+#include <unistd.h>
+}
+
+namespace {
+
+using tensorlib::driver::ClientOptions;
+using tensorlib::driver::ExploreClient;
+
+int usage() {
+  std::printf(
+      "usage: chaos_runner --server PATH [--smoke] [--snapshot PATH]\n"
+      "Drives PATH (an explore_server binary) in --serve mode through\n"
+      "kill/restart/corrupt/overload/deadline fault cycles and checks every\n"
+      "recovery answers the reference queries bit-identically.\n");
+  return 2;
+}
+
+/// The reference query set every recovery must answer identically.
+std::vector<std::string> referenceQueries(bool smoke) {
+  std::vector<std::string> q = {
+      R"({"workload": "gemm", "rows": 4, "cols": 4, "max_entry": 1})",
+      R"({"workload": "gemm", "rows": 4, "cols": 4, "max_entry": 1, "objective": "power"})",
+      R"({"workload": "gemm", "rows": 6, "cols": 6, "max_entry": 1, "objective": "energy-delay"})",
+  };
+  if (!smoke) {
+    q.push_back(
+        R"({"workload": "gemm", "rows": 4, "cols": 4, "max_entry": 1, "backend": "fpga"})");
+    q.push_back(
+        R"({"workload": "gemm", "rows": 6, "cols": 6, "max_entry": 1, "backend": "fpga", "objective": "power"})");
+  }
+  return q;
+}
+
+/// Strips the per-run volatile parts of a response: the "query" index
+/// (monotonic per server lifetime) and the trailing "cache" counters
+/// (legitimately different warm vs cold). Everything else must match bit
+/// for bit.
+std::string canonical(const std::string& response) {
+  std::string s = response;
+  if (s.rfind("{\"query\": ", 0) == 0) {
+    const auto comma = s.find(", ");
+    if (comma != std::string::npos) s = "{" + s.substr(comma + 2);
+  }
+  const auto cache = s.rfind(", \"cache\": ");
+  if (cache != std::string::npos && s.size() >= 2 &&
+      s.compare(s.size() - 2, 2, "}}") == 0) {
+    s = s.substr(0, cache) + "}";
+  }
+  return s;
+}
+
+struct Harness {
+  std::string server;
+  std::string snapshotPath;
+  std::vector<std::string> queries;
+  std::vector<std::string> baseline;  ///< canonical reference responses
+  int faults = 0;     ///< injected faults survived so far
+  int failures = 0;   ///< divergences / crashes observed
+
+  ClientOptions clientOptions(const std::vector<std::string>& extraArgs,
+                              const std::string& faultSpec) const {
+    ClientOptions o;
+    o.command = {server, "--serve", "--snapshot", snapshotPath};
+    o.command.insert(o.command.end(), extraArgs.begin(), extraArgs.end());
+    if (!faultSpec.empty()) o.env.push_back("TENSORLIB_FAULTS=" + faultSpec);
+    return o;
+  }
+
+  void fail(const std::string& what) {
+    ++failures;
+    std::printf("  FAIL: %s\n", what.c_str());
+  }
+
+  /// Sends every reference query through `client` and checks the canonical
+  /// responses against the baseline.
+  bool checkAnswers(ExploreClient& client, const std::string& context) {
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      const auto response = client.request(queries[i]);
+      if (!response) {
+        fail(context + ": no response to query " + std::to_string(i));
+        return false;
+      }
+      if (canonical(*response) != baseline[i]) {
+        fail(context + ": divergent response to query " + std::to_string(i) +
+             "\n    got      " + canonical(*response) + "\n    expected " +
+             baseline[i]);
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Captures the baseline from a pristine server (no snapshot on disk,
+  /// no faults), leaving a fresh snapshot behind for the chaos cycles.
+  bool captureBaseline() {
+    std::remove(snapshotPath.c_str());
+    ExploreClient client(clientOptions({}, ""));
+    for (const auto& q : queries) {
+      const auto response = client.request(q);
+      if (!response) {
+        fail("baseline: server did not answer");
+        return false;
+      }
+      baseline.push_back(canonical(*response));
+    }
+    client.stop();  // graceful: drains and writes the seed snapshot
+    return true;
+  }
+
+  // ---- cycles --------------------------------------------------------------
+
+  void gracefulRestartCycle() {
+    std::printf("cycle: graceful restart\n");
+    ExploreClient client(clientOptions({}, ""));
+    if (!checkAnswers(client, "graceful restart")) return;
+    client.stop();
+    ExploreClient again(clientOptions({}, ""));
+    checkAnswers(again, "after graceful restart");
+    again.stop();
+  }
+
+  void killCycle() {
+    std::printf("cycle: kill -9 mid-batch\n");
+    ExploreClient client(clientOptions({"--snapshot-interval-ms", "20"}, ""));
+    // Pipeline the whole set without reading, then crash mid-flight.
+    for (const auto& q : queries) client.sendLine(q);
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    client.killServer();
+    ++faults;
+    // The client transparently respawns; the atomic snapshot must have
+    // survived the crash whole (or be absent — never half-written).
+    checkAnswers(client, "after kill -9");
+    client.stop();
+  }
+
+  void corruptSnapshotCycle(bool truncate) {
+    std::printf("cycle: %s snapshot on disk\n",
+                truncate ? "truncate" : "corrupt");
+    {
+      std::ifstream in(snapshotPath, std::ios::binary);
+      std::string bytes((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+      if (bytes.empty()) {
+        fail("no snapshot on disk to corrupt");
+        return;
+      }
+      if (truncate) {
+        bytes.resize(bytes.size() / 2);
+      } else {
+        bytes[bytes.size() / 2] ^= 0x40;  // land inside the payload
+      }
+      std::ofstream out(snapshotPath, std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    }
+    ++faults;
+    ExploreClient client(clientOptions({}, ""));
+    // Must cold-start (warning on stderr) and still answer identically;
+    // the graceful stop below rewrites a healthy snapshot.
+    checkAnswers(client, truncate ? "after truncated snapshot"
+                                  : "after corrupted snapshot");
+    client.stop();
+  }
+
+  void snapshotWriteFaultCycle(const std::string& action) {
+    std::printf("cycle: snapshot_write=%s fault\n", action.c_str());
+    {
+      ExploreClient client(
+          clientOptions({}, "snapshot_write=" + action + "@0"));
+      checkAnswers(client, "under snapshot_write=" + action);
+      client.stop();  // shutdown snapshot hits the fault too
+      ++faults;
+    }
+    // Next boot sees the fault's wreckage (stale, corrupt or truncated
+    // snapshot) and must recover to identical answers.
+    ExploreClient client(clientOptions({}, ""));
+    checkAnswers(client, "after snapshot_write=" + action);
+    client.stop();
+  }
+
+  void overloadStormCycle() {
+    std::printf("cycle: overload storm\n");
+    ExploreClient client(clientOptions(
+        {"--queue-bound", "1", "--client-queue-bound", "1", "--workers", "1"},
+        "work_unit=sleep:40@0"));
+    if (!client.start()) {
+      fail("overload storm: server did not start");
+      return;
+    }
+    // Pipeline a burst without reading: with one queue slot and every work
+    // unit slowed 40 ms, most of the burst must be shed.
+    const int burst = 8;
+    for (int i = 0; i < burst; ++i) client.sendLine(queries[0]);
+    int overloaded = 0, answered = 0;
+    for (int i = 0; i < burst; ++i) {
+      const auto response = client.readLine();
+      if (!response) {
+        fail("overload storm: server died mid-burst");
+        return;
+      }
+      if (response->find("\"error\": \"overloaded\"") != std::string::npos) {
+        ++overloaded;
+      } else {
+        ++answered;
+      }
+    }
+    if (overloaded == 0) fail("overload storm: nothing was shed");
+    if (answered == 0) fail("overload storm: nothing was answered");
+    faults += overloaded;
+    std::printf("  shed %d of %d, answered %d\n", overloaded, burst, answered);
+    // The retry client must get through the (still slowed) server.
+    const auto response = client.request(queries[0]);
+    if (!response ||
+        response->find("\"frontier\"") == std::string::npos) {
+      fail("overload storm: backoff retry did not get through");
+    }
+    client.stop();
+  }
+
+  void deadlineCycle() {
+    std::printf("cycle: deadline expiry\n");
+    ExploreClient client(clientOptions({}, "work_unit=sleep:30@0"));
+    std::string query = queries[0];
+    query.insert(query.size() - 1, ", \"deadline_ms\": 1");
+    const auto response = client.request(query);
+    if (!response) {
+      fail("deadline: no response");
+      return;
+    }
+    if (response->find("\"timed_out\": true") == std::string::npos) {
+      fail("deadline: expired query not marked timed_out: " + *response);
+      return;
+    }
+    ++faults;
+    client.stop();
+    // A fresh, unslowed server must still answer in full.
+    ExploreClient again(clientOptions({}, ""));
+    checkAnswers(again, "after deadline cycle");
+    again.stop();
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string server;
+  std::string snapshotPath = "chaos_runner.snap.tmp";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--server" && i + 1 < argc) server = argv[++i];
+    else if (a == "--snapshot" && i + 1 < argc) snapshotPath = argv[++i];
+    else if (a == "--smoke") smoke = true;
+    else return usage();
+  }
+  if (server.empty()) return usage();
+  if (access(server.c_str(), X_OK) != 0) {
+    std::fprintf(stderr, "server binary not executable: %s\n", server.c_str());
+    return 2;
+  }
+
+  Harness h;
+  h.server = server;
+  h.snapshotPath = snapshotPath;
+  h.queries = referenceQueries(smoke);
+
+  std::printf("chaos_runner: %s suite against %s\n",
+              smoke ? "smoke" : "full", server.c_str());
+  if (!h.captureBaseline()) return 1;
+
+  if (smoke) {
+    h.killCycle();
+    h.corruptSnapshotCycle(/*truncate=*/false);
+  } else {
+    h.gracefulRestartCycle();
+    for (int round = 0; round < 9; ++round) h.killCycle();
+    for (int round = 0; round < 4; ++round) {
+      h.corruptSnapshotCycle(/*truncate=*/false);
+      h.corruptSnapshotCycle(/*truncate=*/true);
+    }
+    h.snapshotWriteFaultCycle("fail");
+    h.snapshotWriteFaultCycle("corrupt");
+    h.snapshotWriteFaultCycle("truncate");
+    h.overloadStormCycle();
+    h.deadlineCycle();
+  }
+
+  std::remove(snapshotPath.c_str());
+  std::printf("chaos_runner: %d injected faults survived, %d failures\n",
+              h.faults, h.failures);
+  if (h.failures > 0) return 1;
+  if (!smoke && h.faults < 25) {
+    std::printf("chaos_runner: expected >= 25 injected faults, got %d\n",
+                h.faults);
+    return 1;
+  }
+  return 0;
+}

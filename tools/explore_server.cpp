@@ -2,6 +2,7 @@
 //
 //   explore_server --file queries.jsonl          # batch from a file
 //   cat queries.jsonl | explore_server           # batch from stdin
+//   explore_server --serve --snapshot warm.snap  # resident daemon mode
 //   explore_server --list-workloads
 //
 // Two request kinds share one stream (docs/PROTOCOL.md is the full schema):
@@ -15,21 +16,37 @@
 //       {"network": "resnet-block", "arrays": "8x8,16x16",
 //        "objective": "performance"}
 //
-// The whole stream runs against ONE ExplorationService: plain queries as
-// one batch, network queries through a NetworkExplorer borrowing the same
-// service, so every request shares enumerations, design-point evaluations
-// and the tile-mapping memo. Output is JSON lines, one result per request
-// in input order, plus a trailing batch summary with service-wide cache
-// stats.
+// Batch mode runs the whole stream against ONE ExplorationService: plain
+// queries as one batch, network queries through a NetworkExplorer borrowing
+// the same service, so every request shares enumerations, design-point
+// evaluations and the tile-mapping memo. Output is JSON lines, one result
+// per request in input order, plus a trailing batch summary with
+// service-wide cache stats. A malformed line yields a structured
+// {"query": i, "error": "..."} response and the batch continues.
+//
+// --serve mode wraps an ExplorationDaemon instead: requests are admitted
+// into a bounded, per-client-fair queue (or rejected with
+// {"error": "overloaded"}), carry optional "deadline_ms"/"client" fields,
+// and responses stream back in COMPLETION order keyed by "query". The
+// daemon snapshots its warm caches on a timer and on graceful shutdown
+// ({"shutdown": true} or EOF) and restores them on start, so a restarted
+// server answers warm. tools/chaos_runner drives this mode through
+// kill/restart/corrupt cycles.
+//
+// Exit codes (uniform across the CLIs): 0 success, 1 exploration/runtime
+// failure, 2 usage or request-parse errors (including any malformed batch
+// line, even though the batch itself still completes).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "driver/daemon.hpp"
 #include "driver/network_explorer.hpp"
 #include "support/error.hpp"
 #include "support/jsonl.hpp"
@@ -44,10 +61,15 @@ int usage() {
   std::printf(
       "usage: explore_server [--file F] [--threads N] [--max-frontier N]\n"
       "                      [--list-workloads]\n"
+      "       explore_server --serve [--snapshot F] [--snapshot-interval-ms N]\n"
+      "                      [--queue-bound N] [--client-queue-bound N]\n"
+      "                      [--workers N] [--default-deadline-ms N]\n"
+      "                      [--threads N] [--max-frontier N]\n"
       "Reads one JSON request per line from --file (default stdin); runs\n"
       "the whole stream as one batched, cached exploration. A line with a\n"
-      "'network' or 'network_file' field is a network-level request; see\n"
-      "docs/PROTOCOL.md.\n");
+      "'network' or 'network_file' field is a network-level request. With\n"
+      "--serve the server stays resident: bounded admission queue, optional\n"
+      "deadlines, crash-safe cache snapshots; see docs/PROTOCOL.md.\n");
   return 2;
 }
 
@@ -98,6 +120,7 @@ driver::ExploreQuery parseQuery(const support::JsonObject& obj) {
   if (const auto v = obj.getInt("data_width")) q.dataWidth = static_cast<int>(*v);
   if (const auto v = obj.getInt("max_entry"))
     q.enumeration.maxEntry = static_cast<int>(*v);
+  if (const auto v = obj.getInt("deadline_ms")) q.deadlineMs = *v;
   if (const auto v = obj.getBool("fp32")) q.fpga.fp32 = *v;
   if (const auto v = obj.getInt("vector_lanes")) q.fpga.vectorLanes = *v;
   if (const auto v = obj.getBool("placement_optimized"))
@@ -143,21 +166,28 @@ driver::NetworkQuery parseNetworkQuery(const support::JsonObject& obj) {
   return q;
 }
 
-/// One parsed input line: exactly one of `plain` / `network` is set.
+/// One parsed input line: exactly one of `plain` / `network` / `error`.
 struct Request {
   std::optional<driver::ExploreQuery> plain;
   std::optional<driver::NetworkQuery> network;
-  std::string name;  ///< workload or model name, echoed in the response
+  std::string name;   ///< workload or model name, echoed in the response
+  std::string error;  ///< parse failure for this line (batch continues)
 };
 
+std::string errorLine(std::size_t index, const std::string& message) {
+  std::ostringstream os;
+  os << "{\"query\": " << index << ", \"error\": \""
+     << support::jsonEscape(message) << "\"}";
+  return os.str();
+}
+
 std::string resultLine(std::size_t index, const std::string& workload,
-                       const driver::ExploreQuery& q,
+                       const std::string& backend, const std::string& objective,
                        const driver::QueryResult& r, std::size_t maxFrontier) {
   std::ostringstream os;
   os << "{\"query\": " << index << ", \"workload\": \""
-     << support::jsonEscape(workload) << "\", \"backend\": \""
-     << cost::backendKindName(q.backend) << "\", \"objective\": \""
-     << driver::objectiveName(q.objective) << "\", \"designs\": " << r.designs
+     << support::jsonEscape(workload) << "\", \"backend\": \"" << backend
+     << "\", \"objective\": \"" << objective << "\", \"designs\": " << r.designs
      << ", \"frontier_size\": " << r.frontier.size() << ", \"frontier\": [";
   const std::size_t shown = std::min(maxFrontier, r.frontier.size());
   for (std::size_t i = 0; i < shown; ++i) {
@@ -172,8 +202,10 @@ std::string resultLine(std::size_t index, const std::string& workload,
   os << "]";
   if (r.best)
     os << ", \"best\": \"" << support::jsonEscape(r.best->spec.label()) << "\"";
+  if (r.timedOut) os << ", \"timed_out\": true";
   os << ", \"cache\": {\"hits\": " << r.cache.hits << ", \"misses\": "
-     << r.cache.misses << ", \"pruned\": " << r.cache.pruned << "}}";
+     << r.cache.misses << ", \"pruned\": " << r.cache.pruned
+     << ", \"skipped\": " << r.cache.skipped << "}}";
   return os.str();
 }
 
@@ -228,12 +260,129 @@ std::string networkResultLine(std::size_t index, const std::string& name,
   return os.str();
 }
 
+/// Service-wide cache summary fragment: eval cache plus the tile-mapping
+/// and candidate-matrix memos (so clients can audit all three layers the
+/// snapshot persists).
+std::string cacheStatsJson(const driver::CacheStats& stats) {
+  const auto cand = stt::candidateCacheStats();
+  std::ostringstream os;
+  os << "{\"hits\": " << stats.hits << ", \"misses\": " << stats.misses
+     << ", \"evictions\": " << stats.evictions << ", \"entries\": "
+     << stats.entries << ", \"shards\": " << stats.shards
+     << ", \"mappings\": {\"hits\": " << stats.mappings.hits
+     << ", \"misses\": " << stats.mappings.misses << ", \"evictions\": "
+     << stats.mappings.evictions << ", \"entries\": " << stats.mappings.entries
+     << "}, \"candidates\": {\"hits\": " << cand.hits << ", \"misses\": "
+     << cand.misses << ", \"evictions\": " << cand.evictions
+     << ", \"entries\": " << cand.entries << "}}";
+  return os.str();
+}
+
+// ---- resident daemon mode ---------------------------------------------------
+
+/// Thread-safe line emitter: responses come from daemon worker threads and
+/// the read loop; every line is written and flushed atomically so the
+/// JSONL stream never interleaves.
+class LineOutput {
+ public:
+  void emit(const std::string& line) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::fputs(line.c_str(), stdout);
+    std::fputc('\n', stdout);
+    std::fflush(stdout);
+  }
+
+ private:
+  std::mutex mutex_;
+};
+
+int serve(const driver::DaemonOptions& daemonOptions, std::size_t maxFrontier) {
+  driver::ExplorationDaemon daemon(daemonOptions);
+  const auto& restore = daemon.restore();
+  std::fprintf(stderr,
+               "explore_server: serving (restore %s: %zu evals, %zu mappings, "
+               "%zu candidate lists%s%s)\n",
+               driver::snapshot::restoreStatusName(restore.status).c_str(),
+               restore.evalEntries, restore.mappingEntries,
+               restore.candidateLists, restore.message.empty() ? "" : " — ",
+               restore.message.c_str());
+
+  LineOutput out;
+  std::string line;
+  std::size_t index = 0;
+  bool shutdownRequested = false;
+  while (!shutdownRequested && std::getline(std::cin, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    const std::size_t id = index++;
+    try {
+      const auto obj = support::parseJsonLine(line);
+      if (obj.getBool("shutdown").value_or(false)) {
+        shutdownRequested = true;
+        break;
+      }
+      if (obj.getBool("cache_stats").value_or(false)) {
+        out.emit("{\"query\": " + std::to_string(id) + ", \"cache\": " +
+                 cacheStatsJson(daemon.service().cacheStats()) + "}");
+        continue;
+      }
+      if (obj.has("network") || obj.has("network_file")) {
+        // Network requests run synchronously on the read loop (they fan
+        // out through the shared service themselves) and bypass admission
+        // control; docs/PROTOCOL.md flags this.
+        const auto q = parseNetworkQuery(obj);
+        driver::NetworkExplorer explorer(daemon.service());
+        out.emit(networkResultLine(id, q.network.name(), q,
+                                   explorer.explore(q), maxFrontier));
+        continue;
+      }
+      auto query = parseQuery(obj);
+      const std::string client = obj.getString("client").value_or("default");
+      const std::string workload = *obj.getString("workload");
+      const std::string backend = cost::backendKindName(query.backend);
+      const std::string objective = driver::objectiveName(query.objective);
+      const auto admission = daemon.submit(
+          client, std::move(query),
+          [&out, id, workload, backend, objective,
+           maxFrontier](driver::ExplorationDaemon::Outcome outcome) {
+            if (outcome.failed()) {
+              out.emit(errorLine(id, outcome.error));
+            } else {
+              out.emit(resultLine(id, workload, backend, objective,
+                                  *outcome.result, maxFrontier));
+            }
+          });
+      if (admission != driver::Admission::Accepted)
+        out.emit(errorLine(id, driver::admissionName(admission)));
+    } catch (const Error& e) {
+      out.emit(errorLine(id, e.what()));
+    }
+  }
+
+  // Graceful shutdown (explicit request or EOF): drain admitted work, join
+  // the workers, write the final snapshot, then report what happened.
+  daemon.shutdown();
+  const auto stats = daemon.stats();
+  std::ostringstream os;
+  os << "{\"shutdown\": {\"accepted\": " << stats.accepted
+     << ", \"rejected_overloaded\": " << stats.rejectedOverloaded
+     << ", \"completed\": " << stats.completed << ", \"failed\": "
+     << stats.failed << ", \"timed_out\": " << stats.timedOut
+     << ", \"snapshots_saved\": " << stats.snapshotsSaved
+     << ", \"snapshot_failures\": " << stats.snapshotFailures
+     << ", \"cache\": " << cacheStatsJson(daemon.service().cacheStats())
+     << "}}";
+  out.emit(os.str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string file;
   std::size_t threads = 0, maxFrontier = 16;
   bool listWorkloads = false;
+  bool serveMode = false;
+  driver::DaemonOptions daemonOptions;
 
   try {
     for (int i = 1; i < argc; ++i) {
@@ -246,6 +395,16 @@ int main(int argc, char** argv) {
       else if (a == "--threads") threads = std::stoull(next());
       else if (a == "--max-frontier") maxFrontier = std::stoull(next());
       else if (a == "--list-workloads") listWorkloads = true;
+      else if (a == "--serve") serveMode = true;
+      else if (a == "--snapshot") daemonOptions.snapshotPath = next();
+      else if (a == "--snapshot-interval-ms")
+        daemonOptions.snapshotIntervalMs = std::stoll(next());
+      else if (a == "--queue-bound") daemonOptions.queueBound = std::stoull(next());
+      else if (a == "--client-queue-bound")
+        daemonOptions.perClientQueueBound = std::stoull(next());
+      else if (a == "--workers") daemonOptions.workers = std::stoull(next());
+      else if (a == "--default-deadline-ms")
+        daemonOptions.defaultDeadlineMs = std::stoll(next());
       else return usage();
     }
   } catch (const std::exception&) {
@@ -258,6 +417,16 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (serveMode) {
+    daemonOptions.service.threads = threads;
+    try {
+      return serve(daemonOptions, maxFrontier);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
+
   std::ifstream fileStream;
   if (!file.empty()) {
     fileStream.open(file);
@@ -268,13 +437,18 @@ int main(int argc, char** argv) {
   }
   std::istream& in = file.empty() ? std::cin : fileStream;
 
+  // Parse the whole stream up front. A malformed line becomes a Request
+  // carrying its error: it still occupies its input-order slot (so "query"
+  // indices line up), gets a structured error response, and the rest of
+  // the batch runs; the process exits 2 at the end.
   std::vector<Request> requests;
+  std::size_t parseErrors = 0;
   std::string line;
-  try {
-    while (std::getline(in, line)) {
-      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    Request request;
+    try {
       const auto obj = support::parseJsonLine(line);
-      Request request;
       if (obj.has("network") || obj.has("network_file")) {
         request.network = parseNetworkQuery(obj);
         request.name = request.network->network.name();
@@ -282,11 +456,11 @@ int main(int argc, char** argv) {
         request.plain = parseQuery(obj);
         request.name = *obj.getString("workload");
       }
-      requests.push_back(std::move(request));
+    } catch (const Error& e) {
+      request.error = e.what();
+      ++parseErrors;
     }
-  } catch (const Error& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 2;
+    requests.push_back(std::move(request));
   }
   if (requests.empty()) {
     std::fprintf(stderr, "no requests on input\n");
@@ -311,11 +485,16 @@ int main(int argc, char** argv) {
     std::size_t queries = 0, networks = 0;
     for (std::size_t i = 0; i < requests.size(); ++i) {
       const Request& r = requests[i];
-      if (r.plain) {
+      if (!r.error.empty()) {
+        std::printf("%s\n", errorLine(i, r.error).c_str());
+      } else if (r.plain) {
         ++queries;
-        std::printf("%s\n", resultLine(i, r.name, *r.plain,
-                                       batchResults[nextPlain++], maxFrontier)
-                                .c_str());
+        std::printf("%s\n",
+                    resultLine(i, r.name,
+                               cost::backendKindName(r.plain->backend),
+                               driver::objectiveName(r.plain->objective),
+                               batchResults[nextPlain++], maxFrontier)
+                        .c_str());
       } else {
         ++networks;
         const auto result = explorer.explore(*r.network);
@@ -325,18 +504,14 @@ int main(int argc, char** argv) {
       }
     }
 
-    const auto stats = service.cacheStats();
     std::printf(
-        "{\"batch\": {\"queries\": %zu, \"networks\": %zu, \"cache\": "
-        "{\"hits\": %llu, \"misses\": %llu, \"evictions\": %llu, "
-        "\"entries\": %zu, \"shards\": %zu}}}\n",
-        queries, networks, static_cast<unsigned long long>(stats.hits),
-        static_cast<unsigned long long>(stats.misses),
-        static_cast<unsigned long long>(stats.evictions), stats.entries,
-        stats.shards);
+        "{\"batch\": {\"queries\": %zu, \"networks\": %zu, \"errors\": %zu, "
+        "\"cache\": %s}}\n",
+        queries, networks, parseErrors,
+        cacheStatsJson(service.cacheStats()).c_str());
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  return 0;
+  return parseErrors == 0 ? 0 : 2;
 }

@@ -14,6 +14,7 @@
 // service cache stats (repeated layer shapes show up as cache hits).
 // docs/PROTOCOL.md documents the JSONL model format.
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -109,16 +110,25 @@ int main(int argc, char** argv) {
   }
   if (model.empty() == file.empty()) return usage();  // exactly one source
 
+  // Model resolution failures are input errors (exit 2, like usage);
+  // failures during exploration below are runtime errors (exit 1).
+  std::optional<tensor::NetworkSpec> network;
   try {
-    const tensor::NetworkSpec network = [&] {
-      if (!file.empty()) return tensor::workloads::loadNetworkJsonl(file);
+    if (!file.empty()) {
+      network = tensor::workloads::loadNetworkJsonl(file);
+    } else {
       const auto* builtin = tensor::workloads::findNetwork(model);
       if (!builtin)
         fail("unknown model '" + model + "' (try --list-models)");
-      return *builtin;
-    }();
+      network = *builtin;
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
 
-    driver::NetworkQuery query(network);
+  try {
+    driver::NetworkQuery query(*network);
     query.arrays = arraysArg.empty() ? std::vector<stt::ArrayConfig>{base}
                                      : driver::parseArrayList(arraysArg, base);
     query.objective = objective;
@@ -130,7 +140,7 @@ int main(int argc, char** argv) {
     options.threads = threads;
     driver::NetworkExplorer explorer(options);
 
-    std::printf("%s", network.str().c_str());
+    std::printf("%s", network->str().c_str());
     const driver::NetworkResult result = explorer.explore(query);
 
     std::printf("\nper-layer exploration (%zu queries, %zu design points):\n",
