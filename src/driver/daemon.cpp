@@ -1,5 +1,6 @@
 #include "driver/daemon.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
@@ -144,7 +145,8 @@ struct ExplorationDaemon::Impl {
   void timerLoop() {
     std::unique_lock<std::mutex> lock(timerMutex);
     auto interval = std::chrono::milliseconds(options.snapshotIntervalMs);
-    while (!timerStop.wait_for(lock, interval, [this] { return stopping; })) {
+    while (!timerStop.wait_for(lock, interval,
+                               [this] { return stopping.load(); })) {
       snapshotNow();
     }
   }
@@ -186,7 +188,10 @@ struct ExplorationDaemon::Impl {
   std::deque<std::string> rotation;  ///< clients with queued work, in turn order
   std::size_t totalQueued = 0;
   std::size_t inFlight = 0;
-  bool stopping = false;
+  /// Atomic because timerLoop()'s wait predicate reads it under timerMutex
+  /// while shutdown() writes it under `mutex` — the two never synchronize
+  /// through a common lock.
+  std::atomic<bool> stopping{false};
   DaemonStats stats;
 
   std::vector<std::thread> workers;

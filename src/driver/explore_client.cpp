@@ -127,20 +127,24 @@ struct ExploreClient::Impl {
 
   int stop() {
     if (pid < 0) return -1;
-    sendLine("{\"shutdown\": true}");
+    // A failed write means markDead() already killed and reaped the child
+    // and cleared pid; waiting on the stale value would hit waitpid(-1)
+    // (reaping unrelated children) and kill(-1, SIGKILL).
+    if (!sendLine("{\"shutdown\": true}") || pid < 0) return -1;
+    const pid_t target = pid;
     // Bounded graceful wait (the server drains and snapshots), then force.
     int status = 0;
     for (int i = 0; i < 500; ++i) {
-      pid_t r = waitpid(pid, &status, WNOHANG);
-      if (r == pid) {
+      pid_t r = waitpid(target, &status, WNOHANG);
+      if (r == target) {
         closeStreams();
         pid = -1;
         return status;
       }
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
     }
-    ::kill(pid, SIGKILL);
-    waitpid(pid, &status, 0);
+    ::kill(target, SIGKILL);
+    waitpid(target, &status, 0);
     closeStreams();
     pid = -1;
     return status;

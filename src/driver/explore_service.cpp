@@ -647,7 +647,10 @@ snapshot::RestoreResult ExplorationService::restoreSnapshot(
     }
 
     TL_CHECK(r.done(), "snapshot payload has trailing bytes");
-  } catch (const Error& e) {
+  } catch (const std::exception& e) {
+    // std::exception, not just Error: a hostile/buggy payload can also
+    // surface as bad_alloc or length_error, and any decode failure must
+    // degrade to a cold start rather than crash the daemon at startup.
     result.status = snap::RestoreStatus::Corrupt;
     result.message = e.what();
     return result;

@@ -1,9 +1,15 @@
 #include "driver/snapshot.hpp"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
+
+extern "C" {
+#include <fcntl.h>
+#include <unistd.h>
+}
 
 #include "support/error.hpp"
 #include "support/fault.hpp"
@@ -120,7 +126,9 @@ void writeIntVector(Writer& w, const linalg::IntVector& v) {
 
 linalg::IntVector readIntVector(Reader& r) {
   const std::uint64_t n = r.u64();
-  if (n * 8 > r.remaining()) overrun();
+  // Division form: `n * 8` can wrap in uint64 for a hostile count, letting
+  // a checksum-valid snapshot slip past the bound into a huge allocation.
+  if (n > r.remaining() / 8) overrun();
   linalg::IntVector v(n);
   for (std::uint64_t i = 0; i < n; ++i) v[i] = r.i64();
   return v;
@@ -278,7 +286,8 @@ void writeMatrix(Writer& w, const linalg::IntMatrix& m) {
 linalg::IntMatrix readMatrix(Reader& r) {
   const std::uint64_t rows = r.u64();
   const std::uint64_t cols = r.u64();
-  if (rows * cols * 8 > r.remaining()) overrun();
+  // Division form: `rows * cols * 8` can wrap in uint64 for hostile counts.
+  if (rows != 0 && cols > r.remaining() / 8 / rows) overrun();
   linalg::IntMatrix m(rows, cols);
   for (std::uint64_t i = 0; i < rows; ++i)
     for (std::uint64_t j = 0; j < cols; ++j) m.at(i, j) = r.i64();
@@ -317,22 +326,46 @@ bool writeSnapshotFile(const std::string& path, const std::string& payload) {
     }
   }
 
-  // Atomic publish: a crash between any two steps leaves either the old
+  // Atomic + durable publish: fsync the tmp file before the rename so the
+  // rename can never become durable while the data is not, then rename,
+  // then fsync the containing directory so the rename itself survives a
+  // power loss. A crash between any two steps leaves either the old
   // snapshot or none, never a half-written file under `path`.
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return false;
-    out.write(framed.data(), static_cast<std::streamsize>(framed.size()));
-    out.flush();
-    if (!out) {
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  const char* data = framed.data();
+  std::size_t left = framed.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, data, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
       std::remove(tmp.c_str());
       return false;
     }
+    data += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (::close(fd) != 0) {
+    std::remove(tmp.c_str());
+    return false;
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     return false;
+  }
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : slash == 0 ? "/" : path.substr(0, slash);
+  if (const int dirFd = ::open(dir.c_str(), O_RDONLY); dirFd >= 0) {
+    ::fsync(dirFd);  // best-effort: the data itself is already durable
+    ::close(dirFd);
   }
   return true;
 }

@@ -297,6 +297,10 @@ class LineOutput {
 };
 
 int serve(const driver::DaemonOptions& daemonOptions, std::size_t maxFrontier) {
+  // Declared before the daemon: if an exception escapes the read loop, the
+  // daemon destructor's shutdown() still drains queued requests whose
+  // completion callbacks call out.emit() — the emitter must outlive them.
+  LineOutput out;
   driver::ExplorationDaemon daemon(daemonOptions);
   const auto& restore = daemon.restore();
   std::fprintf(stderr,
@@ -307,7 +311,6 @@ int serve(const driver::DaemonOptions& daemonOptions, std::size_t maxFrontier) {
                restore.candidateLists, restore.message.empty() ? "" : " — ",
                restore.message.c_str());
 
-  LineOutput out;
   std::string line;
   std::size_t index = 0;
   bool shutdownRequested = false;
