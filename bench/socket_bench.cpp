@@ -1,0 +1,168 @@
+// Socket front-end throughput benchmark (the network-service anchor).
+//
+// Runs the same 3-query reference traffic against an in-process
+// ExplorationDaemon + SocketServer over loopback TCP at 1 and 8
+// concurrent connections, each driven by a driver::ExploreClient. Every
+// response is asserted canonically identical (query index and volatile
+// cache counters stripped) to a socket-free reference daemon answering
+// the same queries — concurrency and transport may only change how fast
+// answers arrive, never what they are.
+//
+// Reports requests/sec per connection count into its own JSON record
+// (no BENCH_hotpaths gate: loopback throughput on shared runners is all
+// jitter; the correctness asserts are the point).
+//
+// Usage: bench_socket [--smoke] [--out <path>]
+//   --smoke   few iterations, correctness asserts only
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cost/backend.hpp"
+#include "driver/explore_client.hpp"
+#include "driver/pareto.hpp"
+#include "driver/socket_server.hpp"
+#include "driver/wire.hpp"
+#include "support/error.hpp"
+#include "support/jsonl.hpp"
+
+namespace {
+
+using namespace tensorlib;
+using Clock = std::chrono::steady_clock;
+
+const char* kQueries[] = {
+    R"({"workload": "gemm", "rows": 8, "cols": 8, "max_entry": 1})",
+    R"({"workload": "gemm", "rows": 8, "cols": 8, "max_entry": 1, "objective": "power"})",
+    R"({"workload": "attention", "rows": 8, "cols": 8, "max_entry": 1})",
+};
+
+/// Strips the per-connection query index and the arrival-order-dependent
+/// cache counters (same canonicalization as tools/chaos_runner).
+std::string canonical(const std::string& response) {
+  std::string s = response;
+  if (s.rfind("{\"query\": ", 0) == 0) {
+    const auto comma = s.find(", ");
+    if (comma != std::string::npos) s = "{" + s.substr(comma + 2);
+  }
+  const auto cache = s.rfind(", \"cache\": ");
+  if (cache != std::string::npos && s.size() >= 2 &&
+      s.compare(s.size() - 2, 2, "}}") == 0) {
+    s = s.substr(0, cache) + "}";
+  }
+  return s;
+}
+
+std::vector<std::string> referenceLines() {
+  driver::ExplorationDaemon daemon;
+  std::vector<std::string> lines;
+  for (std::size_t i = 0; i < std::size(kQueries); ++i) {
+    auto request = driver::wire::parseRequest(support::parseJsonLine(kQueries[i]));
+    const std::string backend = cost::backendKindName(request.query->backend);
+    const std::string objective = driver::objectiveName(request.query->objective);
+    const auto outcome = daemon.runOne("ref", std::move(*request.query));
+    TL_CHECK(outcome.has_value() && !outcome->failed(), "reference query failed");
+    lines.push_back(canonical(driver::wire::resultLine(
+        i, request.name, backend, objective, *outcome->result, 16)));
+  }
+  daemon.shutdown();
+  return lines;
+}
+
+struct Run {
+  int connections = 0;
+  std::size_t requests = 0;
+  double ms = 0;
+  double perSec() const { return requests / (ms / 1000.0); }
+};
+
+Run benchConnections(int connections, int itersPerConnection,
+                     const std::vector<std::string>& expected) {
+  driver::DaemonOptions dopts;
+  dopts.workers = 2;
+  dopts.queueBound = 256;
+  dopts.perClientQueueBound = 32;
+  driver::ExplorationDaemon daemon(dopts);
+  driver::SocketServerOptions sopts;
+  sopts.port = 0;  // ephemeral
+  driver::SocketServer server(daemon, sopts);
+  TL_CHECK(server.start(), "socket server failed to start: " + server.lastError());
+
+  Run run;
+  run.connections = connections;
+  run.requests = static_cast<std::size_t>(connections) * itersPerConnection;
+  std::vector<std::thread> clients;
+  std::vector<std::string> errors(connections);
+  const auto t = Clock::now();
+  for (int c = 0; c < connections; ++c) {
+    clients.emplace_back([&, c] {
+      driver::ClientOptions copts;
+      copts.port = server.port();
+      driver::ExploreClient client(copts);
+      for (int i = 0; i < itersPerConnection; ++i) {
+        const std::size_t q = i % std::size(kQueries);
+        const auto response = client.request(kQueries[q]);
+        if (!response.has_value()) {
+          errors[c] = "request exhausted attempts";
+          return;
+        }
+        if (canonical(*response) != expected[q]) {
+          errors[c] = "response diverged from reference";
+          return;
+        }
+      }
+    });
+  }
+  for (auto& thread : clients) thread.join();
+  run.ms = std::chrono::duration<double, std::milli>(Clock::now() - t).count();
+  for (const auto& error : errors) TL_CHECK(error.empty(), error);
+
+  server.close("");
+  daemon.shutdown();
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out = "socket_bench.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out = argv[++i];
+    else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--out <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  try {
+    bench::printHeader(smoke ? "Socket front-end (smoke)"
+                             : "Socket front-end throughput");
+    const auto expected = referenceLines();
+    const int iters = smoke ? 8 : 200;
+    std::ostringstream line;
+    line << "\"socket\": {\"iters_per_connection\": " << iters;
+    for (const int connections : {1, 8}) {
+      const Run run = benchConnections(connections, iters, expected);
+      std::printf(
+          "  %d connection%s | %zu requests in %.1f ms (%.0f req/s) "
+          "[all responses canonically identical to reference]\n",
+          run.connections, run.connections == 1 ? " " : "s", run.requests,
+          run.ms, run.perSec());
+      line << ", \"conns_" << connections << "_req_per_sec\": " << run.perSec();
+    }
+    line << ", \"pass\": true}";
+    bench::mergeJsonSection(out, "socket", line.str());
+    std::printf("  merged into %s\n", out.c_str());
+    return 0;
+  } catch (const tensorlib::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,5 +1,6 @@
 #include "driver/daemon.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -93,6 +94,31 @@ struct ExplorationDaemon::Impl {
       rotation.push_back(std::move(client));
     }
     return item;
+  }
+
+  std::size_t cancelClient(const std::string& client) {
+    std::vector<Item> cancelled;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      auto it = queues.find(client);
+      if (it == queues.end()) return 0;
+      for (auto& item : it->second) cancelled.push_back(std::move(item));
+      totalQueued -= it->second.size();
+      queues.erase(it);
+      rotation.erase(std::remove(rotation.begin(), rotation.end(), client),
+                     rotation.end());
+      stats.cancelled += cancelled.size();
+    }
+    // Removing queued work can complete a drain shutdown() is waiting on.
+    idle.notify_all();
+    for (auto& item : cancelled) {
+      if (item.done) {
+        Outcome outcome;
+        outcome.error = "cancelled";
+        item.done(std::move(outcome));
+      }
+    }
+    return cancelled.size();
   }
 
   void workerLoop() {
@@ -220,6 +246,10 @@ std::optional<ExplorationDaemon::Outcome> ExplorationDaemon::runOne(
                     [&promise](Outcome o) { promise.set_value(std::move(o)); });
   if (admission != Admission::Accepted) return std::nullopt;
   return future.get();
+}
+
+std::size_t ExplorationDaemon::cancelClient(const std::string& client) {
+  return impl_->cancelClient(client);
 }
 
 bool ExplorationDaemon::snapshotNow() { return impl_->snapshotNow(); }

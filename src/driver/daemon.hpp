@@ -67,6 +67,9 @@ struct DaemonStats {
   std::uint64_t completed = 0;  ///< includes timed-out completions
   std::uint64_t failed = 0;     ///< queries that threw (callback got error)
   std::uint64_t timedOut = 0;
+  /// Queued requests removed by cancelClient() before a worker picked them
+  /// up (their callbacks got the "cancelled" error outcome).
+  std::uint64_t cancelled = 0;
   std::uint64_t snapshotsSaved = 0;
   std::uint64_t snapshotFailures = 0;
   std::size_t queued = 0;  ///< requests currently admitted but unfinished
@@ -99,6 +102,14 @@ class ExplorationDaemon {
 
   /// Synchronous convenience: submit + wait. nullopt when not admitted.
   std::optional<Outcome> runOne(const std::string& client, ExploreQuery query);
+
+  /// Removes every still-queued request of `client` — the disconnect path
+  /// of the socket front-end (a dropped connection's queued work is
+  /// pointless; its in-flight request, if any, completes normally and the
+  /// caller discards the response). Each cancelled request's callback runs
+  /// exactly once, synchronously, with an Outcome whose error is
+  /// "cancelled". Returns how many were cancelled.
+  std::size_t cancelClient(const std::string& client);
 
   /// Snapshots the warm caches right now (no-op false when persistence is
   /// disabled). Also runs on the configured timer and on shutdown.

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <csignal>
-#include <cstdio>
 #include <thread>
+#include <utility>
+
+#include "support/net.hpp"
 
 extern "C" {
 #include <fcntl.h>
@@ -17,15 +19,20 @@ extern char** environ;
 namespace tensorlib::driver {
 namespace {
 
-/// A dead child turns writes into SIGPIPE, which would kill the whole tool
+/// A dead peer turns writes into SIGPIPE, which would kill the whole tool
 /// process before the client can recover; the client's contract is that a
 /// failed write is a recoverable event, so the signal must be ignored.
+/// (sendAll uses MSG_NOSIGNAL on sockets; this covers the pipe transport.)
 void ignoreSigpipeOnce() {
   static bool done = [] {
     std::signal(SIGPIPE, SIG_IGN);
     return true;
   }();
   (void)done;
+}
+
+void sleepMs(std::int64_t ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
 }
 
 }  // namespace
@@ -37,16 +44,53 @@ struct ExploreClient::Impl {
 
   ~Impl() { kill(); }
 
-  bool start() {
-    if (runningNow()) return true;
-    if (options.command.empty()) return false;
-    int toChildPipe[2];
-    int fromChildPipe[2];
-    if (pipe(toChildPipe) != 0) return false;
-    if (pipe(fromChildPipe) != 0) {
-      close(toChildPipe[0]);
-      close(toChildPipe[1]);
-      return false;
+  bool socketMode() const {
+    return options.port >= 0 || !options.unixSocketPath.empty();
+  }
+
+  // ---- transport plumbing --------------------------------------------------
+
+  void closeTransport() {
+    if (readFd >= 0 && readFd != writeFd) ::close(readFd);
+    if (writeFd >= 0) ::close(writeFd);
+    readFd = -1;
+    writeFd = -1;
+    reader.reset();
+  }
+
+  /// The transport failed (EOF, write error, truncated line). Pipe mode
+  /// equates transport death with child death (its stdio IS the child);
+  /// socket mode only drops the connection — the child may be fine.
+  void markTransportDead() {
+    if (socketMode()) {
+      closeTransport();
+      return;
+    }
+    kill();
+  }
+
+  bool transportUp() const { return writeFd >= 0; }
+
+  bool ready() {
+    if (!transportUp()) return false;
+    if (options.command.empty()) return true;
+    return runningNow();
+  }
+
+  // ---- child process -------------------------------------------------------
+
+  bool spawnChild() {
+    if (options.command.empty()) return true;
+    int toChildPipe[2] = {-1, -1};
+    int fromChildPipe[2] = {-1, -1};
+    const bool pipes = !socketMode();
+    if (pipes) {
+      if (pipe(toChildPipe) != 0) return false;
+      if (pipe(fromChildPipe) != 0) {
+        ::close(toChildPipe[0]);
+        ::close(toChildPipe[1]);
+        return false;
+      }
     }
     std::vector<char*> argv;
     argv.reserve(options.command.size() + 1);
@@ -65,30 +109,42 @@ struct ExploreClient::Impl {
 
     pid_t child = fork();
     if (child < 0) {
-      close(toChildPipe[0]);
-      close(toChildPipe[1]);
-      close(fromChildPipe[0]);
-      close(fromChildPipe[1]);
+      if (pipes) {
+        ::close(toChildPipe[0]);
+        ::close(toChildPipe[1]);
+        ::close(fromChildPipe[0]);
+        ::close(fromChildPipe[1]);
+      }
       return false;
     }
     if (child == 0) {
-      dup2(toChildPipe[0], STDIN_FILENO);
-      dup2(fromChildPipe[1], STDOUT_FILENO);
-      close(toChildPipe[0]);
-      close(toChildPipe[1]);
-      close(fromChildPipe[0]);
-      close(fromChildPipe[1]);
+      if (pipes) {
+        dup2(toChildPipe[0], STDIN_FILENO);
+        dup2(fromChildPipe[1], STDOUT_FILENO);
+        ::close(toChildPipe[0]);
+        ::close(toChildPipe[1]);
+        ::close(fromChildPipe[0]);
+        ::close(fromChildPipe[1]);
+      } else {
+        // Socket mode: the conversation happens over the socket; the
+        // child's stdio is nobody's business (and must not block it).
+        const int devnull = open("/dev/null", O_RDWR);
+        if (devnull >= 0) {
+          dup2(devnull, STDIN_FILENO);
+          dup2(devnull, STDOUT_FILENO);
+          ::close(devnull);
+        }
+      }
       execve(argv[0], argv.data(), envp.data());
-      _exit(127);  // exec failed; parent sees EOF on first read
+      _exit(127);  // exec failed; parent sees EOF / connection refused
     }
-    close(toChildPipe[0]);
-    close(fromChildPipe[1]);
     pid = child;
-    toChild = fdopen(toChildPipe[1], "w");
-    fromChild = fdopen(fromChildPipe[0], "r");
-    if (toChild == nullptr || fromChild == nullptr) {
-      kill();
-      return false;
+    if (pipes) {
+      ::close(toChildPipe[0]);
+      ::close(fromChildPipe[1]);
+      writeFd = toChildPipe[1];
+      readFd = fromChildPipe[0];
+      reader = std::make_unique<support::net::LineReader>(readFd);
     }
     return true;
   }
@@ -98,105 +154,156 @@ struct ExploreClient::Impl {
     int status = 0;
     pid_t r = waitpid(pid, &status, WNOHANG);
     if (r == pid) {
-      closeStreams();
+      closeTransport();
       pid = -1;
       return false;
     }
     return true;
   }
 
-  void closeStreams() {
-    if (toChild != nullptr) {
-      fclose(toChild);
-      toChild = nullptr;
-    }
-    if (fromChild != nullptr) {
-      fclose(fromChild);
-      fromChild = nullptr;
-    }
-  }
-
   void kill() {
-    if (pid < 0) return;
-    ::kill(pid, SIGKILL);
-    int status = 0;
-    waitpid(pid, &status, 0);
-    closeStreams();
-    pid = -1;
-  }
-
-  int stop() {
-    if (pid < 0) return -1;
-    // A failed write means markDead() already killed and reaped the child
-    // and cleared pid; waiting on the stale value would hit waitpid(-1)
-    // (reaping unrelated children) and kill(-1, SIGKILL).
-    if (!sendLine("{\"shutdown\": true}") || pid < 0) return -1;
-    const pid_t target = pid;
-    // Bounded graceful wait (the server drains and snapshots), then force.
-    int status = 0;
-    for (int i = 0; i < 500; ++i) {
-      pid_t r = waitpid(target, &status, WNOHANG);
-      if (r == target) {
-        closeStreams();
-        pid = -1;
-        return status;
-      }
-      std::this_thread::sleep_for(std::chrono::milliseconds(10));
-    }
-    ::kill(target, SIGKILL);
-    waitpid(target, &status, 0);
-    closeStreams();
-    pid = -1;
-    return status;
-  }
-
-  bool sendLine(const std::string& line) {
-    if (toChild == nullptr) return false;
-    if (std::fputs(line.c_str(), toChild) == EOF ||
-        std::fputc('\n', toChild) == EOF || std::fflush(toChild) != 0) {
-      markDead();
-      return false;
-    }
-    return true;
-  }
-
-  std::optional<std::string> readLine() {
-    if (fromChild == nullptr) return std::nullopt;
-    std::string line;
-    int c;
-    while ((c = std::fgetc(fromChild)) != EOF) {
-      if (c == '\n') return line;
-      line.push_back(static_cast<char>(c));
-    }
-    markDead();
-    return std::nullopt;
-  }
-
-  void markDead() {
     if (pid >= 0) {
       ::kill(pid, SIGKILL);
       int status = 0;
       waitpid(pid, &status, 0);
       pid = -1;
     }
-    closeStreams();
+    closeTransport();
+  }
+
+  // ---- socket connect ------------------------------------------------------
+
+  bool connectSocket() {
+    for (int i = 0; i < options.connectAttempts; ++i) {
+      const int fd = options.unixSocketPath.empty()
+                         ? support::net::connectTcp(options.host, options.port)
+                         : support::net::connectUnix(options.unixSocketPath);
+      if (fd >= 0) {
+        writeFd = fd;
+        readFd = fd;
+        reader = std::make_unique<support::net::LineReader>(fd);
+        return true;
+      }
+      // Waiting out the bind window only makes sense while the server we
+      // spawned is actually alive.
+      if (!options.command.empty() && !runningNow()) return false;
+      sleepMs(options.connectBackoffMs);
+    }
+    return false;
+  }
+
+  bool start() {
+    if (ready()) return true;
+    if (socketMode()) {
+      if (!options.command.empty() && !runningNow()) {
+        closeTransport();
+        if (!spawnChild()) return false;
+      }
+      if (!transportUp() && !connectSocket()) return false;
+      return true;
+    }
+    if (options.command.empty()) return false;
+    if (runningNow()) return true;
+    return spawnChild();
+  }
+
+  int stop() {
+    if (socketMode()) {
+      const bool sent = transportUp() && sendLine("{\"shutdown\": true}");
+      if (sent) {
+        // Let the server drain and deliver its summary; EOF means it
+        // closed our connection on the way down.
+        while (readLine().has_value()) {
+        }
+      }
+      closeTransport();
+      if (pid < 0) return sent ? 0 : -1;
+      return awaitChildExit();
+    }
+    if (pid < 0) return -1;
+    // A failed write means the transport already collapsed (markTransportDead
+    // killed and reaped the child and cleared pid); waiting on the stale
+    // value would hit waitpid(-1) and kill(-1, SIGKILL).
+    if (!sendLine("{\"shutdown\": true}") || pid < 0) return -1;
+    return awaitChildExit();
+  }
+
+  /// Bounded graceful wait (the server drains and snapshots), then force.
+  int awaitChildExit() {
+    const pid_t target = pid;
+    int status = 0;
+    for (int i = 0; i < 500; ++i) {
+      pid_t r = waitpid(target, &status, WNOHANG);
+      if (r == target) {
+        closeTransport();
+        pid = -1;
+        return status;
+      }
+      sleepMs(10);
+    }
+    ::kill(target, SIGKILL);
+    waitpid(target, &status, 0);
+    closeTransport();
+    pid = -1;
+    return status;
+  }
+
+  // ---- line I/O ------------------------------------------------------------
+
+  bool sendLine(const std::string& line) {
+    if (writeFd < 0) return false;
+    std::string framed = line;
+    framed += '\n';
+    if (!support::net::sendAll(writeFd, framed.data(), framed.size())) {
+      markTransportDead();
+      return false;
+    }
+    return true;
+  }
+
+  std::optional<std::string> readLine() {
+    lastComplete = true;
+    if (!reader) return std::nullopt;
+    auto line = reader->next();
+    if (!line.has_value()) {
+      markTransportDead();
+      return std::nullopt;
+    }
+    if (!line->complete) {
+      // The peer died mid-write. Hand the fragment to the caller (it is
+      // often the best diagnostic there is) but flag it: a truncated line
+      // must never be mistaken for a whole response.
+      lastComplete = false;
+      ++stats.partialLines;
+      markTransportDead();
+    }
+    return std::move(line->text);
   }
 
   std::optional<std::string> request(const std::string& line) {
     std::int64_t backoffMs = options.initialBackoffMs;
     for (int attempt = 0; attempt < options.maxAttempts; ++attempt) {
       if (attempt > 0) ++stats.retries;
-      if (!runningNow()) {
+      if (!ready()) {
         if (everStarted && !options.autoRestart) return std::nullopt;
-        if (!start()) return std::nullopt;
+        if (!start()) {
+          if (socketMode() && options.command.empty()) {
+            // Connect-only client: the server may simply not be up yet.
+            sleepMs(backoffMs);
+            backoffMs = std::min(backoffMs * 2, options.maxBackoffMs);
+            continue;
+          }
+          return std::nullopt;
+        }
         if (everStarted) ++stats.restarts;
         everStarted = true;
       }
-      if (!sendLine(line)) continue;  // child died; next attempt respawns
+      if (!sendLine(line)) continue;  // transport died; next attempt recovers
       std::optional<std::string> response = readLine();
       if (!response.has_value()) continue;
+      if (!lastComplete) continue;  // truncated mid-write — not a response
       if (response->find("\"error\": \"overloaded\"") != std::string::npos) {
-        std::this_thread::sleep_for(std::chrono::milliseconds(backoffMs));
+        sleepMs(backoffMs);
         backoffMs = std::min(backoffMs * 2, options.maxBackoffMs);
         continue;
       }
@@ -209,8 +316,10 @@ struct ExploreClient::Impl {
   ClientOptions options;
   ClientStats stats;
   pid_t pid = -1;
-  std::FILE* toChild = nullptr;
-  std::FILE* fromChild = nullptr;
+  int writeFd = -1;
+  int readFd = -1;
+  std::unique_ptr<support::net::LineReader> reader;
+  bool lastComplete = true;
   bool everStarted = false;
 };
 
@@ -231,6 +340,8 @@ int ExploreClient::stop() { return impl_->stop(); }
 
 void ExploreClient::killServer() { impl_->kill(); }
 
+void ExploreClient::dropConnection() { impl_->closeTransport(); }
+
 bool ExploreClient::sendLine(const std::string& line) {
   return impl_->sendLine(line);
 }
@@ -238,6 +349,8 @@ bool ExploreClient::sendLine(const std::string& line) {
 std::optional<std::string> ExploreClient::readLine() {
   return impl_->readLine();
 }
+
+bool ExploreClient::lastLineComplete() const { return impl_->lastComplete; }
 
 std::optional<std::string> ExploreClient::request(const std::string& line) {
   return impl_->request(line);

@@ -1,20 +1,35 @@
 // Retrying JSONL client for a resident explore_server (--serve mode).
 //
-// The client owns the server as a child process: it spawns the configured
-// command with pipes on stdin/stdout, speaks one JSON object per line in
-// each direction, and wraps that transport in the retry discipline a
-// resident daemon demands:
+// Two transports behind one request() discipline:
+//
+//   * Pipe (default): the client owns the server as a child process —
+//     spawns the configured command with pipes on stdin/stdout and speaks
+//     one JSON object per line in each direction.
+//   * Socket (port >= 0 or unixSocketPath set): request lines travel over
+//     TCP or a unix-domain socket to a server started with --port /
+//     --unix-socket. The child (when `command` is non-empty) is spawned
+//     with stdio detached and the client connects to it, retrying while
+//     the server binds; with an empty `command` the client is
+//     connect-only and assumes somebody else runs the server.
+//
+// Either way the transport is wrapped in the retry discipline a resident
+// daemon demands:
 //
 //   * Overload backoff: an `{"error": "overloaded", ...}` response is not a
 //     failure — the daemon shed load. request() sleeps with exponential
 //     backoff (initialBackoffMs doubling up to maxBackoffMs) and resends.
-//   * Crash recovery: a dead child (EOF on its stdout, failed write) is
-//     detected, reaped, and — when autoRestart is set — respawned before
-//     the request is retried. A server restarted from its snapshot answers
-//     warm, which is what tools/chaos_runner exercises end to end.
+//   * Crash recovery: a dead transport (EOF, failed write, severed
+//     connection) is detected and — when autoRestart is set — the child is
+//     respawned / the socket reconnected before the request is retried. A
+//     server restarted from its snapshot answers warm, which is what
+//     tools/chaos_runner exercises end to end.
+//   * Partial final lines: a server that dies mid-write leaves a line with
+//     no trailing '\n'. readLine() surfaces it (lastLineComplete() turns
+//     false) instead of silently discarding the bytes; request() treats it
+//     as a failed attempt, never as a response.
 //
-// The transport is deliberately dumb (blocking FILE* line I/O, no threads)
-// so its failure modes are enumerable; it is the reference client for
+// The transport is deliberately dumb (blocking line I/O, no threads) so
+// its failure modes are enumerable; it is the reference client for
 // docs/PROTOCOL.md and the harness chaos tests are built on.
 #pragma once
 
@@ -28,6 +43,7 @@ namespace tensorlib::driver {
 
 struct ClientOptions {
   /// argv for the server child, e.g. {"./explore_server", "--serve", ...}.
+  /// May be empty in socket mode (connect-only client).
   std::vector<std::string> command;
   /// Extra KEY=VALUE environment entries for the child (appended to the
   /// parent environment; used to arm TENSORLIB_FAULTS in chaos runs).
@@ -36,49 +52,79 @@ struct ClientOptions {
   int maxAttempts = 8;
   std::int64_t initialBackoffMs = 10;
   std::int64_t maxBackoffMs = 1000;
-  /// Respawn a dead child on the next request instead of failing.
+  /// Re-establish a dead transport (respawn the child, reconnect the
+  /// socket) on the next request instead of failing.
   bool autoRestart = true;
+
+  /// Socket transport. unixSocketPath (preferred when set) or host:port;
+  /// port -1 with an empty path selects the stdio pipe transport.
+  std::string host = "127.0.0.1";
+  int port = -1;
+  std::string unixSocketPath;
+  /// Connect retry budget while a freshly spawned server binds its socket.
+  int connectAttempts = 100;
+  std::int64_t connectBackoffMs = 20;
 };
 
 struct ClientStats {
-  std::uint64_t requests = 0;   ///< request() calls that got a response
-  std::uint64_t retries = 0;    ///< overload backoffs + resends after death
-  std::uint64_t restarts = 0;   ///< child respawns after start()
+  std::uint64_t requests = 0;     ///< request() calls that got a response
+  std::uint64_t retries = 0;      ///< overload backoffs + resends after death
+  std::uint64_t restarts = 0;     ///< transport re-establishments (respawns
+                                  ///< and socket reconnects) after the first
+  std::uint64_t partialLines = 0; ///< unterminated final lines surfaced
 };
 
 class ExploreClient {
  public:
   explicit ExploreClient(ClientOptions options);
-  /// Kills (SIGKILL) and reaps any running child.
+  /// Kills (SIGKILL) and reaps any running child; closes the transport.
   ~ExploreClient();
   ExploreClient(const ExploreClient&) = delete;
   ExploreClient& operator=(const ExploreClient&) = delete;
 
-  /// Spawns the server child. Returns false if the pipes or fork failed
-  /// (exec failure surfaces as immediate EOF on the first read). No-op
-  /// true when already running.
+  /// Establishes the transport: spawns the server child (pipe mode, or
+  /// socket mode with a command) and/or connects the socket. Returns false
+  /// if the pipes, fork, or connect failed (exec failure surfaces as
+  /// immediate EOF on the first read). No-op true when already up.
   bool start();
 
   /// True iff a child is running (reaps it first if it just exited).
+  /// Always false for a connect-only socket client.
   bool running();
 
   /// Graceful stop: sends `{"shutdown": true}`, waits for exit (bounded),
-  /// escalating to SIGKILL. Returns the child's raw wait status, -1 if
-  /// none was running.
+  /// escalating to SIGKILL. Returns the child's raw wait status; -1 if
+  /// none was running (0 for a connect-only client whose shutdown line
+  /// was delivered).
   int stop();
 
-  /// SIGKILL + reap — the crash half of a chaos cycle.
+  /// SIGKILL + reap — the crash half of a chaos cycle. Also severs the
+  /// socket in socket mode.
   void killServer();
 
+  /// Severs the transport WITHOUT touching the server child: in socket
+  /// mode the server stays up and sees a connection drop (cancelling this
+  /// client's queued work); the next request() reconnects. The
+  /// kill-the-connection half of a chaos cycle.
+  void dropConnection();
+
   /// Raw transport: one line out / one line in. sendLine returns false on
-  /// a dead child; readLine returns nullopt on EOF. Both mark the child
+  /// a dead transport. readLine returns nullopt on EOF — except that a
+  /// partial final line (no trailing '\n') is returned once, with
+  /// lastLineComplete() false, before the nullopt. Both mark the transport
   /// dead for request() to recover from.
   bool sendLine(const std::string& line);
   std::optional<std::string> readLine();
 
+  /// False iff the line readLine() just returned was cut off before its
+  /// terminating '\n' (the server died or the connection dropped
+  /// mid-write). Such a line is diagnostic text, not a response.
+  bool lastLineComplete() const;
+
   /// Sends one request line and returns the matching response line,
-  /// retrying through overload rejections (exponential backoff) and — with
-  /// autoRestart — child death. nullopt when maxAttempts is exhausted.
+  /// retrying through overload rejections (exponential backoff), truncated
+  /// responses, and — with autoRestart — transport death. nullopt when
+  /// maxAttempts is exhausted.
   std::optional<std::string> request(const std::string& line);
 
   ClientStats stats() const;

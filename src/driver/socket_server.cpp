@@ -1,0 +1,547 @@
+#include "driver/socket_server.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <chrono>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "driver/network_explorer.hpp"
+#include "driver/wire.hpp"
+#include "support/error.hpp"
+#include "support/net.hpp"
+
+extern "C" {
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+}
+
+namespace tensorlib::driver {
+
+struct SocketServer::Impl {
+  /// One accepted connection. The reader thread parses and dispatches
+  /// request lines; the writer thread drains the bounded outgoing queue so
+  /// a slow peer blocks only its own writer, never a daemon callback. The
+  /// fd is closed only at reap/close time (after both threads exited), so
+  /// no thread ever races a reused descriptor.
+  struct Connection {
+    int fd = -1;
+    std::uint64_t id = 0;
+    std::string clientId;
+
+    std::mutex mutex;
+    std::condition_variable writeCv;
+    std::deque<std::string> writeQueue;
+    bool writerExit = false;
+    bool writing = false;  ///< a line is mid-send (flush waits on it)
+    std::size_t requestIndex = 0;
+
+    std::atomic<bool> alive{true};
+    std::atomic<bool> readerDone{false};
+    std::atomic<bool> writerDone{false};
+
+    std::thread reader;
+    std::thread writer;
+  };
+
+  Impl(ExplorationDaemon& d, SocketServerOptions opts)
+      : daemon(d), options(std::move(opts)) {}
+
+  ~Impl() { closeAll(""); }
+
+  // ---- lifecycle -----------------------------------------------------------
+
+  bool start() {
+    if (options.port < 0 && options.unixSocketPath.empty()) {
+      lastError = "no endpoint configured (need a port or a unix socket)";
+      return false;
+    }
+    if (options.port >= 0) {
+      tcpFd = support::net::listenTcp(options.bindAddress, options.port,
+                                      options.backlog, &boundPort);
+      if (tcpFd < 0) {
+        lastError = "cannot listen on " + options.bindAddress + ":" +
+                    std::to_string(options.port);
+        return false;
+      }
+    }
+    if (!options.unixSocketPath.empty()) {
+      unixFd = support::net::listenUnix(options.unixSocketPath, options.backlog);
+      if (unixFd < 0) {
+        lastError = "cannot listen on unix socket " + options.unixSocketPath;
+        if (tcpFd >= 0) {
+          ::close(tcpFd);
+          tcpFd = -1;
+        }
+        return false;
+      }
+    }
+    acceptThread = std::thread([this] { acceptLoop(); });
+    return true;
+  }
+
+  void acceptLoop() {
+    while (!stopping.load()) {
+      pollfd fds[2];
+      int n = 0;
+      if (tcpFd >= 0) fds[n++] = pollfd{tcpFd, POLLIN, 0};
+      if (unixFd >= 0) fds[n++] = pollfd{unixFd, POLLIN, 0};
+      const int ready = ::poll(fds, static_cast<nfds_t>(n), 200);
+      if (stopping.load()) break;
+      reapDead();
+      if (ready <= 0) continue;
+      for (int i = 0; i < n; ++i) {
+        if ((fds[i].revents & POLLIN) == 0) continue;
+        const int fd = ::accept(fds[i].fd, nullptr, nullptr);
+        if (fd < 0) continue;
+        onAccept(fd);
+      }
+    }
+  }
+
+  void onAccept(int fd) {
+    int one = 1;
+    // No-ops on the unix-domain listener; worth it on TCP (one line per
+    // request, Nagle only adds latency).
+    (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (options.sendBufferBytes > 0)
+      (void)setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options.sendBufferBytes,
+                       sizeof(options.sendBufferBytes));
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      conn->id = nextConnId++;
+      conn->clientId = "conn-" + std::to_string(conn->id);
+      connections[conn->id] = conn;
+      ++stats.accepted;
+    }
+    conn->writer = std::thread([this, conn] { writerLoop(conn); });
+    conn->reader = std::thread([this, conn] { readerLoop(conn); });
+  }
+
+  // ---- per-connection reader ----------------------------------------------
+
+  void readerLoop(const std::shared_ptr<Connection>& conn) {
+    support::net::LineReader reader(conn->fd);
+    while (!stopping.load() && conn->alive.load()) {
+      const auto line = reader.next();
+      if (!line) break;
+      if (!line->complete) {
+        // The peer died (or was dropped) mid-line. A truncated request
+        // must never be executed — half a query is not a smaller query.
+        std::lock_guard<std::mutex> lock(mutex);
+        ++stats.truncatedLines;
+        break;
+      }
+      if (line->text.size() > options.maxLineBytes) break;
+      if (line->text.find_first_not_of(" \t\r") == std::string::npos) continue;
+      handleLine(conn, line->text);
+    }
+    // A disconnect observed during normal operation cancels the
+    // connection's queued daemon work; during drain/close the EOF is ours
+    // (SHUT_RD) and accepted work must complete instead.
+    if (!stopping.load()) disconnect(conn, /*slowReader=*/false);
+    conn->readerDone.store(true);
+  }
+
+  void handleLine(const std::shared_ptr<Connection>& conn,
+                  const std::string& text) {
+    std::size_t id;
+    {
+      std::lock_guard<std::mutex> lock(conn->mutex);
+      id = conn->requestIndex++;
+    }
+    try {
+      const auto obj = support::parseJsonLine(text);
+      wire::Request request = wire::parseRequest(obj);
+      switch (request.kind) {
+        case wire::Request::Kind::Shutdown: {
+          {
+            std::lock_guard<std::mutex> lock(mutex);
+            if (!shutdownRequested) {
+              shutdownRequested = true;
+              shutdownRequester = conn;
+            }
+          }
+          shutdownCv.notify_all();
+          return;
+        }
+        case wire::Request::Kind::CacheStats: {
+          emitTo(conn, "{\"query\": " + std::to_string(id) +
+                           ", \"cache\": " +
+                           wire::cacheStatsJson(daemon.service().cacheStats()) +
+                           "}");
+          return;
+        }
+        case wire::Request::Kind::Network: {
+          // Synchronous on this connection's reader (the explorer fans out
+          // through the shared service itself); other connections keep
+          // their own readers. Counted as pending so drain() waits for it.
+          {
+            std::lock_guard<std::mutex> lock(mutex);
+            ++stats.requests;
+            ++pendingTotal;
+          }
+          try {
+            NetworkExplorer explorer(daemon.service());
+            const auto result = explorer.explore(*request.network);
+            emitTo(conn, wire::networkResultLine(id, request.name,
+                                                 *request.network, result,
+                                                 options.maxFrontier));
+          } catch (...) {
+            finishPending();
+            throw;
+          }
+          finishPending();
+          return;
+        }
+        case wire::Request::Kind::Query: {
+          const std::string workload = request.name;
+          const std::string backend =
+              cost::backendKindName(request.query->backend);
+          const std::string objective = objectiveName(request.query->objective);
+          {
+            std::lock_guard<std::mutex> lock(mutex);
+            ++stats.requests;
+            ++pendingTotal;
+          }
+          const auto admission = daemon.submit(
+              conn->clientId, std::move(*request.query),
+              [this, conn, id, workload, backend,
+               objective](ExplorationDaemon::Outcome outcome) {
+                if (outcome.failed()) {
+                  emitTo(conn, wire::errorLine(id, outcome.error));
+                } else {
+                  emitTo(conn,
+                         wire::resultLine(id, workload, backend, objective,
+                                          *outcome.result,
+                                          options.maxFrontier));
+                }
+                finishPending();
+              });
+          if (admission != Admission::Accepted) {
+            finishPending();
+            emitTo(conn, wire::errorLine(id, admissionName(admission)));
+          }
+          return;
+        }
+      }
+    } catch (const std::exception& e) {
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        ++stats.parseErrors;
+      }
+      emitTo(conn, wire::errorLine(id, e.what()));
+    }
+  }
+
+  /// Last statement of every pending unit of work. Notifies under the lock
+  /// so a drain()/close() waiter cannot destroy the condition variable
+  /// between our decrement and the notify.
+  void finishPending() {
+    std::lock_guard<std::mutex> lock(mutex);
+    --pendingTotal;
+    pendingCv.notify_all();
+  }
+
+  // ---- per-connection writer ----------------------------------------------
+
+  void writerLoop(const std::shared_ptr<Connection>& conn) {
+    for (;;) {
+      std::string line;
+      {
+        std::unique_lock<std::mutex> lock(conn->mutex);
+        conn->writeCv.wait(lock, [&] {
+          return conn->writerExit || !conn->writeQueue.empty();
+        });
+        if (conn->writeQueue.empty()) {
+          if (conn->writerExit) break;
+          continue;
+        }
+        line = std::move(conn->writeQueue.front());
+        conn->writeQueue.pop_front();
+        conn->writing = true;
+      }
+      line += '\n';
+      const bool ok = support::net::sendAll(conn->fd, line.data(), line.size());
+      {
+        std::lock_guard<std::mutex> lock(conn->mutex);
+        conn->writing = false;
+      }
+      conn->writeCv.notify_all();  // flush waiters watch queue + writing
+      if (!ok) {
+        disconnect(conn, /*slowReader=*/false);
+        break;
+      }
+    }
+    conn->writerDone.store(true);
+  }
+
+  /// Queues one line on the connection (writer sends it). Discards on a
+  /// dead connection; drops the connection when the queue bound says the
+  /// peer stopped reading.
+  void emitTo(const std::shared_ptr<Connection>& conn, const std::string& line) {
+    bool slowReader = false;
+    {
+      std::lock_guard<std::mutex> lock(conn->mutex);
+      if (!conn->alive.load()) {
+        std::lock_guard<std::mutex> slock(mutex);
+        ++stats.discardedResponses;
+        return;
+      }
+      if (conn->writeQueue.size() >= options.writeQueueBound) {
+        slowReader = true;
+      } else {
+        conn->writeQueue.push_back(line);
+      }
+    }
+    if (slowReader) {
+      disconnect(conn, /*slowReader=*/true);
+      std::lock_guard<std::mutex> lock(mutex);
+      ++stats.discardedResponses;
+      return;
+    }
+    conn->writeCv.notify_one();
+  }
+
+  // ---- drop / drain / close -----------------------------------------------
+
+  /// Idempotent connection drop: stop both directions, clear the unsent
+  /// queue, cancel the connection's queued daemon work. The in-flight
+  /// request (if any) completes and its response is discarded by emitTo.
+  void disconnect(const std::shared_ptr<Connection>& conn, bool slowReader) {
+    {
+      std::lock_guard<std::mutex> lock(conn->mutex);
+      if (!conn->alive.load()) return;
+      conn->alive.store(false);
+      conn->writerExit = true;
+      conn->writeQueue.clear();
+    }
+    conn->writeCv.notify_all();
+    ::shutdown(conn->fd, SHUT_RDWR);  // unblocks a reader or mid-send writer
+    const std::size_t cancelled = daemon.cancelClient(conn->clientId);
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (slowReader) {
+        ++stats.droppedSlowReader;
+      } else {
+        ++stats.dropped;
+      }
+      stats.cancelledOnDrop += cancelled;
+    }
+  }
+
+  std::vector<std::shared_ptr<Connection>> snapshotConnections() {
+    std::vector<std::shared_ptr<Connection>> out;
+    std::lock_guard<std::mutex> lock(mutex);
+    out.reserve(connections.size());
+    for (const auto& [id, conn] : connections) {
+      (void)id;
+      out.push_back(conn);
+    }
+    return out;
+  }
+
+  /// Joins and erases connections whose threads both exited (periodic, from
+  /// the accept loop) so a long-lived server does not accumulate dead ones.
+  void reapDead() {
+    std::vector<std::shared_ptr<Connection>> dead;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      for (auto it = connections.begin(); it != connections.end();) {
+        if (it->second->readerDone.load() && it->second->writerDone.load()) {
+          dead.push_back(it->second);
+          it = connections.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    for (const auto& conn : dead) {
+      if (conn->reader.joinable()) conn->reader.join();
+      if (conn->writer.joinable()) conn->writer.join();
+      ::close(conn->fd);
+    }
+  }
+
+  void stopAccepting() {
+    stopping.store(true);
+    shutdownCv.notify_all();
+    if (acceptThread.joinable()) acceptThread.join();
+    if (tcpFd >= 0) {
+      ::close(tcpFd);
+      tcpFd = -1;
+    }
+    if (unixFd >= 0) {
+      ::close(unixFd);
+      unixFd = -1;
+      unlink(options.unixSocketPath.c_str());
+    }
+  }
+
+  /// Waits (bounded) for a connection's queued lines to reach the wire. A
+  /// peer that stalls past the timeout is dropped rather than waited on.
+  void flushConnection(const std::shared_ptr<Connection>& conn) {
+    std::unique_lock<std::mutex> lock(conn->mutex);
+    const bool flushed = conn->writeCv.wait_for(
+        lock, std::chrono::milliseconds(2000), [&] {
+          return !conn->alive.load() ||
+                 (conn->writeQueue.empty() && !conn->writing);
+        });
+    lock.unlock();
+    if (!flushed) disconnect(conn, /*slowReader=*/true);
+  }
+
+  void drain() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (drained) return;
+      drained = true;
+    }
+    stopAccepting();
+    const auto conns = snapshotConnections();
+    // Stop reads everywhere; accepted work keeps running to completion.
+    for (const auto& conn : conns) ::shutdown(conn->fd, SHUT_RD);
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      pendingCv.wait(lock, [this] { return pendingTotal == 0; });
+    }
+    for (const auto& conn : conns) flushConnection(conn);
+  }
+
+  void closeAll(const std::string& finalLine) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (closed) return;
+      closed = true;
+    }
+    bool wasDrained;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      wasDrained = drained;
+    }
+    stopAccepting();
+    const auto conns = snapshotConnections();
+    for (const auto& conn : conns) ::shutdown(conn->fd, SHUT_RD);
+    if (!wasDrained) {
+      // Abort path (no prior drain): queued work is pointless, cancel it
+      // so the pending wait below is bounded by in-flight requests only.
+      for (const auto& conn : conns) {
+        const std::size_t cancelled = daemon.cancelClient(conn->clientId);
+        std::lock_guard<std::mutex> lock(mutex);
+        stats.cancelledOnDrop += cancelled;
+      }
+    }
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      pendingCv.wait(lock, [this] { return pendingTotal == 0; });
+    }
+    if (!finalLine.empty()) {
+      std::shared_ptr<Connection> requester;
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        requester = shutdownRequester;
+      }
+      if (requester) emitTo(requester, finalLine);
+    }
+    for (const auto& conn : conns) flushConnection(conn);
+    for (const auto& conn : conns) {
+      {
+        std::lock_guard<std::mutex> lock(conn->mutex);
+        conn->writerExit = true;
+      }
+      conn->writeCv.notify_all();
+      ::shutdown(conn->fd, SHUT_RDWR);
+    }
+    for (const auto& conn : conns) {
+      if (conn->reader.joinable()) conn->reader.join();
+      if (conn->writer.joinable()) conn->writer.join();
+      ::close(conn->fd);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      connections.clear();
+      shutdownRequester.reset();
+    }
+  }
+
+  void waitForShutdownRequest() {
+    std::unique_lock<std::mutex> lock(mutex);
+    shutdownCv.wait(lock, [this] { return shutdownRequested || stopping.load(); });
+  }
+
+  void shutdownNow() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      shutdownRequested = true;
+    }
+    shutdownCv.notify_all();
+  }
+
+  SocketServerStats statsNow() const {
+    std::lock_guard<std::mutex> lock(mutex);
+    SocketServerStats copy = stats;
+    copy.activeConnections = 0;
+    for (const auto& [id, conn] : connections) {
+      (void)id;
+      if (conn->alive.load()) ++copy.activeConnections;
+    }
+    return copy;
+  }
+
+  ExplorationDaemon& daemon;
+  SocketServerOptions options;
+  std::string lastError;
+
+  int tcpFd = -1;
+  int unixFd = -1;
+  int boundPort = -1;
+  std::thread acceptThread;
+
+  mutable std::mutex mutex;
+  std::condition_variable shutdownCv;
+  std::condition_variable pendingCv;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Connection>> connections;
+  std::shared_ptr<Connection> shutdownRequester;
+  std::uint64_t nextConnId = 0;
+  std::size_t pendingTotal = 0;
+  bool shutdownRequested = false;
+  bool drained = false;
+  bool closed = false;
+  std::atomic<bool> stopping{false};
+  SocketServerStats stats;
+};
+
+SocketServer::SocketServer(ExplorationDaemon& daemon,
+                           SocketServerOptions options)
+    : impl_(std::make_unique<Impl>(daemon, std::move(options))) {}
+
+SocketServer::~SocketServer() = default;
+
+bool SocketServer::start() { return impl_->start(); }
+
+int SocketServer::port() const { return impl_->boundPort; }
+
+const std::string& SocketServer::lastError() const { return impl_->lastError; }
+
+void SocketServer::waitForShutdownRequest() { impl_->waitForShutdownRequest(); }
+
+void SocketServer::shutdownNow() { impl_->shutdownNow(); }
+
+void SocketServer::drain() { impl_->drain(); }
+
+void SocketServer::close(const std::string& finalLine) {
+  impl_->closeAll(finalLine);
+}
+
+SocketServerStats SocketServer::stats() const { return impl_->statsNow(); }
+
+}  // namespace tensorlib::driver

@@ -1,0 +1,118 @@
+// TCP / unix-socket front-end for the resident ExplorationDaemon — the
+// piece that turns `explore_server --serve` from a one-client stdio pipe
+// into an actual network service.
+//
+//   * N concurrent connections: an accept loop hands each connection a
+//     reader thread (line-framed requests, the same wire schema as stdio;
+//     see driver/wire.*) and a writer thread with a bounded outgoing
+//     queue. Responses stream back in COMPLETION order on the connection
+//     that submitted them.
+//   * Per-connection fairness: every connection gets its own daemon
+//     client id ("conn-<n>"), so the daemon's bounded admission queue and
+//     round-robin fairness apply per CONNECTION — one flooding socket
+//     saturates its own share, not the daemon. (The request "client"
+//     field is ignored over sockets; the connection is the client.)
+//   * Slow-reader isolation: daemon completion callbacks only ever
+//     enqueue onto the owning connection's write queue; the per-connection
+//     writer thread does the blocking sends. A reader that stalls past
+//     writeQueueBound queued lines is dropped, never the daemon.
+//   * Drop semantics: a dropped connection (EOF, reset, slow-reader
+//     eviction) cancels its still-queued daemon work
+//     (ExplorationDaemon::cancelClient); its in-flight request, if any,
+//     completes and the response is discarded. A request line truncated
+//     by the disconnect (no trailing '\n') is NEVER executed.
+//   * Shutdown drain: any connection may send {"shutdown": true}. The
+//     owner (tools/explore_server) waits on waitForShutdownRequest(),
+//     calls drain() (stop accepting + reading, let in-flight work finish,
+//     flush writers), shuts the daemon down, then close(summary) — the
+//     summary line goes to the connection that asked.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "driver/daemon.hpp"
+
+namespace tensorlib::driver {
+
+struct SocketServerOptions {
+  /// TCP listen port; -1 disables TCP, 0 picks an ephemeral port (read it
+  /// back via port()).
+  int port = -1;
+  /// Numeric IPv4 address to bind. Loopback by default: exposing the
+  /// daemon beyond the host is a deployment decision, not a default.
+  std::string bindAddress = "127.0.0.1";
+  /// Unix-domain socket path; empty disables. May be combined with TCP —
+  /// both listeners feed the same daemon.
+  std::string unixSocketPath;
+  /// Frontier entries per response line (same meaning as --max-frontier).
+  std::size_t maxFrontier = 16;
+  /// Outgoing lines queued per connection before the connection is judged
+  /// a slow reader and dropped. The bound is what keeps a stalled reader
+  /// from pinning response memory while its writer blocks.
+  std::size_t writeQueueBound = 1024;
+  /// Longest accepted request line; a line beyond this drops the
+  /// connection (a line protocol's only defense against an unframed peer).
+  std::size_t maxLineBytes = 1u << 20;
+  /// When > 0, SO_SNDBUF for accepted connections (tests use a tiny buffer
+  /// to exercise the slow-reader path deterministically).
+  int sendBufferBytes = 0;
+  int backlog = 64;
+};
+
+struct SocketServerStats {
+  std::uint64_t accepted = 0;          ///< connections accepted
+  std::uint64_t dropped = 0;           ///< dropped: EOF/reset/oversized line
+  std::uint64_t droppedSlowReader = 0; ///< dropped: write queue overflow
+  std::uint64_t requests = 0;          ///< well-formed requests admitted
+  std::uint64_t parseErrors = 0;       ///< lines answered with an error
+  std::uint64_t truncatedLines = 0;    ///< partial final lines NOT executed
+  std::uint64_t discardedResponses = 0;///< completions after a drop
+  std::uint64_t cancelledOnDrop = 0;   ///< queued work cancelled by drops
+  std::size_t activeConnections = 0;
+};
+
+class SocketServer {
+ public:
+  /// Borrows the daemon; it must outlive the server's last close().
+  SocketServer(ExplorationDaemon& daemon, SocketServerOptions options);
+  /// Equivalent to close("").
+  ~SocketServer();
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Binds and listens on every configured endpoint and starts accepting.
+  /// False (with lastError() set) if nothing could be bound.
+  bool start();
+
+  /// Actual TCP port (after an ephemeral bind), -1 when TCP is disabled.
+  int port() const;
+
+  const std::string& lastError() const;
+
+  /// Blocks until some connection sends {"shutdown": true} or shutdownNow()
+  /// is called.
+  void waitForShutdownRequest();
+  /// Unblocks waitForShutdownRequest() without a client request (signal
+  /// handlers, tests).
+  void shutdownNow();
+
+  /// Stops accepting and reading, waits for every submitted request to
+  /// complete and every writer to flush. Connections stay open so a final
+  /// summary can still be delivered by close().
+  void drain();
+
+  /// Emits `finalLine` (if non-empty) to the shutdown-requesting
+  /// connection, then closes every connection and joins all threads.
+  /// Idempotent; implies drain().
+  void close(const std::string& finalLine);
+
+  SocketServerStats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace tensorlib::driver

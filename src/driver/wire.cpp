@@ -1,0 +1,247 @@
+#include "driver/wire.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "stt/enumerate.hpp"
+#include "support/error.hpp"
+#include "tensor/network.hpp"
+#include "tensor/workloads.hpp"
+
+namespace tensorlib::driver::wire {
+
+namespace {
+
+Objective requireObjective(const std::string& name) {
+  const auto o = parseObjective(name);
+  if (!o)
+    fail("unknown objective '" + name +
+         "' (expected performance|power|energy-delay)");
+  return *o;
+}
+
+/// Applies the array fields every request kind shares.
+void parseArrayFields(const support::JsonObject& obj, stt::ArrayConfig* array) {
+  if (const auto v = obj.getInt("rows")) array->rows = *v;
+  if (const auto v = obj.getInt("cols")) array->cols = *v;
+  if (const auto v = obj.getDouble("bandwidth_gbps")) array->bandwidthGBps = *v;
+  if (const auto v = obj.getDouble("frequency_mhz")) array->frequencyMHz = *v;
+  if (const auto v = obj.getInt("data_bytes")) array->dataBytes = *v;
+}
+
+ExploreQuery parseQuery(const support::JsonObject& obj) {
+  const auto workload = obj.getString("workload");
+  if (!workload) fail("query missing required field 'workload'");
+
+  tensor::TensorAlgebra algebra = [&] {
+    if (*workload == "gemm" && (obj.has("m") || obj.has("n") || obj.has("k")))
+      return tensor::workloads::gemm(obj.getInt("m").value_or(64),
+                                     obj.getInt("n").value_or(64),
+                                     obj.getInt("k").value_or(64));
+    const auto* named = tensor::workloads::findWorkload(*workload);
+    if (!named)
+      fail("unknown workload '" + *workload + "' (try --list-workloads)");
+    return named->algebra;
+  }();
+
+  ExploreQuery q(std::move(algebra));
+  if (const auto* named = tensor::workloads::findWorkload(*workload))
+    q.enumeration.dropAllUnicast = !named->allowAllUnicast;
+
+  if (const auto v = obj.getString("objective"))
+    q.objective = requireObjective(*v);
+  if (const auto v = obj.getString("backend")) {
+    const auto kind = cost::parseBackendKind(*v);
+    if (!kind) fail("unknown backend '" + *v + "' (expected asic|fpga)");
+    q.backend = *kind;
+  }
+  parseArrayFields(obj, &q.array);
+  if (const auto v = obj.getInt("data_width")) q.dataWidth = static_cast<int>(*v);
+  if (const auto v = obj.getInt("max_entry"))
+    q.enumeration.maxEntry = static_cast<int>(*v);
+  if (const auto v = obj.getInt("deadline_ms")) q.deadlineMs = *v;
+  if (const auto v = obj.getBool("fp32")) q.fpga.fp32 = *v;
+  if (const auto v = obj.getInt("vector_lanes")) q.fpga.vectorLanes = *v;
+  if (const auto v = obj.getBool("placement_optimized"))
+    q.fpga.placementOptimized = *v;
+  return q;
+}
+
+NetworkQuery parseNetworkQuery(const support::JsonObject& obj) {
+  tensor::NetworkSpec network = [&] {
+    if (const auto name = obj.getString("network")) {
+      const auto* builtin = tensor::workloads::findNetwork(*name);
+      if (!builtin)
+        fail("unknown network '" + *name +
+             "' (see network_explorer --list-models)");
+      return *builtin;
+    }
+    const auto file = obj.getString("network_file");
+    if (!file) fail("network request needs 'network' or 'network_file'");
+    return tensor::workloads::loadNetworkJsonl(*file);
+  }();
+
+  NetworkQuery q(std::move(network));
+  stt::ArrayConfig base;
+  parseArrayFields(obj, &base);
+  if (const auto v = obj.getString("arrays"))
+    q.arrays = parseArrayList(*v, base);
+  else
+    q.arrays = {base};
+  if (const auto v = obj.getString("objective"))
+    q.objective = requireObjective(*v);
+  if (const auto v = obj.getString("backend")) {
+    const auto kind = cost::parseBackendKind(*v);
+    if (!kind) fail("unknown backend '" + *v + "' (expected asic|fpga)");
+    q.backend = *kind;
+  }
+  if (const auto v = obj.getInt("data_width")) q.dataWidth = static_cast<int>(*v);
+  if (const auto v = obj.getInt("max_entry"))
+    q.enumeration.maxEntry = static_cast<int>(*v);
+  if (const auto v = obj.getBool("fp32")) q.fpga.fp32 = *v;
+  if (const auto v = obj.getInt("vector_lanes")) q.fpga.vectorLanes = *v;
+  if (const auto v = obj.getBool("placement_optimized"))
+    q.fpga.placementOptimized = *v;
+  return q;
+}
+
+void appendNetworkDesign(std::ostringstream& os, const NetworkQuery& q,
+                         const NetworkDesign& d) {
+  const auto& array = q.arrays[d.arrayIndex];
+  os << "{\"array\": \"" << array.rows << "x" << array.cols
+     << "\", \"cycles\": " << d.cost.cycles << ", \"power_mw\": "
+     << d.cost.powerMw << ", \"area\": " << d.cost.area
+     << ", \"utilization\": " << d.cost.utilization << ", \"assignments\": [";
+  for (std::size_t l = 0; l < d.layers.size(); ++l) {
+    const auto& layer = d.layers[l];
+    os << (l ? ", " : "") << "{\"layer\": \""
+       << support::jsonEscape(layer.layer) << "\", \"dataflow\": \""
+       << support::jsonEscape(layer.dataflow) << "\", \"cycles\": "
+       << layer.cycles << "}";
+  }
+  os << "]}";
+}
+
+}  // namespace
+
+Request parseRequest(const support::JsonObject& obj) {
+  Request request;
+  if (obj.getBool("shutdown").value_or(false)) {
+    request.kind = Request::Kind::Shutdown;
+    return request;
+  }
+  if (obj.getBool("cache_stats").value_or(false)) {
+    request.kind = Request::Kind::CacheStats;
+    return request;
+  }
+  request.client = obj.getString("client").value_or("default");
+  if (obj.has("network") || obj.has("network_file")) {
+    request.kind = Request::Kind::Network;
+    request.network = parseNetworkQuery(obj);
+    request.name = request.network->network.name();
+    return request;
+  }
+  request.kind = Request::Kind::Query;
+  request.query = parseQuery(obj);
+  request.name = *obj.getString("workload");
+  return request;
+}
+
+std::string errorLine(std::size_t index, const std::string& message) {
+  std::ostringstream os;
+  os << "{\"query\": " << index << ", \"error\": \""
+     << support::jsonEscape(message) << "\"}";
+  return os.str();
+}
+
+std::string resultLine(std::size_t index, const std::string& workload,
+                       const std::string& backend, const std::string& objective,
+                       const QueryResult& r, std::size_t maxFrontier) {
+  std::ostringstream os;
+  os << "{\"query\": " << index << ", \"workload\": \""
+     << support::jsonEscape(workload) << "\", \"backend\": \"" << backend
+     << "\", \"objective\": \"" << objective << "\", \"designs\": " << r.designs
+     << ", \"frontier_size\": " << r.frontier.size() << ", \"frontier\": [";
+  const std::size_t shown = std::min(maxFrontier, r.frontier.size());
+  for (std::size_t i = 0; i < shown; ++i) {
+    const auto& rep = r.frontier[i];
+    const auto f = rep.figures();
+    os << (i ? ", " : "") << "{\"label\": \""
+       << support::jsonEscape(rep.spec.label()) << "\", \"cycles\": "
+       << rep.perf.totalCycles << ", \"power_mw\": " << f.powerMw
+       << ", \"area\": " << f.area << ", \"utilization\": "
+       << rep.perf.utilization << "}";
+  }
+  os << "]";
+  if (r.best)
+    os << ", \"best\": \"" << support::jsonEscape(r.best->spec.label()) << "\"";
+  if (r.timedOut) os << ", \"timed_out\": true";
+  os << ", \"cache\": {\"hits\": " << r.cache.hits << ", \"misses\": "
+     << r.cache.misses << ", \"pruned\": " << r.cache.pruned
+     << ", \"skipped\": " << r.cache.skipped << "}}";
+  return os.str();
+}
+
+std::string networkResultLine(std::size_t index, const std::string& name,
+                              const NetworkQuery& q, const NetworkResult& r,
+                              std::size_t maxFrontier) {
+  QueryCacheCounts cache;
+  for (const auto& s : r.layers) {
+    cache.hits += s.cache.hits;
+    cache.misses += s.cache.misses;
+    cache.pruned += s.cache.pruned;
+  }
+  std::ostringstream os;
+  os << "{\"query\": " << index << ", \"network\": \""
+     << support::jsonEscape(name) << "\", \"layers\": "
+     << q.network.layerCount() << ", \"arrays\": " << q.arrays.size()
+     << ", \"backend\": \"" << cost::backendKindName(q.backend)
+     << "\", \"objective\": \"" << objectiveName(q.objective)
+     << "\", \"designs\": " << r.designs << ", \"frontier_size\": "
+     << r.frontier.size() << ", \"frontier\": [";
+  const std::size_t shown = std::min(maxFrontier, r.frontier.size());
+  for (std::size_t i = 0; i < shown; ++i) {
+    if (i) os << ", ";
+    appendNetworkDesign(os, q, r.frontier[i]);
+  }
+  os << "]";
+  if (r.best) {
+    os << ", \"best\": ";
+    appendNetworkDesign(os, q, *r.best);
+  }
+  os << ", \"cache\": {\"hits\": " << cache.hits << ", \"misses\": "
+     << cache.misses << ", \"pruned\": " << cache.pruned << "}}";
+  return os.str();
+}
+
+std::string cacheStatsJson(const CacheStats& stats) {
+  const auto cand = stt::candidateCacheStats();
+  std::ostringstream os;
+  os << "{\"hits\": " << stats.hits << ", \"misses\": " << stats.misses
+     << ", \"evictions\": " << stats.evictions << ", \"entries\": "
+     << stats.entries << ", \"shards\": " << stats.shards
+     << ", \"mappings\": {\"hits\": " << stats.mappings.hits
+     << ", \"misses\": " << stats.mappings.misses << ", \"evictions\": "
+     << stats.mappings.evictions << ", \"entries\": " << stats.mappings.entries
+     << "}, \"candidates\": {\"hits\": " << cand.hits << ", \"misses\": "
+     << cand.misses << ", \"evictions\": " << cand.evictions
+     << ", \"entries\": " << cand.entries << "}}";
+  return os.str();
+}
+
+std::string shutdownSummaryLine(const DaemonStats& stats,
+                                const CacheStats& cache) {
+  std::ostringstream os;
+  os << "{\"shutdown\": {\"accepted\": " << stats.accepted
+     << ", \"rejected_overloaded\": " << stats.rejectedOverloaded
+     << ", \"completed\": " << stats.completed << ", \"failed\": "
+     << stats.failed << ", \"timed_out\": " << stats.timedOut
+     << ", \"cancelled\": " << stats.cancelled << ", \"snapshots_saved\": "
+     << stats.snapshotsSaved << ", \"snapshot_failures\": "
+     << stats.snapshotFailures << ", \"cache\": " << cacheStatsJson(cache)
+     << "}}";
+  return os.str();
+}
+
+}  // namespace tensorlib::driver::wire

@@ -1,0 +1,65 @@
+// Wire protocol for the exploration servers: one flat JSON object per
+// line in each direction (docs/PROTOCOL.md is the full schema).
+//
+// This is the single codec behind every transport — the batch CLI, the
+// stdio --serve loop, and the TCP/unix-socket front-end
+// (driver/socket_server.*) all parse requests and format responses through
+// these functions, which is what makes "socket responses are bit-identical
+// to stdio responses" true by construction rather than by test alone.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "driver/daemon.hpp"
+#include "driver/network_explorer.hpp"
+#include "support/jsonl.hpp"
+
+namespace tensorlib::driver::wire {
+
+/// One decoded request line. Exactly one kind is active; `query` /
+/// `network` are engaged to match.
+struct Request {
+  enum class Kind {
+    Query,       ///< one operator on one array (driver::ExploreQuery)
+    Network,     ///< whole-model request (driver::NetworkQuery)
+    CacheStats,  ///< {"cache_stats": true} control request
+    Shutdown,    ///< {"shutdown": true} control request
+  };
+
+  Kind kind = Kind::Query;
+  std::optional<ExploreQuery> query;
+  std::optional<NetworkQuery> network;
+  std::string name;    ///< workload or model name, echoed in the response
+  std::string client;  ///< admission-fairness identity ("client" field)
+};
+
+/// Parses one already-decoded JSON line into a request. Throws
+/// tensorlib::Error (with the offending field) on anything malformed —
+/// the caller turns that into an errorLine() in the request's slot.
+Request parseRequest(const support::JsonObject& obj);
+
+/// {"query": i, "error": "..."}
+std::string errorLine(std::size_t index, const std::string& message);
+
+/// Response line for one completed plain query.
+std::string resultLine(std::size_t index, const std::string& workload,
+                       const std::string& backend, const std::string& objective,
+                       const QueryResult& result, std::size_t maxFrontier);
+
+/// Response line for one completed network query.
+std::string networkResultLine(std::size_t index, const std::string& name,
+                              const NetworkQuery& query,
+                              const NetworkResult& result,
+                              std::size_t maxFrontier);
+
+/// Service-wide cache summary fragment: eval cache plus the tile-mapping
+/// and candidate-matrix memos (all three layers the snapshot persists).
+std::string cacheStatsJson(const CacheStats& stats);
+
+/// The closing {"shutdown": {...}} summary a draining server emits.
+std::string shutdownSummaryLine(const DaemonStats& stats,
+                                const CacheStats& cache);
+
+}  // namespace tensorlib::driver::wire

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -47,8 +48,25 @@ std::string parseQuoted(const std::string& s, std::size_t& i,
   return out;
 }
 
-std::string parseScalar(const std::string& s, std::size_t& i,
-                        const std::string& line) {
+/// True iff `text` is a complete JSON-shaped number (strtod consumes it
+/// all). Range is NOT checked here — the accessors own representability so
+/// they can report the field name; parse time only decides the kind. The
+/// character screen keeps strtod's extensions (hex, nan, inf) out of the
+/// accepted subset.
+bool looksNumeric(const std::string& text) {
+  for (const char c : text) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '-' && c != '+' &&
+        c != '.' && c != 'e' && c != 'E')
+      return false;
+  }
+  char* end = nullptr;
+  errno = 0;
+  (void)std::strtod(text.c_str(), &end);
+  return end != text.c_str() && *end == '\0';
+}
+
+JsonObject::Value parseScalar(const std::string& s, std::size_t& i,
+                              const std::string& line) {
   if (i >= s.size()) bad(line, "expected value");
   if (s[i] == '{' || s[i] == '[') bad(line, "nested values unsupported");
   std::string out;
@@ -56,13 +74,26 @@ std::string parseScalar(const std::string& s, std::size_t& i,
          !std::isspace(static_cast<unsigned char>(s[i])))
     out += s[i++];
   if (out.empty()) bad(line, "expected value");
-  return out;
+  if (out == "true" || out == "false")
+    return JsonObject::Value{std::move(out), JsonObject::Kind::Bool};
+  if (!looksNumeric(out))
+    bad(line, "unsupported value '" + out + "'");
+  return JsonObject::Value{std::move(out), JsonObject::Kind::Number};
 }
 
 }  // namespace
 
+std::string jsonKindName(JsonObject::Kind kind) {
+  switch (kind) {
+    case JsonObject::Kind::String: return "string";
+    case JsonObject::Kind::Number: return "number";
+    case JsonObject::Kind::Bool: return "boolean";
+  }
+  return "unknown";
+}
+
 JsonObject parseJsonLine(const std::string& line) {
-  std::map<std::string, std::string> fields;
+  std::map<std::string, JsonObject::Value> fields;
   std::size_t i = 0;
   skipSpace(line, i);
   if (i >= line.size() || line[i] != '{') bad(line, "expected '{'");
@@ -78,9 +109,13 @@ JsonObject parseJsonLine(const std::string& line) {
       if (i >= line.size() || line[i] != ':') bad(line, "expected ':'");
       ++i;
       skipSpace(line, i);
-      const std::string value = line[i] == '"' ? parseQuoted(line, i, line)
-                                               : parseScalar(line, i, line);
-      if (!fields.emplace(key, value).second) bad(line, "duplicate key " + key);
+      JsonObject::Value value =
+          line[i] == '"'
+              ? JsonObject::Value{parseQuoted(line, i, line),
+                                  JsonObject::Kind::String}
+              : parseScalar(line, i, line);
+      if (!fields.emplace(key, std::move(value)).second)
+        bad(line, "duplicate key " + key);
       skipSpace(line, i);
       if (i >= line.size()) bad(line, "expected ',' or '}'");
       if (line[i] == ',') { ++i; continue; }
@@ -93,40 +128,53 @@ JsonObject parseJsonLine(const std::string& line) {
   return JsonObject(std::move(fields));
 }
 
-std::optional<std::string> JsonObject::getString(const std::string& key) const {
+const JsonObject::Value* JsonObject::find(const std::string& key, Kind kind,
+                                          const char* wanted) const {
   auto it = fields_.find(key);
-  if (it == fields_.end()) return std::nullopt;
-  return it->second;
+  if (it == fields_.end()) return nullptr;
+  if (it->second.kind != kind)
+    fail("field '" + key + "' is a " + jsonKindName(it->second.kind) +
+         ", not a " + wanted + ": " + it->second.text);
+  return &it->second;
+}
+
+std::optional<std::string> JsonObject::getString(const std::string& key) const {
+  const Value* v = find(key, Kind::String, "string");
+  if (v == nullptr) return std::nullopt;
+  return v->text;
 }
 
 std::optional<std::int64_t> JsonObject::getInt(const std::string& key) const {
-  auto it = fields_.find(key);
-  if (it == fields_.end()) return std::nullopt;
+  const Value* value = find(key, Kind::Number, "number");
+  if (value == nullptr) return std::nullopt;
   char* end = nullptr;
   errno = 0;
-  const long long v = std::strtoll(it->second.c_str(), &end, 10);
-  if (end == it->second.c_str() || *end != '\0' || errno == ERANGE)
-    fail("field '" + key + "' is not a representable integer: " + it->second);
+  const long long v = std::strtoll(value->text.c_str(), &end, 10);
+  if (end == value->text.c_str() || *end != '\0' || errno == ERANGE)
+    fail("field '" + key + "' is not a representable integer: " + value->text);
   return static_cast<std::int64_t>(v);
 }
 
 std::optional<double> JsonObject::getDouble(const std::string& key) const {
-  auto it = fields_.find(key);
-  if (it == fields_.end()) return std::nullopt;
+  const Value* value = find(key, Kind::Number, "number");
+  if (value == nullptr) return std::nullopt;
   char* end = nullptr;
   errno = 0;
-  const double v = std::strtod(it->second.c_str(), &end);
-  if (end == it->second.c_str() || *end != '\0' || errno == ERANGE)
-    fail("field '" + key + "' is not a representable number: " + it->second);
+  const double v = std::strtod(value->text.c_str(), &end);
+  if (end == value->text.c_str() || *end != '\0')
+    fail("field '" + key + "' is not a representable number: " + value->text);
+  // ERANGE covers both directions: overflow returns ±HUGE_VAL and is a real
+  // loss; underflow returns zero or a subnormal, which IS the nearest
+  // representable double for a legal literal like 1e-320 — accept it.
+  if (errno == ERANGE && std::fabs(v) == HUGE_VAL)
+    fail("field '" + key + "' overflows a double: " + value->text);
   return v;
 }
 
 std::optional<bool> JsonObject::getBool(const std::string& key) const {
-  auto it = fields_.find(key);
-  if (it == fields_.end()) return std::nullopt;
-  if (it->second == "true") return true;
-  if (it->second == "false") return false;
-  fail("field '" + key + "' is not a boolean: " + it->second);
+  const Value* value = find(key, Kind::Bool, "boolean");
+  if (value == nullptr) return std::nullopt;
+  return value->text == "true";
 }
 
 std::string jsonEscape(const std::string& s) {

@@ -6,6 +6,12 @@
 // number / boolean values, no nesting — and throws tensorlib::Error with
 // the offending text for anything else, so batch files fail loudly instead
 // of silently dropping fields.
+//
+// Values carry their parsed KIND (string / number / bool), recorded at
+// parse time, and every typed accessor rejects a kind mismatch with the
+// offending text: {"rows": "8"} fails getInt("rows") as the wrong kind
+// instead of silently satisfying it, and {"deadline_ms": "abc"} fails at
+// the accessor that names the field, not at some later use site.
 #pragma once
 
 #include <cstdint>
@@ -15,29 +21,49 @@
 
 namespace tensorlib::support {
 
-/// A parsed flat JSON object: field name -> decoded scalar (strings are
-/// unescaped; numbers and booleans kept as their source text).
+/// A parsed flat JSON object: field name -> decoded scalar tagged with the
+/// value kind seen at parse time (strings are unescaped; numbers and
+/// booleans kept as their source text).
 class JsonObject {
  public:
-  explicit JsonObject(std::map<std::string, std::string> fields)
+  enum class Kind { String, Number, Bool };
+
+  struct Value {
+    std::string text;
+    Kind kind;
+  };
+
+  explicit JsonObject(std::map<std::string, Value> fields)
       : fields_(std::move(fields)) {}
 
   bool has(const std::string& key) const { return fields_.count(key) > 0; }
-  const std::map<std::string, std::string>& fields() const { return fields_; }
+  const std::map<std::string, Value>& fields() const { return fields_; }
 
-  /// Typed accessors: nullopt when the key is absent; throw on a value of
-  /// the wrong shape (e.g. getInt of "abc").
+  /// Typed accessors: nullopt when the key is absent; throw on a kind
+  /// mismatch (e.g. getInt of "8"-the-string) or an unrepresentable value
+  /// (e.g. getInt of 8.5 or an out-of-range literal). getDouble accepts
+  /// values that underflow to zero/subnormal (1e-320 is a legal double)
+  /// and only rejects overflow.
   std::optional<std::string> getString(const std::string& key) const;
   std::optional<std::int64_t> getInt(const std::string& key) const;
   std::optional<double> getDouble(const std::string& key) const;
   std::optional<bool> getBool(const std::string& key) const;
 
  private:
-  std::map<std::string, std::string> fields_;
+  /// Kind-checked lookup behind every typed accessor: nullptr when absent,
+  /// throws when present with a different kind.
+  const Value* find(const std::string& key, Kind kind,
+                    const char* wanted) const;
+
+  std::map<std::string, Value> fields_;
 };
 
+/// "string" / "number" / "boolean".
+std::string jsonKindName(JsonObject::Kind kind);
+
 /// Parses one `{...}` line. Throws tensorlib::Error on malformed input,
-/// nested values, or duplicate keys.
+/// nested values, unsupported literals (including `null`), or duplicate
+/// keys.
 JsonObject parseJsonLine(const std::string& line);
 
 /// Escapes a string for embedding in emitted JSON (quotes, backslashes,

@@ -1,0 +1,71 @@
+// Raw-fd networking helpers shared by the socket front-end
+// (driver/socket_server.*) and the socket transport of
+// driver::ExploreClient.
+//
+// Everything here works on plain file descriptors and owns the two fiddly
+// parts of a line protocol over sockets that stdio used to hide:
+//
+//   * EINTR / short I/O: sendAll() retries interrupted and partial writes;
+//     LineReader retries interrupted reads and reassembles lines across
+//     arbitrary read boundaries.
+//   * Partial final lines: a peer that dies mid-write leaves a line with
+//     no terminating '\n'. LineReader surfaces it with complete = false
+//     instead of silently discarding the bytes — the caller decides
+//     whether a truncated line is diagnostic text (client side) or a
+//     request that must NOT be executed (server side).
+//
+// Address handling is deliberately minimal: numeric IPv4 addresses only
+// (no DNS), plus unix-domain sockets by path.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+namespace tensorlib::support::net {
+
+/// Connects a blocking TCP socket to a numeric IPv4 address. Returns the
+/// fd, or -1 (the reason is in errno).
+int connectTcp(const std::string& host, int port);
+
+/// Connects a blocking unix-domain stream socket. Returns the fd or -1.
+int connectUnix(const std::string& path);
+
+/// Binds + listens on a numeric IPv4 address. `port` 0 picks an ephemeral
+/// port; `boundPort`, when non-null, receives the actual one. Returns the
+/// listening fd or -1.
+int listenTcp(const std::string& host, int port, int backlog, int* boundPort);
+
+/// Binds + listens on a unix-domain path (unlinking any stale socket file
+/// first). Returns the listening fd or -1.
+int listenUnix(const std::string& path, int backlog);
+
+/// Writes all of `data`, retrying EINTR and short writes. False on any
+/// hard error (EPIPE, ECONNRESET, ...).
+bool sendAll(int fd, const char* data, std::size_t size);
+
+/// One decoded line from a LineReader. `complete` is false iff EOF (or a
+/// hard read error) cut the line off before its '\n'.
+struct Line {
+  std::string text;
+  bool complete = true;
+};
+
+/// Buffered '\n'-framed reader over a raw fd. Handles EINTR, short reads,
+/// and lines split across reads; does not own or close the fd.
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  /// Next line (without its '\n'). nullopt on clean EOF or on an error
+  /// with nothing buffered; a trailing unterminated line comes back once
+  /// with complete = false before the nullopt.
+  std::optional<Line> next();
+
+ private:
+  int fd_;
+  std::string buffer_;
+  bool eof_ = false;
+};
+
+}  // namespace tensorlib::support::net

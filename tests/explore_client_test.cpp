@@ -1,0 +1,74 @@
+// Tests for driver::ExploreClient's transport discipline, using /bin/sh
+// stand-in servers so the failure modes are scripted exactly: the partial
+// final line a dying server leaves behind must be surfaced to the caller
+// (not silently discarded) and must never be mistaken for a response.
+#include "driver/explore_client.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tensorlib::driver {
+namespace {
+
+TEST(ExploreClient, SurfacesPartialFinalLineAtEof) {
+  ClientOptions options;
+  options.command = {"/bin/sh", "-c", "printf 'whole line\\npartial tail'"};
+  options.autoRestart = false;
+  ExploreClient client(options);
+  ASSERT_TRUE(client.start());
+
+  auto line = client.readLine();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(*line, "whole line");
+  EXPECT_TRUE(client.lastLineComplete());
+
+  // The child died mid-write: the fragment comes back (it is often the
+  // best diagnostic there is) but flagged incomplete.
+  line = client.readLine();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(*line, "partial tail");
+  EXPECT_FALSE(client.lastLineComplete());
+  EXPECT_EQ(client.stats().partialLines, 1u);
+
+  EXPECT_FALSE(client.readLine().has_value());
+}
+
+TEST(ExploreClient, RequestNeverAcceptsTruncatedResponse) {
+  ClientOptions options;
+  // Every (re)spawn reads one request and dies mid-response.
+  options.command = {"/bin/sh", "-c",
+                     R"(read line; printf '{"query": 0, "trunca')"};
+  options.maxAttempts = 3;
+  options.initialBackoffMs = 1;
+  ExploreClient client(options);
+
+  EXPECT_FALSE(client.request(R"({"workload": "gemm"})").has_value());
+  // Every attempt saw the truncation; none was counted as answered.
+  EXPECT_GE(client.stats().partialLines, 2u);
+  EXPECT_EQ(client.stats().requests, 0u);
+  EXPECT_GE(client.stats().restarts, 1u);
+}
+
+TEST(ExploreClient, CompleteResponsesStillFlowNormally) {
+  ClientOptions options;
+  options.command = {"/bin/sh", "-c", R"(read line; printf '{"ok": true}\n')"};
+  ExploreClient client(options);
+  const auto response = client.request(R"({"workload": "gemm"})");
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(*response, R"({"ok": true})");
+  EXPECT_TRUE(client.lastLineComplete());
+  EXPECT_EQ(client.stats().requests, 1u);
+  EXPECT_EQ(client.stats().partialLines, 0u);
+}
+
+TEST(ExploreClient, NoAutoRestartStopsAfterFirstDeath) {
+  ClientOptions options;
+  options.command = {"/bin/sh", "-c", "exit 0"};  // dies immediately
+  options.autoRestart = false;
+  options.maxAttempts = 5;
+  ExploreClient client(options);
+  EXPECT_FALSE(client.request(R"({"workload": "gemm"})").has_value());
+  EXPECT_EQ(client.stats().restarts, 0u);
+}
+
+}  // namespace
+}  // namespace tensorlib::driver

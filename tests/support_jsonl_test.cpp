@@ -50,6 +50,64 @@ TEST(JsonLine, TypeMismatchesThrowInsteadOfCoercing) {
   EXPECT_EQ(obj.getDouble("n"), 12.0);  // ints read fine as doubles
 }
 
+TEST(JsonLine, RecordsValueKindAtParseTime) {
+  // A number-shaped STRING is still a string: the quotes were part of the
+  // input, and the typed accessors must not quietly coerce across kinds.
+  const auto obj = parseJsonLine(R"({"rows": "8", "flag": true, "n": 3})");
+  EXPECT_EQ(obj.getString("rows"), "8");
+  EXPECT_THROW(obj.getInt("rows"), Error);
+  EXPECT_THROW(obj.getDouble("rows"), Error);
+  try {
+    obj.getInt("rows");
+    FAIL() << "kind mismatch did not throw";
+  } catch (const Error& e) {
+    // The message names the field, both kinds, and the offending text.
+    const std::string what = e.what();
+    EXPECT_NE(what.find("rows"), std::string::npos) << what;
+    EXPECT_NE(what.find("string"), std::string::npos) << what;
+    EXPECT_NE(what.find("number"), std::string::npos) << what;
+    EXPECT_NE(what.find("8"), std::string::npos) << what;
+  }
+  EXPECT_THROW(obj.getString("flag"), Error);
+  EXPECT_THROW(obj.getInt("flag"), Error);
+  EXPECT_THROW(obj.getString("n"), Error);
+  // "true"/"false" as quoted strings are strings, not booleans.
+  const auto quoted = parseJsonLine(R"({"b": "true"})");
+  EXPECT_THROW(quoted.getBool("b"), Error);
+  EXPECT_EQ(quoted.getString("b"), "true");
+}
+
+TEST(JsonLine, RejectsNonNumericBareTokensAtParseTime) {
+  EXPECT_THROW(parseJsonLine(R"({"a": null})"), Error);
+  EXPECT_THROW(parseJsonLine(R"({"a": nan})"), Error);
+  EXPECT_THROW(parseJsonLine(R"({"a": inf})"), Error);
+  EXPECT_THROW(parseJsonLine(R"({"a": 0x10})"), Error);
+  EXPECT_THROW(parseJsonLine(R"({"a": 12abc})"), Error);
+  EXPECT_THROW(parseJsonLine(R"({"a": True})"), Error);
+}
+
+TEST(JsonLine, NonIntegralNumbersRejectedByGetInt) {
+  const auto obj = parseJsonLine(R"({"x": 8.5, "big": 99999999999999999999})");
+  EXPECT_THROW(obj.getInt("x"), Error);
+  EXPECT_DOUBLE_EQ(*obj.getDouble("x"), 8.5);
+  EXPECT_THROW(obj.getInt("big"), Error);  // out of int64 range
+}
+
+TEST(JsonLine, DoubleUnderflowIsAcceptedOverflowIsNot) {
+  // 1e-320 is subnormal: strtod reports ERANGE but returns the nearest
+  // representable double — which is exactly what the caller asked for.
+  const auto sub = parseJsonLine(R"({"v": 1e-320})");
+  const double v = *sub.getDouble("v");
+  EXPECT_GT(v, 0.0);
+  EXPECT_LT(v, 1e-300);
+  // Underflow all the way to zero is equally legal.
+  EXPECT_EQ(*parseJsonLine(R"({"v": 1e-5000})").getDouble("v"), 0.0);
+  EXPECT_EQ(*parseJsonLine(R"({"v": -1e-5000})").getDouble("v"), 0.0);
+  // Overflow genuinely loses the value: refuse it, both signs.
+  EXPECT_THROW(parseJsonLine(R"({"v": 1e400})").getDouble("v"), Error);
+  EXPECT_THROW(parseJsonLine(R"({"v": -1e400})").getDouble("v"), Error);
+}
+
 TEST(JsonEscape, RoundTripsControlCharacters) {
   EXPECT_EQ(jsonEscape("plain"), "plain");
   EXPECT_EQ(jsonEscape("a\"b\\c"), "a\\\"b\\\\c");

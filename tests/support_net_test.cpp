@@ -1,0 +1,115 @@
+// Tests for the raw-fd networking helpers (support/net.*): line framing
+// across arbitrary read boundaries, partial-final-line surfacing, and
+// EINTR/short-write-safe sends on both sockets and pipes.
+#include "support/net.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <thread>
+
+extern "C" {
+#include <sys/socket.h>
+#include <unistd.h>
+}
+
+namespace tensorlib::support::net {
+namespace {
+
+TEST(LineReader, FramesLinesAndSurfacesPartialTail) {
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  const char* data = "a\nbb\nccc";
+  // sendAll on a pipe also exercises the ENOTSOCK write() fallback.
+  ASSERT_TRUE(sendAll(fds[1], data, std::strlen(data)));
+  close(fds[1]);
+
+  LineReader reader(fds[0]);
+  auto line = reader.next();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(line->text, "a");
+  EXPECT_TRUE(line->complete);
+  line = reader.next();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(line->text, "bb");
+  EXPECT_TRUE(line->complete);
+  // The tail has no '\n': it must come back exactly once, flagged.
+  line = reader.next();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(line->text, "ccc");
+  EXPECT_FALSE(line->complete);
+  EXPECT_FALSE(reader.next().has_value());
+  close(fds[0]);
+}
+
+TEST(LineReader, ReassemblesLinesSplitAcrossWrites) {
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::thread writer([&] {
+    const char* chunks[] = {"hel", "lo\nwo", "rld\n"};
+    for (const char* chunk : chunks) {
+      ASSERT_TRUE(sendAll(fds[1], chunk, std::strlen(chunk)));
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    close(fds[1]);
+  });
+  LineReader reader(fds[0]);
+  auto line = reader.next();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(line->text, "hello");
+  EXPECT_TRUE(line->complete);
+  line = reader.next();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(line->text, "world");
+  EXPECT_TRUE(line->complete);
+  EXPECT_FALSE(reader.next().has_value());
+  writer.join();
+  close(fds[0]);
+}
+
+TEST(LineReader, EmptyLinesAreCompleteLines) {
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  const char* data = "\n\nx\n";
+  ASSERT_TRUE(sendAll(fds[1], data, std::strlen(data)));
+  close(fds[1]);
+  LineReader reader(fds[0]);
+  for (const char* expected : {"", "", "x"}) {
+    auto line = reader.next();
+    ASSERT_TRUE(line.has_value());
+    EXPECT_EQ(line->text, expected);
+    EXPECT_TRUE(line->complete);
+  }
+  EXPECT_FALSE(reader.next().has_value());
+  close(fds[0]);
+}
+
+TEST(SendAll, ReportsClosedPeerInsteadOfKillingTheProcess) {
+  std::signal(SIGPIPE, SIG_IGN);
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  close(fds[0]);
+  EXPECT_FALSE(sendAll(fds[1], "x", 1));
+  close(fds[1]);
+
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  close(fds[0]);
+  EXPECT_FALSE(sendAll(fds[1], "x", 1));
+  close(fds[1]);
+}
+
+TEST(Listeners, EphemeralTcpPortIsReportedBack) {
+  int port = -1;
+  const int fd = listenTcp("127.0.0.1", 0, 4, &port);
+  ASSERT_GE(fd, 0);
+  EXPECT_GT(port, 0);
+  const int client = connectTcp("127.0.0.1", port);
+  EXPECT_GE(client, 0);
+  if (client >= 0) close(client);
+  close(fd);
+}
+
+}  // namespace
+}  // namespace tensorlib::support::net

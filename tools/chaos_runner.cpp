@@ -23,6 +23,15 @@
 //                         exponential backoff must eventually get through
 //   * deadline expiry     deadline_ms=1 under injected sleep — a partial,
 //                         "timed_out" response, then full service again
+//   * connection kill     (socket front-end, unix socket) sever the
+//                         connection with requests in flight; the server
+//                         must cancel the dropped client's queued work,
+//                         keep serving other connections, and answer the
+//                         reconnecting client bit-identically to stdio
+//   * slow-reader storm   (socket front-end) flood requests and never
+//                         read; the server must drop the stalled
+//                         connection at its write-queue bound while a
+//                         second connection keeps getting full service
 //
 // Exit codes: 0 all cycles survived, 1 divergence/crash, 2 usage.
 #include <cstdio>
@@ -92,6 +101,7 @@ std::string canonical(const std::string& response) {
 struct Harness {
   std::string server;
   std::string snapshotPath;
+  std::string socketPath;  ///< unix socket for the socket-front-end cycles
   std::vector<std::string> queries;
   std::vector<std::string> baseline;  ///< canonical reference responses
   int faults = 0;     ///< injected faults survived so far
@@ -103,6 +113,26 @@ struct Harness {
     o.command = {server, "--serve", "--snapshot", snapshotPath};
     o.command.insert(o.command.end(), extraArgs.begin(), extraArgs.end());
     if (!faultSpec.empty()) o.env.push_back("TENSORLIB_FAULTS=" + faultSpec);
+    return o;
+  }
+
+  /// Owner variant of clientOptions for the socket front-end: the spawned
+  /// server listens on the harness unix socket (no port races) and the
+  /// client speaks to it over that socket instead of stdio pipes.
+  ClientOptions socketOwnerOptions(
+      const std::vector<std::string>& extraArgs) const {
+    ClientOptions o = clientOptions(extraArgs, "");
+    o.command.push_back("--unix-socket");
+    o.command.push_back(socketPath);
+    o.unixSocketPath = socketPath;
+    return o;
+  }
+
+  /// Connect-only client: attaches to whatever server currently owns the
+  /// harness unix socket.
+  ClientOptions socketPeerOptions() const {
+    ClientOptions o;
+    o.unixSocketPath = socketPath;
     return o;
   }
 
@@ -256,6 +286,66 @@ struct Harness {
     client.stop();
   }
 
+  void connectionKillCycle() {
+    std::printf("cycle: kill the connection (socket)\n");
+    ExploreClient owner(socketOwnerOptions({}));
+    // The canonical baseline was captured over stdio pipes; matching it
+    // here is the cross-transport bit-identity check.
+    if (!checkAnswers(owner, "socket service")) {
+      owner.stop();
+      return;
+    }
+    // Pipeline the whole set without reading, then sever the connection
+    // mid-flight. The server must cancel the dropped connection's queued
+    // work and keep running.
+    for (const auto& q : queries) owner.sendLine(q);
+    owner.dropConnection();
+    ++faults;
+    // A second, connect-only connection gets full service from the same
+    // server...
+    ExploreClient peer(socketPeerOptions());
+    checkAnswers(peer, "second connection after kill");
+    peer.dropConnection();
+    // ...and the dropped client reconnects (request() re-establishes) to
+    // identical answers.
+    checkAnswers(owner, "reconnect after connection kill");
+    owner.stop();
+  }
+
+  void slowReaderStormCycle() {
+    std::printf("cycle: slow-reader storm (socket)\n");
+    // Tiny server-side send buffer + tight write-queue bound: once the
+    // flooding client's socket backs up, the per-connection write queue
+    // overflows and the server must drop THAT connection, never stall a
+    // worker or another connection.
+    ExploreClient owner(socketOwnerOptions(
+        {"--queue-bound", "2048", "--client-queue-bound", "2048",
+         "--write-queue-bound", "4", "--send-buffer-bytes", "4096",
+         "--workers", "2"}));
+    if (!owner.start()) {
+      fail("slow-reader storm: server did not start");
+      return;
+    }
+    const std::string big =
+        R"({"workload": "gemm", "rows": 8, "cols": 8, "max_entry": 2})";
+    int sent = 0;
+    for (int i = 0; i < 512; ++i) {
+      if (!owner.sendLine(big)) break;  // server already dropped us
+      ++sent;
+    }
+    ++faults;
+    std::printf("  flooded %d requests without reading\n", sent);
+    // A healthy second connection keeps getting bit-identical service
+    // while the storm connection backs up / gets dropped.
+    ExploreClient peer(socketPeerOptions());
+    checkAnswers(peer, "during slow-reader storm");
+    peer.dropConnection();
+    // The storm client itself must be able to rejoin.
+    owner.dropConnection();
+    checkAnswers(owner, "after slow-reader storm");
+    owner.stop();
+  }
+
   void deadlineCycle() {
     std::printf("cycle: deadline expiry\n");
     ExploreClient client(clientOptions({}, "work_unit=sleep:30@0"));
@@ -301,6 +391,7 @@ int main(int argc, char** argv) {
   Harness h;
   h.server = server;
   h.snapshotPath = snapshotPath;
+  h.socketPath = snapshotPath + ".sock";
   h.queries = referenceQueries(smoke);
 
   std::printf("chaos_runner: %s suite against %s\n",
@@ -310,6 +401,8 @@ int main(int argc, char** argv) {
   if (smoke) {
     h.killCycle();
     h.corruptSnapshotCycle(/*truncate=*/false);
+    h.connectionKillCycle();
+    h.slowReaderStormCycle();
   } else {
     h.gracefulRestartCycle();
     for (int round = 0; round < 9; ++round) h.killCycle();
@@ -322,9 +415,12 @@ int main(int argc, char** argv) {
     h.snapshotWriteFaultCycle("truncate");
     h.overloadStormCycle();
     h.deadlineCycle();
+    for (int round = 0; round < 2; ++round) h.connectionKillCycle();
+    h.slowReaderStormCycle();
   }
 
   std::remove(snapshotPath.c_str());
+  std::remove(h.socketPath.c_str());
   std::printf("chaos_runner: %d injected faults survived, %d failures\n",
               h.faults, h.failures);
   if (h.failures > 0) return 1;

@@ -2,7 +2,9 @@
 //
 //   explore_server --file queries.jsonl          # batch from a file
 //   cat queries.jsonl | explore_server           # batch from stdin
-//   explore_server --serve --snapshot warm.snap  # resident daemon mode
+//   explore_server --serve --snapshot warm.snap  # resident daemon, stdio
+//   explore_server --serve --port 7421           # resident daemon, TCP
+//   explore_server --serve --unix-socket /tmp/explore.sock
 //   explore_server --list-workloads
 //
 // Two request kinds share one stream (docs/PROTOCOL.md is the full schema):
@@ -30,8 +32,11 @@
 // and responses stream back in COMPLETION order keyed by "query". The
 // daemon snapshots its warm caches on a timer and on graceful shutdown
 // ({"shutdown": true} or EOF) and restores them on start, so a restarted
-// server answers warm. tools/chaos_runner drives this mode through
-// kill/restart/corrupt cycles.
+// server answers warm. With --port and/or --unix-socket the daemon serves
+// N concurrent socket connections instead of stdio, each connection its
+// own fairness client (driver/socket_server.*); without them it speaks
+// JSONL on stdin/stdout exactly as before. tools/chaos_runner drives both
+// front-ends through kill/restart/corrupt/disconnect cycles.
 //
 // Exit codes (uniform across the CLIs): 0 success, 1 exploration/runtime
 // failure, 2 usage or request-parse errors (including any malformed batch
@@ -42,15 +47,15 @@
 #include <iostream>
 #include <mutex>
 #include <optional>
-#include <sstream>
 #include <string>
 #include <vector>
 
 #include "driver/daemon.hpp"
 #include "driver/network_explorer.hpp"
+#include "driver/socket_server.hpp"
+#include "driver/wire.hpp"
 #include "support/error.hpp"
 #include "support/jsonl.hpp"
-#include "tensor/network.hpp"
 #include "tensor/workloads.hpp"
 
 namespace {
@@ -65,220 +70,30 @@ int usage() {
       "                      [--queue-bound N] [--client-queue-bound N]\n"
       "                      [--workers N] [--default-deadline-ms N]\n"
       "                      [--threads N] [--max-frontier N]\n"
+      "                      [--port N] [--bind ADDR] [--unix-socket PATH]\n"
+      "                      [--write-queue-bound N] [--send-buffer-bytes N]\n"
       "Reads one JSON request per line from --file (default stdin); runs\n"
       "the whole stream as one batched, cached exploration. A line with a\n"
       "'network' or 'network_file' field is a network-level request. With\n"
       "--serve the server stays resident: bounded admission queue, optional\n"
-      "deadlines, crash-safe cache snapshots; see docs/PROTOCOL.md.\n");
+      "deadlines, crash-safe cache snapshots; see docs/PROTOCOL.md. --port\n"
+      "(0 = ephemeral) and/or --unix-socket serve concurrent socket\n"
+      "connections instead of stdio.\n");
   return 2;
 }
 
-driver::Objective requireObjective(const std::string& name) {
-  const auto o = driver::parseObjective(name);
-  if (!o)
-    fail("unknown objective '" + name +
-         "' (expected performance|power|energy-delay)");
-  return *o;
+void reportRestore(const driver::ExplorationDaemon& daemon) {
+  const auto& restore = daemon.restore();
+  std::fprintf(stderr,
+               "explore_server: serving (restore %s: %zu evals, %zu mappings, "
+               "%zu candidate lists%s%s)\n",
+               driver::snapshot::restoreStatusName(restore.status).c_str(),
+               restore.evalEntries, restore.mappingEntries,
+               restore.candidateLists, restore.message.empty() ? "" : " — ",
+               restore.message.c_str());
 }
 
-/// Applies the array fields every request kind shares.
-void parseArrayFields(const support::JsonObject& obj, stt::ArrayConfig* array) {
-  if (const auto v = obj.getInt("rows")) array->rows = *v;
-  if (const auto v = obj.getInt("cols")) array->cols = *v;
-  if (const auto v = obj.getDouble("bandwidth_gbps")) array->bandwidthGBps = *v;
-  if (const auto v = obj.getDouble("frequency_mhz")) array->frequencyMHz = *v;
-  if (const auto v = obj.getInt("data_bytes")) array->dataBytes = *v;
-}
-
-driver::ExploreQuery parseQuery(const support::JsonObject& obj) {
-  const auto workload = obj.getString("workload");
-  if (!workload) fail("query missing required field 'workload'");
-
-  tensor::TensorAlgebra algebra = [&] {
-    if (*workload == "gemm" && (obj.has("m") || obj.has("n") || obj.has("k")))
-      return tensor::workloads::gemm(obj.getInt("m").value_or(64),
-                                     obj.getInt("n").value_or(64),
-                                     obj.getInt("k").value_or(64));
-    const auto* named = tensor::workloads::findWorkload(*workload);
-    if (!named)
-      fail("unknown workload '" + *workload + "' (try --list-workloads)");
-    return named->algebra;
-  }();
-
-  driver::ExploreQuery q(std::move(algebra));
-  if (const auto* named = tensor::workloads::findWorkload(*workload))
-    q.enumeration.dropAllUnicast = !named->allowAllUnicast;
-
-  if (const auto v = obj.getString("objective"))
-    q.objective = requireObjective(*v);
-  if (const auto v = obj.getString("backend")) {
-    const auto kind = cost::parseBackendKind(*v);
-    if (!kind) fail("unknown backend '" + *v + "' (expected asic|fpga)");
-    q.backend = *kind;
-  }
-  parseArrayFields(obj, &q.array);
-  if (const auto v = obj.getInt("data_width")) q.dataWidth = static_cast<int>(*v);
-  if (const auto v = obj.getInt("max_entry"))
-    q.enumeration.maxEntry = static_cast<int>(*v);
-  if (const auto v = obj.getInt("deadline_ms")) q.deadlineMs = *v;
-  if (const auto v = obj.getBool("fp32")) q.fpga.fp32 = *v;
-  if (const auto v = obj.getInt("vector_lanes")) q.fpga.vectorLanes = *v;
-  if (const auto v = obj.getBool("placement_optimized"))
-    q.fpga.placementOptimized = *v;
-  return q;
-}
-
-driver::NetworkQuery parseNetworkQuery(const support::JsonObject& obj) {
-  tensor::NetworkSpec network = [&] {
-    if (const auto name = obj.getString("network")) {
-      const auto* builtin = tensor::workloads::findNetwork(*name);
-      if (!builtin)
-        fail("unknown network '" + *name +
-             "' (see network_explorer --list-models)");
-      return *builtin;
-    }
-    const auto file = obj.getString("network_file");
-    if (!file) fail("network request needs 'network' or 'network_file'");
-    return tensor::workloads::loadNetworkJsonl(*file);
-  }();
-
-  driver::NetworkQuery q(std::move(network));
-  stt::ArrayConfig base;
-  parseArrayFields(obj, &base);
-  if (const auto v = obj.getString("arrays"))
-    q.arrays = driver::parseArrayList(*v, base);
-  else
-    q.arrays = {base};
-  if (const auto v = obj.getString("objective"))
-    q.objective = requireObjective(*v);
-  if (const auto v = obj.getString("backend")) {
-    const auto kind = cost::parseBackendKind(*v);
-    if (!kind) fail("unknown backend '" + *v + "' (expected asic|fpga)");
-    q.backend = *kind;
-  }
-  if (const auto v = obj.getInt("data_width")) q.dataWidth = static_cast<int>(*v);
-  if (const auto v = obj.getInt("max_entry"))
-    q.enumeration.maxEntry = static_cast<int>(*v);
-  if (const auto v = obj.getBool("fp32")) q.fpga.fp32 = *v;
-  if (const auto v = obj.getInt("vector_lanes")) q.fpga.vectorLanes = *v;
-  if (const auto v = obj.getBool("placement_optimized"))
-    q.fpga.placementOptimized = *v;
-  return q;
-}
-
-/// One parsed input line: exactly one of `plain` / `network` / `error`.
-struct Request {
-  std::optional<driver::ExploreQuery> plain;
-  std::optional<driver::NetworkQuery> network;
-  std::string name;   ///< workload or model name, echoed in the response
-  std::string error;  ///< parse failure for this line (batch continues)
-};
-
-std::string errorLine(std::size_t index, const std::string& message) {
-  std::ostringstream os;
-  os << "{\"query\": " << index << ", \"error\": \""
-     << support::jsonEscape(message) << "\"}";
-  return os.str();
-}
-
-std::string resultLine(std::size_t index, const std::string& workload,
-                       const std::string& backend, const std::string& objective,
-                       const driver::QueryResult& r, std::size_t maxFrontier) {
-  std::ostringstream os;
-  os << "{\"query\": " << index << ", \"workload\": \""
-     << support::jsonEscape(workload) << "\", \"backend\": \"" << backend
-     << "\", \"objective\": \"" << objective << "\", \"designs\": " << r.designs
-     << ", \"frontier_size\": " << r.frontier.size() << ", \"frontier\": [";
-  const std::size_t shown = std::min(maxFrontier, r.frontier.size());
-  for (std::size_t i = 0; i < shown; ++i) {
-    const auto& rep = r.frontier[i];
-    const auto f = rep.figures();
-    os << (i ? ", " : "") << "{\"label\": \""
-       << support::jsonEscape(rep.spec.label()) << "\", \"cycles\": "
-       << rep.perf.totalCycles << ", \"power_mw\": " << f.powerMw
-       << ", \"area\": " << f.area << ", \"utilization\": "
-       << rep.perf.utilization << "}";
-  }
-  os << "]";
-  if (r.best)
-    os << ", \"best\": \"" << support::jsonEscape(r.best->spec.label()) << "\"";
-  if (r.timedOut) os << ", \"timed_out\": true";
-  os << ", \"cache\": {\"hits\": " << r.cache.hits << ", \"misses\": "
-     << r.cache.misses << ", \"pruned\": " << r.cache.pruned
-     << ", \"skipped\": " << r.cache.skipped << "}}";
-  return os.str();
-}
-
-void appendNetworkDesign(std::ostringstream& os,
-                         const driver::NetworkQuery& q,
-                         const driver::NetworkDesign& d) {
-  const auto& array = q.arrays[d.arrayIndex];
-  os << "{\"array\": \"" << array.rows << "x" << array.cols
-     << "\", \"cycles\": " << d.cost.cycles << ", \"power_mw\": "
-     << d.cost.powerMw << ", \"area\": " << d.cost.area
-     << ", \"utilization\": " << d.cost.utilization << ", \"assignments\": [";
-  for (std::size_t l = 0; l < d.layers.size(); ++l) {
-    const auto& layer = d.layers[l];
-    os << (l ? ", " : "") << "{\"layer\": \""
-       << support::jsonEscape(layer.layer) << "\", \"dataflow\": \""
-       << support::jsonEscape(layer.dataflow) << "\", \"cycles\": "
-       << layer.cycles << "}";
-  }
-  os << "]}";
-}
-
-std::string networkResultLine(std::size_t index, const std::string& name,
-                              const driver::NetworkQuery& q,
-                              const driver::NetworkResult& r,
-                              std::size_t maxFrontier) {
-  driver::QueryCacheCounts cache;
-  for (const auto& s : r.layers) {
-    cache.hits += s.cache.hits;
-    cache.misses += s.cache.misses;
-    cache.pruned += s.cache.pruned;
-  }
-  std::ostringstream os;
-  os << "{\"query\": " << index << ", \"network\": \""
-     << support::jsonEscape(name) << "\", \"layers\": "
-     << q.network.layerCount() << ", \"arrays\": " << q.arrays.size()
-     << ", \"backend\": \"" << cost::backendKindName(q.backend)
-     << "\", \"objective\": \"" << driver::objectiveName(q.objective)
-     << "\", \"designs\": " << r.designs << ", \"frontier_size\": "
-     << r.frontier.size() << ", \"frontier\": [";
-  const std::size_t shown = std::min(maxFrontier, r.frontier.size());
-  for (std::size_t i = 0; i < shown; ++i) {
-    if (i) os << ", ";
-    appendNetworkDesign(os, q, r.frontier[i]);
-  }
-  os << "]";
-  if (r.best) {
-    os << ", \"best\": ";
-    appendNetworkDesign(os, q, *r.best);
-  }
-  os << ", \"cache\": {\"hits\": " << cache.hits << ", \"misses\": "
-     << cache.misses << ", \"pruned\": " << cache.pruned << "}}";
-  return os.str();
-}
-
-/// Service-wide cache summary fragment: eval cache plus the tile-mapping
-/// and candidate-matrix memos (so clients can audit all three layers the
-/// snapshot persists).
-std::string cacheStatsJson(const driver::CacheStats& stats) {
-  const auto cand = stt::candidateCacheStats();
-  std::ostringstream os;
-  os << "{\"hits\": " << stats.hits << ", \"misses\": " << stats.misses
-     << ", \"evictions\": " << stats.evictions << ", \"entries\": "
-     << stats.entries << ", \"shards\": " << stats.shards
-     << ", \"mappings\": {\"hits\": " << stats.mappings.hits
-     << ", \"misses\": " << stats.mappings.misses << ", \"evictions\": "
-     << stats.mappings.evictions << ", \"entries\": " << stats.mappings.entries
-     << "}, \"candidates\": {\"hits\": " << cand.hits << ", \"misses\": "
-     << cand.misses << ", \"evictions\": " << cand.evictions
-     << ", \"entries\": " << cand.entries << "}}";
-  return os.str();
-}
-
-// ---- resident daemon mode ---------------------------------------------------
+// ---- resident daemon mode, stdio front-end ----------------------------------
 
 /// Thread-safe line emitter: responses come from daemon worker threads and
 /// the read loop; every line is written and flushed atomically so the
@@ -296,20 +111,14 @@ class LineOutput {
   std::mutex mutex_;
 };
 
-int serve(const driver::DaemonOptions& daemonOptions, std::size_t maxFrontier) {
+int serveStdio(const driver::DaemonOptions& daemonOptions,
+               std::size_t maxFrontier) {
   // Declared before the daemon: if an exception escapes the read loop, the
   // daemon destructor's shutdown() still drains queued requests whose
   // completion callbacks call out.emit() — the emitter must outlive them.
   LineOutput out;
   driver::ExplorationDaemon daemon(daemonOptions);
-  const auto& restore = daemon.restore();
-  std::fprintf(stderr,
-               "explore_server: serving (restore %s: %zu evals, %zu mappings, "
-               "%zu candidate lists%s%s)\n",
-               driver::snapshot::restoreStatusName(restore.status).c_str(),
-               restore.evalEntries, restore.mappingEntries,
-               restore.candidateLists, restore.message.empty() ? "" : " — ",
-               restore.message.c_str());
+  reportRestore(daemon);
 
   std::string line;
   std::size_t index = 0;
@@ -318,63 +127,89 @@ int serve(const driver::DaemonOptions& daemonOptions, std::size_t maxFrontier) {
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
     const std::size_t id = index++;
     try {
-      const auto obj = support::parseJsonLine(line);
-      if (obj.getBool("shutdown").value_or(false)) {
-        shutdownRequested = true;
-        break;
+      auto request = driver::wire::parseRequest(support::parseJsonLine(line));
+      switch (request.kind) {
+        case driver::wire::Request::Kind::Shutdown:
+          shutdownRequested = true;
+          break;
+        case driver::wire::Request::Kind::CacheStats:
+          out.emit("{\"query\": " + std::to_string(id) + ", \"cache\": " +
+                   driver::wire::cacheStatsJson(daemon.service().cacheStats()) +
+                   "}");
+          break;
+        case driver::wire::Request::Kind::Network: {
+          // Network requests run synchronously on the read loop (they fan
+          // out through the shared service themselves) and bypass admission
+          // control; docs/PROTOCOL.md flags this.
+          driver::NetworkExplorer explorer(daemon.service());
+          out.emit(driver::wire::networkResultLine(
+              id, request.name, *request.network,
+              explorer.explore(*request.network), maxFrontier));
+          break;
+        }
+        case driver::wire::Request::Kind::Query: {
+          const std::string workload = request.name;
+          const std::string backend =
+              cost::backendKindName(request.query->backend);
+          const std::string objective =
+              driver::objectiveName(request.query->objective);
+          const auto admission = daemon.submit(
+              request.client, std::move(*request.query),
+              [&out, id, workload, backend, objective,
+               maxFrontier](driver::ExplorationDaemon::Outcome outcome) {
+                if (outcome.failed()) {
+                  out.emit(driver::wire::errorLine(id, outcome.error));
+                } else {
+                  out.emit(driver::wire::resultLine(id, workload, backend,
+                                                    objective, *outcome.result,
+                                                    maxFrontier));
+                }
+              });
+          if (admission != driver::Admission::Accepted)
+            out.emit(driver::wire::errorLine(id, driver::admissionName(admission)));
+          break;
+        }
       }
-      if (obj.getBool("cache_stats").value_or(false)) {
-        out.emit("{\"query\": " + std::to_string(id) + ", \"cache\": " +
-                 cacheStatsJson(daemon.service().cacheStats()) + "}");
-        continue;
-      }
-      if (obj.has("network") || obj.has("network_file")) {
-        // Network requests run synchronously on the read loop (they fan
-        // out through the shared service themselves) and bypass admission
-        // control; docs/PROTOCOL.md flags this.
-        const auto q = parseNetworkQuery(obj);
-        driver::NetworkExplorer explorer(daemon.service());
-        out.emit(networkResultLine(id, q.network.name(), q,
-                                   explorer.explore(q), maxFrontier));
-        continue;
-      }
-      auto query = parseQuery(obj);
-      const std::string client = obj.getString("client").value_or("default");
-      const std::string workload = *obj.getString("workload");
-      const std::string backend = cost::backendKindName(query.backend);
-      const std::string objective = driver::objectiveName(query.objective);
-      const auto admission = daemon.submit(
-          client, std::move(query),
-          [&out, id, workload, backend, objective,
-           maxFrontier](driver::ExplorationDaemon::Outcome outcome) {
-            if (outcome.failed()) {
-              out.emit(errorLine(id, outcome.error));
-            } else {
-              out.emit(resultLine(id, workload, backend, objective,
-                                  *outcome.result, maxFrontier));
-            }
-          });
-      if (admission != driver::Admission::Accepted)
-        out.emit(errorLine(id, driver::admissionName(admission)));
     } catch (const Error& e) {
-      out.emit(errorLine(id, e.what()));
+      out.emit(driver::wire::errorLine(id, e.what()));
     }
   }
 
   // Graceful shutdown (explicit request or EOF): drain admitted work, join
   // the workers, write the final snapshot, then report what happened.
   daemon.shutdown();
-  const auto stats = daemon.stats();
-  std::ostringstream os;
-  os << "{\"shutdown\": {\"accepted\": " << stats.accepted
-     << ", \"rejected_overloaded\": " << stats.rejectedOverloaded
-     << ", \"completed\": " << stats.completed << ", \"failed\": "
-     << stats.failed << ", \"timed_out\": " << stats.timedOut
-     << ", \"snapshots_saved\": " << stats.snapshotsSaved
-     << ", \"snapshot_failures\": " << stats.snapshotFailures
-     << ", \"cache\": " << cacheStatsJson(daemon.service().cacheStats())
-     << "}}";
-  out.emit(os.str());
+  out.emit(driver::wire::shutdownSummaryLine(daemon.stats(),
+                                             daemon.service().cacheStats()));
+  return 0;
+}
+
+// ---- resident daemon mode, socket front-end ---------------------------------
+
+int serveSocket(const driver::DaemonOptions& daemonOptions,
+                const driver::SocketServerOptions& socketOptions) {
+  driver::ExplorationDaemon daemon(daemonOptions);
+  reportRestore(daemon);
+  driver::SocketServer server(daemon, socketOptions);
+  if (!server.start()) {
+    std::fprintf(stderr, "error: %s\n", server.lastError().c_str());
+    return 1;
+  }
+  if (server.port() >= 0)
+    std::fprintf(stderr, "explore_server: listening on %s:%d\n",
+                 socketOptions.bindAddress.c_str(), server.port());
+  if (!socketOptions.unixSocketPath.empty())
+    std::fprintf(stderr, "explore_server: listening on unix socket %s\n",
+                 socketOptions.unixSocketPath.c_str());
+
+  // Some connection sends {"shutdown": true}: stop accepting and reading,
+  // let every admitted request finish and every writer flush, take the
+  // daemon down (final snapshot), then deliver the summary line to the
+  // connection that asked.
+  server.waitForShutdownRequest();
+  server.drain();
+  daemon.shutdown();
+  server.close(driver::wire::shutdownSummaryLine(
+      daemon.stats(), daemon.service().cacheStats()));
   return 0;
 }
 
@@ -386,6 +221,8 @@ int main(int argc, char** argv) {
   bool listWorkloads = false;
   bool serveMode = false;
   driver::DaemonOptions daemonOptions;
+  driver::SocketServerOptions socketOptions;
+  socketOptions.port = -1;
 
   try {
     for (int i = 1; i < argc; ++i) {
@@ -408,6 +245,13 @@ int main(int argc, char** argv) {
       else if (a == "--workers") daemonOptions.workers = std::stoull(next());
       else if (a == "--default-deadline-ms")
         daemonOptions.defaultDeadlineMs = std::stoll(next());
+      else if (a == "--port") socketOptions.port = std::stoi(next());
+      else if (a == "--bind") socketOptions.bindAddress = next();
+      else if (a == "--unix-socket") socketOptions.unixSocketPath = next();
+      else if (a == "--write-queue-bound")
+        socketOptions.writeQueueBound = std::stoull(next());
+      else if (a == "--send-buffer-bytes")
+        socketOptions.sendBufferBytes = std::stoi(next());
       else return usage();
     }
   } catch (const std::exception&) {
@@ -422,8 +266,12 @@ int main(int argc, char** argv) {
 
   if (serveMode) {
     daemonOptions.service.threads = threads;
+    socketOptions.maxFrontier = maxFrontier;
+    const bool socketFrontend =
+        socketOptions.port >= 0 || !socketOptions.unixSocketPath.empty();
     try {
-      return serve(daemonOptions, maxFrontier);
+      return socketFrontend ? serveSocket(daemonOptions, socketOptions)
+                            : serveStdio(daemonOptions, maxFrontier);
     } catch (const Error& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return 1;
@@ -440,30 +288,33 @@ int main(int argc, char** argv) {
   }
   std::istream& in = file.empty() ? std::cin : fileStream;
 
-  // Parse the whole stream up front. A malformed line becomes a Request
+  /// One parsed input line: exactly one of `request` / `error`.
+  struct Parsed {
+    std::optional<driver::wire::Request> request;
+    std::string error;  ///< parse failure for this line (batch continues)
+  };
+
+  // Parse the whole stream up front. A malformed line becomes a Parsed
   // carrying its error: it still occupies its input-order slot (so "query"
   // indices line up), gets a structured error response, and the rest of
   // the batch runs; the process exits 2 at the end.
-  std::vector<Request> requests;
+  std::vector<Parsed> requests;
   std::size_t parseErrors = 0;
   std::string line;
   while (std::getline(in, line)) {
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-    Request request;
+    Parsed parsed;
     try {
-      const auto obj = support::parseJsonLine(line);
-      if (obj.has("network") || obj.has("network_file")) {
-        request.network = parseNetworkQuery(obj);
-        request.name = request.network->network.name();
-      } else {
-        request.plain = parseQuery(obj);
-        request.name = *obj.getString("workload");
-      }
+      auto request = driver::wire::parseRequest(support::parseJsonLine(line));
+      if (request.kind == driver::wire::Request::Kind::Shutdown ||
+          request.kind == driver::wire::Request::Kind::CacheStats)
+        fail("request is only available in --serve mode");
+      parsed.request = std::move(request);
     } catch (const Error& e) {
-      request.error = e.what();
+      parsed.error = e.what();
       ++parseErrors;
     }
-    requests.push_back(std::move(request));
+    requests.push_back(std::move(parsed));
   }
   if (requests.empty()) {
     std::fprintf(stderr, "no requests on input\n");
@@ -479,31 +330,36 @@ int main(int argc, char** argv) {
     // NetworkExplorer borrowing the same service, so the whole stream
     // shares one evaluation cache. Responses print in input order.
     std::vector<driver::ExploreQuery> batch;
-    for (const Request& r : requests)
-      if (r.plain) batch.push_back(*r.plain);
+    for (const Parsed& p : requests)
+      if (p.request && p.request->kind == driver::wire::Request::Kind::Query)
+        batch.push_back(*p.request->query);
     const auto batchResults = service.runBatch(batch);
 
     driver::NetworkExplorer explorer(service);
     std::size_t nextPlain = 0;
     std::size_t queries = 0, networks = 0;
     for (std::size_t i = 0; i < requests.size(); ++i) {
-      const Request& r = requests[i];
-      if (!r.error.empty()) {
-        std::printf("%s\n", errorLine(i, r.error).c_str());
-      } else if (r.plain) {
+      const Parsed& p = requests[i];
+      if (!p.error.empty()) {
+        std::printf("%s\n", driver::wire::errorLine(i, p.error).c_str());
+      } else if (p.request->kind == driver::wire::Request::Kind::Query) {
         ++queries;
-        std::printf("%s\n",
-                    resultLine(i, r.name,
-                               cost::backendKindName(r.plain->backend),
-                               driver::objectiveName(r.plain->objective),
-                               batchResults[nextPlain++], maxFrontier)
-                        .c_str());
+        std::printf(
+            "%s\n",
+            driver::wire::resultLine(
+                i, p.request->name,
+                cost::backendKindName(p.request->query->backend),
+                driver::objectiveName(p.request->query->objective),
+                batchResults[nextPlain++], maxFrontier)
+                .c_str());
       } else {
         ++networks;
-        const auto result = explorer.explore(*r.network);
-        std::printf("%s\n", networkResultLine(i, r.name, *r.network, result,
-                                              maxFrontier)
-                                .c_str());
+        const auto result = explorer.explore(*p.request->network);
+        std::printf("%s\n",
+                    driver::wire::networkResultLine(i, p.request->name,
+                                                    *p.request->network, result,
+                                                    maxFrontier)
+                        .c_str());
       }
     }
 
@@ -511,7 +367,7 @@ int main(int argc, char** argv) {
         "{\"batch\": {\"queries\": %zu, \"networks\": %zu, \"errors\": %zu, "
         "\"cache\": %s}}\n",
         queries, networks, parseErrors,
-        cacheStatsJson(service.cacheStats()).c_str());
+        driver::wire::cacheStatsJson(service.cacheStats()).c_str());
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
