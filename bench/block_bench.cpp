@@ -1,0 +1,156 @@
+// Struct-of-arrays block pipeline vs scalar per-candidate pipeline (the
+// PR-8 perf anchor).
+//
+// Runs the same traffic two ways through the exploration service:
+//
+//   scalar   blockSpecs = 0: the per-candidate path — one peek, one scalar
+//            lower bound, one evaluation at a time, pointer-rich specs.
+//   block    blockSpecs = 64: enumerated lists packed once into contiguous
+//            struct-of-arrays buffers (stt::SpecBlockSet); bounds run as
+//            packed loops over whole blocks, dominance cuts land before any
+//            tile search, and survivors share one tile search per mapping
+//            class through a BlockMappingStore.
+//
+// Scenario: the batched 10-query overlapping service scenario (GEMM-256
+// under ASIC+FPGA objectives, attention, duplicate traffic), cold on a
+// fresh service per side with the process-wide candidate memo cleared, so
+// both sides pay enumeration honestly. Gate: block >= 2x (full mode only).
+//
+// Bit-identity is asserted every run, gates or not: block frontiers at 1
+// and 8 worker threads, cold and warm, must equal the scalar frontiers.
+//
+// Merges a "block" section into BENCH_hotpaths.json next to the earlier
+// gates.
+//
+// Usage: bench_block [--smoke] [--out <path>]
+//   --smoke   maxEntry=1 spaces, correctness asserts only, no timing gates
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "driver/explore_service.hpp"
+#include "service_scenario.hpp"
+#include "stt/enumerate.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using namespace tensorlib;
+using Clock = std::chrono::steady_clock;
+
+double msSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+constexpr double kGateMinBatched = 2.0;
+constexpr std::size_t kBlockSpecs = 64;
+
+driver::ServiceOptions pipelineOptions(std::size_t blockSpecs,
+                                       std::size_t threads = 0) {
+  driver::ServiceOptions o;
+  o.threads = threads;
+  o.blockSpecs = blockSpecs;
+  return o;
+}
+
+struct BlockReport {
+  std::size_t batchDesigns = 0;  ///< design points across the batch
+  double scalarColdMs = 0, blockColdMs = 0, blockWarmMs = 0;
+  std::uint64_t pruned = 0;  ///< block-side dominance cuts, cold batch
+  double coldSpeedup() const { return scalarColdMs / blockColdMs; }
+};
+
+BlockReport benchBlock(int maxEntry) {
+  BlockReport r;
+  const auto batch = bench::serviceScenarioBatch(maxEntry);
+
+  // --- scalar side, cold: fresh service, cold candidate memo.
+  std::vector<driver::QueryResult> scalarB;
+  {
+    stt::clearCandidateCache();
+    driver::ExplorationService service(pipelineOptions(0));
+    const auto t = Clock::now();
+    scalarB = service.runBatch(batch);
+    r.scalarColdMs = msSince(t);
+  }
+
+  // --- block side, cold + warm rerun on the same service.
+  std::vector<driver::QueryResult> blockB, blockWarm;
+  {
+    stt::clearCandidateCache();
+    driver::ExplorationService service(pipelineOptions(kBlockSpecs));
+    const auto t = Clock::now();
+    blockB = service.runBatch(batch);
+    r.blockColdMs = msSince(t);
+    const auto w = Clock::now();
+    blockWarm = service.runBatch(batch);
+    r.blockWarmMs = msSince(w);
+  }
+  bench::checkSameResults(scalarB, blockB);
+  bench::checkSameResults(scalarB, blockWarm);
+  for (const auto& res : blockB) {
+    r.batchDesigns += res.designs;
+    r.pruned += res.cache.pruned;
+  }
+
+  // --- thread-count bit-identity: 1 and 8 workers, cold services.
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    driver::ExplorationService service(pipelineOptions(kBlockSpecs, threads));
+    bench::checkSameResults(scalarB, service.runBatch(batch));
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out = "BENCH_hotpaths.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out = argv[++i];
+    else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--out <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  try {
+    bench::printHeader(smoke ? "Block evaluation (smoke)"
+                             : "Block vs scalar evaluation pipeline");
+    const BlockReport r = benchBlock(smoke ? 1 : 2);
+    std::printf(
+        "  batched  scalar %.1f ms | block %.1f ms (%.2fx) | warm rerun %.1f "
+        "ms  [%zu design evals, %llu cut, frontiers bit-identical at 1+8 "
+        "threads]\n",
+        r.scalarColdMs, r.blockColdMs, r.coldSpeedup(), r.blockWarmMs,
+        r.batchDesigns, static_cast<unsigned long long>(r.pruned));
+
+    const bool pass = smoke || r.coldSpeedup() >= kGateMinBatched;
+    std::ostringstream line;
+    line << "\"block\": {\"workloads\": \"gemm256+attention64\", "
+         << "\"block_specs\": " << kBlockSpecs
+         << ", \"batch_design_evals\": " << r.batchDesigns
+         << ", \"batched_scalar_ms\": " << r.scalarColdMs
+         << ", \"batched_block_ms\": " << r.blockColdMs
+         << ", \"batched_speedup\": " << r.coldSpeedup()
+         << ", \"block_warm_ms\": " << r.blockWarmMs
+         << ", \"pruned_batched\": " << r.pruned
+         << ", \"gate_min_batched_speedup\": " << kGateMinBatched
+         << ", \"pass\": " << (pass ? "true" : "false") << "}";
+    bench::mergeJsonSection(out, "block", line.str());
+    std::printf("  merged into %s\n", out.c_str());
+
+    if (!pass)
+      std::printf("  GATE FAIL: batched block speedup %.2f < %.1f\n",
+                  r.coldSpeedup(), kGateMinBatched);
+    return pass ? 0 : 1;
+  } catch (const tensorlib::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <string>
 
+#include "stt/block.hpp"
 #include "stt/mapping.hpp"
 
 namespace tensorlib::cost {
@@ -35,6 +36,13 @@ struct StructureInventory {
 
 /// Derives the inventory from the dataflow classes (Fig. 3 templates).
 StructureInventory deriveInventory(const stt::DataflowSpec& spec,
+                                   const stt::ArrayConfig& config,
+                                   int dataWidth);
+
+/// Packed overload: the same per-class template arithmetic over
+/// SpecBlockSet slot `i` (class tags, |direction|, |lattice dt|), touching
+/// no DataflowSpec — bit-identical to the scalar overload by tests.
+StructureInventory deriveInventory(const stt::SpecBlockSet& set, std::size_t i,
                                    const stt::ArrayConfig& config,
                                    int dataWidth);
 
@@ -85,5 +93,11 @@ struct AsicReport {
 AsicReport estimateAsic(const stt::DataflowSpec& spec,
                         const stt::ArrayConfig& config, int dataWidth,
                         const AsicCostTable& table = {});
+
+/// Prices an already-derived inventory — the single arithmetic core behind
+/// estimateAsic and the block evaluation path, so the two agree bit for
+/// bit by construction.
+AsicReport asicFromInventory(StructureInventory inventory, int dataWidth,
+                             const AsicCostTable& table = {});
 
 }  // namespace tensorlib::cost

@@ -16,6 +16,33 @@ std::optional<BackendKind> parseBackendKind(const std::string& name) {
 
 std::string CostReport::str() const { return fpga ? fpga->str() : asic.str(); }
 
+// Base-class block entry points: scalar fallback through set.source, so a
+// backend without packed overrides still answers block calls correctly
+// (zero slots — the fallback never touches the store).
+std::size_t CostBackend::blockSlotCount(const stt::SpecBlockSet&) const {
+  return 0;
+}
+
+void CostBackend::lowerBoundBlock(const stt::SpecBlockSet& set,
+                                  const std::size_t* indices,
+                                  std::size_t count,
+                                  const stt::ArrayConfig& array,
+                                  CostBound* out) const {
+  for (std::size_t n = 0; n < count; ++n)
+    out[n] = lowerBound((*set.source)[indices[n]], array);
+}
+
+BlockEval CostBackend::evaluateBlock(const stt::SpecBlockSet& set,
+                                     std::size_t i,
+                                     const stt::ArrayConfig& array,
+                                     stt::BlockMappingStore&) const {
+  const stt::DataflowSpec& spec = (*set.source)[i];
+  BlockEval e;
+  e.perf = estimatePerf(spec, array);
+  e.cost = evaluate(spec, array);
+  return e;
+}
+
 namespace {
 
 class AsicBackend final : public CostBackend {
@@ -69,6 +96,38 @@ class AsicBackend final : public CostBackend {
     return b;
   }
 
+  // The ASIC array runs as configured: one mapping slot per mapping class.
+  std::size_t blockSlotCount(const stt::SpecBlockSet& set) const override {
+    return set.mapClassCount;
+  }
+
+  void lowerBoundBlock(const stt::SpecBlockSet& set, const std::size_t* indices,
+                       std::size_t count, const stt::ArrayConfig& array,
+                       CostBound* out) const override {
+    for (std::size_t n = 0; n < count; ++n) {
+      const std::size_t i = indices[n];
+      out[n].cycles = static_cast<double>(sim::cyclesLowerBound(set, i, array));
+      out[n].figures =
+          asicFromInventory(deriveInventory(set, i, array, dataWidth_),
+                            dataWidth_, table_)
+              .figures();
+    }
+  }
+
+  BlockEval evaluateBlock(const stt::SpecBlockSet& set, std::size_t i,
+                          const stt::ArrayConfig& array,
+                          stt::BlockMappingStore& store) const override {
+    BlockEval e;
+    const stt::TileMapping& mapping =
+        store.get(set, i, array, set.mapClass[i]);
+    e.perf = sim::perfFromMapping(mapping, array);
+    e.cost.asic =
+        asicFromInventory(deriveInventory(set, i, array, dataWidth_),
+                          dataWidth_, table_);
+    e.cost.figures = e.cost.asic.figures();
+    return e;
+  }
+
  private:
   int dataWidth_;
   AsicCostTable table_;
@@ -119,7 +178,61 @@ class FpgaBackend final : public CostBackend {
     return b;
   }
 
+  // FPGA performance runs at the tier's post-route frequency and the real
+  // word size, so each mapping class fans out over the three tiers.
+  std::size_t blockSlotCount(const stt::SpecBlockSet& set) const override {
+    return set.mapClassCount * 3;
+  }
+
+  void lowerBoundBlock(const stt::SpecBlockSet& set, const std::size_t* indices,
+                       std::size_t count, const stt::ArrayConfig& array,
+                       CostBound* out) const override {
+    const std::int64_t pes = array.rows * array.cols;
+    const int w = config_.fp32 ? 32 : 16;
+    for (std::size_t n = 0; n < count; ++n) {
+      const std::size_t i = indices[n];
+      const int tier = fpgaFrequencyTier(set, i);
+      out[n].cycles = static_cast<double>(
+          sim::cyclesLowerBound(set, i, tierPerfConfig(array, tier)));
+      out[n].figures = fpgaFromInventory(deriveInventory(set, i, array, w),
+                                         fpgaTierFrequencyMHz(tier, config_),
+                                         pes, config_)
+                           .figures();
+    }
+  }
+
+  BlockEval evaluateBlock(const stt::SpecBlockSet& set, std::size_t i,
+                          const stt::ArrayConfig& array,
+                          stt::BlockMappingStore& store) const override {
+    const int tier = fpgaFrequencyTier(set, i);
+    const stt::ArrayConfig perfCfg = tierPerfConfig(array, tier);
+    BlockEval e;
+    const stt::TileMapping& mapping = store.get(
+        set, i, perfCfg, set.mapClass[i] * 3 + static_cast<std::size_t>(tier));
+    e.perf = sim::perfFromMapping(mapping, perfCfg);
+    const std::int64_t pes = array.rows * array.cols;
+    const int w = config_.fp32 ? 32 : 16;
+    FpgaReport rep =
+        fpgaFromInventory(deriveInventory(set, i, array, w),
+                          fpgaTierFrequencyMHz(tier, config_), pes, config_);
+    const std::int64_t lanes = pes * config_.vectorLanes;
+    rep.gops = 2.0 * static_cast<double>(lanes) * rep.frequencyMHz * 1e6 *
+               e.perf.utilization / 1e9;
+    e.cost.fpga = std::move(rep);
+    e.cost.figures = e.cost.fpga->figures();
+    return e;
+  }
+
  private:
+  /// fpgaPerfConfig factored through the tier (see fpga.hpp).
+  stt::ArrayConfig tierPerfConfig(const stt::ArrayConfig& array,
+                                  int tier) const {
+    stt::ArrayConfig perfCfg = array;
+    perfCfg.frequencyMHz = fpgaTierFrequencyMHz(tier, config_);
+    perfCfg.dataBytes = config_.fp32 ? 4 : 2;
+    return perfCfg;
+  }
+
   FpgaConfig config_;
 };
 

@@ -46,6 +46,14 @@ struct CostBound {
   CostFigures figures;
 };
 
+/// One block-path evaluation: exactly what estimatePerf + evaluate would
+/// have produced for the same spec (the scalar/block equivalence contract —
+/// see docs/ARCHITECTURE.md and tests/block_eval_test.cpp).
+struct BlockEval {
+  sim::PerfResult perf;
+  CostReport cost;
+};
+
 class CostBackend {
  public:
   virtual ~CostBackend() = default;
@@ -71,6 +79,31 @@ class CostBackend {
   /// (see CostBound). Never exceeds the true figures in any axis.
   virtual CostBound lowerBound(const stt::DataflowSpec& spec,
                                const stt::ArrayConfig& array) const = 0;
+
+  // ---- block-shaped entry points -------------------------------------
+  // The struct-of-arrays siblings of lowerBound/estimatePerf/evaluate:
+  // same results bit for bit, but reading packed SpecBlockSet arrays in
+  // tight loops with no per-candidate allocation, and sharing one tile
+  // search per mapping class through a BlockMappingStore. The base class
+  // falls back to the scalar path, so custom backends stay correct
+  // without opting in.
+
+  /// Mapping-store slots a block evaluation of `set` needs (mapping
+  /// classes times this backend's operating-point fan-out).
+  virtual std::size_t blockSlotCount(const stt::SpecBlockSet& set) const;
+
+  /// Lower bounds for `count` packed candidates (indices into `set`),
+  /// written to out[0..count): each equals lowerBound on the same spec.
+  virtual void lowerBoundBlock(const stt::SpecBlockSet& set,
+                               const std::size_t* indices, std::size_t count,
+                               const stt::ArrayConfig& array,
+                               CostBound* out) const;
+
+  /// Full evaluation of packed candidate `i`, memoizing its tile search in
+  /// `store`; equals {estimatePerf(spec, array), evaluate(spec, array)}.
+  virtual BlockEval evaluateBlock(const stt::SpecBlockSet& set, std::size_t i,
+                                  const stt::ArrayConfig& array,
+                                  stt::BlockMappingStore& store) const;
 };
 
 /// Free-function face of CostBackend::lowerBound: provable lower bounds on

@@ -31,17 +31,37 @@ bool hasClass(const stt::DataflowSpec& spec, stt::DataflowClass cls) {
 
 }  // namespace
 
+double fpgaTierFrequencyMHz(int tier, const FpgaConfig& cfg) {
+  double freq = tier == 2 ? 221.0 : tier == 1 ? 231.0 : 263.0;
+  if (cfg.placementOptimized) freq *= 1.247;  // AutoBridge-style floorplan
+  return freq;
+}
+
 double fpgaFrequencyMHz(const stt::DataflowSpec& spec, const FpgaConfig& cfg) {
   // Systolic arrays close timing highest (neighbor-only wires); multicast
-  // broadcast nets and unicast port fabrics cost routing slack.
-  double freq = 263.0;
+  // broadcast nets and unicast port fabrics cost routing slack. The unicast
+  // tier wins over the broadcast tier because 221 < 231.
+  int tier = 0;
   if (hasClass(spec, stt::DataflowClass::Multicast) ||
       hasClass(spec, stt::DataflowClass::Broadcast2D) ||
       hasClass(spec, stt::DataflowClass::MulticastStationary))
-    freq = 231.0;
-  if (hasClass(spec, stt::DataflowClass::Unicast)) freq = std::min(freq, 221.0);
-  if (cfg.placementOptimized) freq *= 1.247;  // AutoBridge-style floorplan
-  return freq;
+    tier = 1;
+  if (hasClass(spec, stt::DataflowClass::Unicast)) tier = 2;
+  return fpgaTierFrequencyMHz(tier, cfg);
+}
+
+int fpgaFrequencyTier(const stt::SpecBlockSet& set, std::size_t i) {
+  int tier = 0;
+  for (std::size_t k = 0; k < set.tensorsPerSpec; ++k) {
+    const auto cls =
+        static_cast<stt::DataflowClass>(set.classTag[set.tensorIndex(i, k)]);
+    if (cls == stt::DataflowClass::Unicast) return 2;
+    if (cls == stt::DataflowClass::Multicast ||
+        cls == stt::DataflowClass::Broadcast2D ||
+        cls == stt::DataflowClass::MulticastStationary)
+      tier = 1;
+  }
+  return tier;
 }
 
 stt::ArrayConfig fpgaPerfConfig(const stt::DataflowSpec& spec,
@@ -65,16 +85,13 @@ std::string FpgaReport::str() const {
   return os.str();
 }
 
-FpgaReport estimateFpgaResources(const stt::DataflowSpec& spec,
-                                 const stt::ArrayConfig& arrayConfig,
-                                 const FpgaConfig& cfg) {
+FpgaReport fpgaFromInventory(const StructureInventory& inv,
+                             double frequencyMHz, std::int64_t pes,
+                             const FpgaConfig& cfg) {
   FpgaReport rep;
-  const std::int64_t pes = arrayConfig.rows * arrayConfig.cols;
   const std::int64_t lanes = pes * cfg.vectorLanes;
   const LaneCosts lane = laneCosts(cfg.fp32);
   const int w = cfg.fp32 ? 32 : 16;
-
-  const StructureInventory inv = deriveInventory(spec, arrayConfig, w);
   rep.inventory = inv;
 
   rep.dsps = lanes * lane.dsp;
@@ -89,8 +106,7 @@ FpgaReport estimateFpgaResources(const stt::DataflowSpec& spec,
   rep.bram = static_cast<std::int64_t>(
       std::ceil((pes * bufferBitsPerPe + bankBits) / 36864.0));
 
-  const double freq = fpgaFrequencyMHz(spec, cfg);
-  rep.frequencyMHz = freq;
+  rep.frequencyMHz = frequencyMHz;
 
   // Power: activity-weighted dynamic contribution per resource at the
   // achieved frequency (UltraScale+-class: DSP columns dominate, LUT power
@@ -102,7 +118,7 @@ FpgaReport estimateFpgaResources(const stt::DataflowSpec& spec,
                              static_cast<double>(rep.luts) * 0.055 +
                              static_cast<double>(rep.bram) * 7.5;
   const double staticMw = 3200.0;
-  rep.powerMw = dynUwPerMHz * freq * 1e-3 + staticMw;
+  rep.powerMw = dynUwPerMHz * frequencyMHz * 1e-3 + staticMw;
 
   rep.lutPct = 100.0 * static_cast<double>(rep.luts) /
                static_cast<double>(cfg.device.luts);
@@ -111,6 +127,15 @@ FpgaReport estimateFpgaResources(const stt::DataflowSpec& spec,
   rep.bramPct = 100.0 * static_cast<double>(rep.bram) /
                 static_cast<double>(cfg.device.bram36);
   return rep;
+}
+
+FpgaReport estimateFpgaResources(const stt::DataflowSpec& spec,
+                                 const stt::ArrayConfig& arrayConfig,
+                                 const FpgaConfig& cfg) {
+  const int w = cfg.fp32 ? 32 : 16;
+  const std::int64_t pes = arrayConfig.rows * arrayConfig.cols;
+  return fpgaFromInventory(deriveInventory(spec, arrayConfig, w),
+                           fpgaFrequencyMHz(spec, cfg), pes, cfg);
 }
 
 FpgaReport estimateFpga(const stt::DataflowSpec& spec,

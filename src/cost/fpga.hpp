@@ -55,6 +55,13 @@ struct FpgaReport {
 /// fabrics cost routing slack; placement optimization lifts the result).
 double fpgaFrequencyMHz(const stt::DataflowSpec& spec, const FpgaConfig& cfg);
 
+/// The interconnect model's frequency tiers, exposed for the block path:
+/// tier 0 = neighbor-only wiring (263 MHz), 1 = broadcast nets (231),
+/// 2 = unicast port fabric (221). fpgaFrequencyMHz(spec, cfg) ==
+/// fpgaTierFrequencyMHz(fpgaFrequencyTier(...), cfg) by construction.
+int fpgaFrequencyTier(const stt::SpecBlockSet& set, std::size_t i);
+double fpgaTierFrequencyMHz(int tier, const FpgaConfig& cfg);
+
 /// The array configuration FPGA performance must be modeled at: the caller's
 /// geometry/bandwidth with the frequency forced to fpgaFrequencyMHz and the
 /// word size forced to match the fp32 flag (a stale INT16 dataBytes would
@@ -70,6 +77,14 @@ stt::ArrayConfig fpgaPerfConfig(const stt::DataflowSpec& spec,
 FpgaReport estimateFpgaResources(const stt::DataflowSpec& spec,
                                  const stt::ArrayConfig& arrayConfig,
                                  const FpgaConfig& cfg);
+
+/// Prices an already-derived inventory at an already-decided frequency —
+/// the single arithmetic core behind estimateFpgaResources and the block
+/// evaluation path (`gops` is left at 0, exactly as estimateFpgaResources
+/// leaves it). `pes` is the physical array size rows * cols.
+FpgaReport fpgaFromInventory(const StructureInventory& inventory,
+                             double frequencyMHz, std::int64_t pes,
+                             const FpgaConfig& cfg);
 
 /// Estimates the FPGA implementation of `spec` mapped on `arrayConfig`
 /// (rows x cols PEs, each with cfg.vectorLanes MAC lanes) running the

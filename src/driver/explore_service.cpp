@@ -112,10 +112,16 @@ struct ExplorationService::Impl {
   };
 
   /// Memoized enumerated design space (shared across queries; in-flight
-  /// holders keep evicted lists alive through the shared_ptr).
+  /// holders keep evicted lists alive through the shared_ptr). The packed
+  /// block view and per-spec cache keys are built lazily under their own
+  /// once_flag: only block-path queries pay for them, exactly once per
+  /// list no matter how many queries share it.
   struct SpecListEntry {
     std::once_flag once;
     std::shared_ptr<const std::vector<stt::DataflowSpec>> specs;
+    std::once_flag blockOnce;
+    std::shared_ptr<const stt::SpecBlockSet> block;
+    std::shared_ptr<const std::vector<std::string>> specKeys;
   };
 
   ServiceOptions options;
@@ -201,6 +207,23 @@ struct ExplorationService::Impl {
     return *entry;
   }
 
+  /// Block-path force: the packed evaluation produces the same values as
+  /// force() for the same spec (the equivalence contract), so whichever
+  /// path wins an entry's once_flag, every waiter reads identical results.
+  const EvalEntry& forceBlock(const std::shared_ptr<EvalEntry>& entry,
+                              const stt::SpecBlockSet& set, std::size_t i,
+                              const stt::ArrayConfig& array,
+                              const cost::CostBackend& backend,
+                              stt::BlockMappingStore& store) {
+    std::call_once(entry->once, [&] {
+      cost::BlockEval eval = backend.evaluateBlock(set, i, array, store);
+      entry->perf = eval.perf;
+      entry->cost = std::move(eval.cost);
+      entry->ready.store(true, std::memory_order_release);
+    });
+    return *entry;
+  }
+
   /// Installs a restored evaluation under `key` unless one is already
   /// resident (live entries win — they are at least as fresh). Registers
   /// neither a hit nor a miss: restored warmth shows up as hits when
@@ -226,8 +249,7 @@ struct ExplorationService::Impl {
     return true;
   }
 
-  std::shared_ptr<const std::vector<stt::DataflowSpec>> specList(
-      const ExploreQuery& q) {
+  std::shared_ptr<SpecListEntry> specEntry(const ExploreQuery& q) {
     const std::string key = algebraKey(q.algebra) + "|" + enumKey(q.enumeration);
     std::shared_ptr<SpecListEntry> entry;
     {
@@ -249,7 +271,25 @@ struct ExplorationService::Impl {
       entry->specs = std::make_shared<const std::vector<stt::DataflowSpec>>(
           stt::enumerateDesignSpace(q.algebra, q.enumeration));
     });
-    return entry->specs;
+    return entry;
+  }
+
+  std::shared_ptr<const std::vector<stt::DataflowSpec>> specList(
+      const ExploreQuery& q) {
+    return specEntry(q)->specs;
+  }
+
+  /// Builds the packed SoA view and per-spec cache keys of one list (once;
+  /// concurrent callers block until ready).
+  void ensureBlock(SpecListEntry& entry) {
+    std::call_once(entry.blockOnce, [&] {
+      entry.block = stt::packSpecBlocks(entry.specs);
+      auto keys = std::make_shared<std::vector<std::string>>();
+      keys->reserve(entry.specs->size());
+      for (const stt::DataflowSpec& spec : *entry.specs)
+        keys->push_back(specKey(spec));
+      entry.specKeys = std::move(keys);
+    });
   }
 
   std::string evalPrefix(const ExploreQuery& q, const cost::CostBackend& backend) {
@@ -272,14 +312,26 @@ std::vector<QueryResult> ExplorationService::runBatch(
   std::vector<QueryResult> results(n);
   if (n == 0) return results;
 
-  // Phase 1: resolve each query's backend and (cached) design space.
+  // Phase 1: resolve each query's backend and (cached) design space. The
+  // block path additionally packs the list into its SoA view (once per
+  // list) and sizes a per-query mapping store (one slot per mapping class
+  // times the backend's operating-point fan-out).
+  const bool useBlocks = impl_->options.blockSpecs > 0;
   std::vector<std::shared_ptr<const cost::CostBackend>> backends(n);
+  std::vector<std::shared_ptr<Impl::SpecListEntry>> listEntries(n);
   std::vector<std::shared_ptr<const std::vector<stt::DataflowSpec>>> lists(n);
   std::vector<std::string> prefixes(n);
+  std::vector<std::unique_ptr<stt::BlockMappingStore>> stores(n);
   parallelForOn(impl_->pool, n, [&](std::size_t i) {
     backends[i] = makeBackend(batch[i]);
-    lists[i] = impl_->specList(batch[i]);
+    listEntries[i] = impl_->specEntry(batch[i]);
+    lists[i] = listEntries[i]->specs;
     prefixes[i] = impl_->evalPrefix(batch[i], *backends[i]);
+    if (useBlocks) {
+      impl_->ensureBlock(*listEntries[i]);
+      stores[i] = std::make_unique<stt::BlockMappingStore>(
+          backends[i]->blockSlotCount(*listEntries[i]->block));
+    }
   });
 
   // Phase 2: shard every query's space into work units; fan the whole
@@ -349,12 +401,109 @@ std::vector<QueryResult> ExplorationService::runBatch(
       else if (fault->action == "exit")
         std::_Exit(static_cast<int>(fault->value));
     }
+    // Incumbent snapshots are refreshed DURING the unit, not only at its
+    // start: every incumbent is a fully evaluated true cost, so any
+    // snapshot age is sound, but a stale one lets late candidates in a
+    // large unit dodge cuts that completed units already justify. The
+    // block path re-snapshots per block; the scalar path every
+    // kScalarSnapshotSpecs candidates.
+    constexpr std::size_t kScalarSnapshotSpecs = 64;
     ParetoFrontier snapshot;
     if (prune) {
       std::lock_guard<std::mutex> lock(incumbents[unit.query].mutex);
       snapshot = incumbents[unit.query].frontier;
     }
     std::vector<std::size_t> evicted;
+    if (useBlocks) {
+      const stt::SpecBlockSet& set = *listEntries[unit.query]->block;
+      const std::vector<std::string>& specKeys = *listEntries[unit.query]->specKeys;
+      stt::BlockMappingStore& store = *stores[unit.query];
+      // Per-unit scratch, reused across blocks: the inner passes allocate
+      // nothing per candidate (keys reuse one buffer's capacity).
+      const std::size_t blockCap =
+          std::min(impl_->options.blockSpecs, unit.end - unit.begin);
+      std::string key;
+      std::vector<std::shared_ptr<Impl::EvalEntry>> resident(blockCap);
+      std::vector<std::uint8_t> state(blockCap);  // 0 eval, 1 hit, 2 pruned
+      std::vector<std::size_t> pending;
+      std::vector<cost::CostBound> bounds;
+      pending.reserve(blockCap);
+      for (std::size_t b = unit.begin; b < unit.end;
+           b += impl_->options.blockSpecs) {
+        // The deadline is observed at block boundaries; on expiry the
+        // WHOLE untouched remainder counts as skipped, so the accounting
+        // invariant (hits + misses + pruned + skipped == designs) holds
+        // exactly for timed-out partial results too.
+        if (deadline.armed &&
+            (deadline.expired.load(std::memory_order_relaxed) ||
+             Clock::now() >= deadline.at)) {
+          deadline.expired.store(true, std::memory_order_relaxed);
+          out.skipped += unit.end - b;
+          break;
+        }
+        const std::size_t blockEnd =
+            std::min(unit.end, b + impl_->options.blockSpecs);
+        if (prune && b != unit.begin) {
+          std::lock_guard<std::mutex> lock(incumbents[unit.query].mutex);
+          snapshot = incumbents[unit.query].frontier;
+        }
+        // Pass 1 — cache peek: resident evaluations are cheaper than
+        // bounding, so hits bypass the bound pass entirely.
+        pending.clear();
+        for (std::size_t i = b; i < blockEnd; ++i) {
+          key.assign(prefixes[unit.query]);
+          key.append(specKeys[i]);
+          std::shared_ptr<Impl::EvalEntry> entry =
+              prune ? impl_->peekEntry(key) : nullptr;
+          state[i - b] = entry ? 1 : 0;
+          resident[i - b] = std::move(entry);
+          if (prune && state[i - b] == 0) pending.push_back(i);
+        }
+        // Pass 2 — packed lower bounds for every non-resident candidate
+        // of the block, then whole-block dominance cuts against the fresh
+        // snapshot and this unit's own evaluated stream, all BEFORE any
+        // tile-mapping search.
+        if (!pending.empty()) {
+          bounds.resize(pending.size());
+          backend.lowerBoundBlock(set, pending.data(), pending.size(),
+                                  q.array, bounds.data());
+          for (std::size_t p = 0; p < pending.size(); ++p) {
+            const ParetoCost boundCost{bounds[p].cycles,
+                                       bounds[p].figures.powerMw,
+                                       bounds[p].figures.area, 0.0};
+            if (finiteCost(boundCost) &&
+                (snapshot.strictlyDominates(boundCost) ||
+                 out.frontier.strictlyDominates(boundCost))) {
+              ++out.pruned;
+              state[pending[p] - b] = 2;
+            }
+          }
+        }
+        // Pass 3 — evaluate survivors (packed models + per-class mapping
+        // store) and fold into the streaming frontier in index order.
+        for (std::size_t i = b; i < blockEnd; ++i) {
+          if (state[i - b] == 2) continue;
+          std::shared_ptr<Impl::EvalEntry> entry = std::move(resident[i - b]);
+          bool hit = state[i - b] == 1;
+          if (!entry) {
+            key.assign(prefixes[unit.query]);
+            key.append(specKeys[i]);
+            std::tie(entry, hit) = impl_->evalEntry(key);
+          }
+          impl_->forceBlock(entry, set, i, q.array, backend, store);
+          (hit ? out.hits : out.misses) += 1;
+          evicted.clear();
+          if (out.frontier.insert(paretoEntryOf(entry->perf,
+                                                entry->cost.figures, i,
+                                                set.labels[i]),
+                                  &evicted))
+            out.kept.emplace(i, DesignReport(specs[i], entry->perf,
+                                             entry->cost));
+          for (std::size_t o : evicted) out.kept.erase(o);
+        }
+      }
+    } else {
+    std::size_t sinceSnapshot = 0;
     for (std::size_t i = unit.begin; i < unit.end; ++i) {
       if (deadline.armed && (deadline.expired.load(std::memory_order_relaxed) ||
                              Clock::now() >= deadline.at)) {
@@ -362,6 +511,12 @@ std::vector<QueryResult> ExplorationService::runBatch(
         out.skipped += unit.end - i;
         break;
       }
+      if (prune && sinceSnapshot >= kScalarSnapshotSpecs) {
+        std::lock_guard<std::mutex> lock(incumbents[unit.query].mutex);
+        snapshot = incumbents[unit.query].frontier;
+        sinceSnapshot = 0;
+      }
+      ++sinceSnapshot;
       const stt::DataflowSpec& spec = specs[i];
       const std::string key = prefixes[unit.query] + specKey(spec);
       std::shared_ptr<Impl::EvalEntry> entry;
@@ -399,6 +554,7 @@ std::vector<QueryResult> ExplorationService::runBatch(
               &evicted))
         out.kept.emplace(i, DesignReport(spec, entry->perf, entry->cost));
       for (std::size_t o : evicted) out.kept.erase(o);
+    }
     }
     if (prune) {
       std::lock_guard<std::mutex> lock(incumbents[unit.query].mutex);

@@ -120,6 +120,18 @@ struct ServiceOptions {
   std::size_t cacheCapacity = 1u << 16;   ///< cached evaluations (FIFO/shard)
   std::size_t specListCacheCapacity = 8;  ///< enumerated design spaces kept
   std::size_t workUnitSpecs = 128;        ///< specs per scheduled work unit
+  /// Specs per evaluation block inside a work unit. 0 (default) keeps the
+  /// scalar per-candidate path; > 0 switches run()/runBatch() to the
+  /// struct-of-arrays block pipeline: each enumerated list is packed once
+  /// into contiguous arrays (stt::SpecBlockSet), every block peeks the
+  /// eval cache, lower-bounds all non-resident candidates in one packed
+  /// pass, prunes whole blocks against a per-block incumbent snapshot
+  /// *before* any tile search, and evaluates survivors through a per-query
+  /// mapping store (one tile search per mapping class). Frontiers, winners
+  /// and evaluateAll() stay bit-identical either way at any thread count
+  /// (tests/block_eval_test.cpp); only speed and the hits/misses/pruned
+  /// split change. 64 is the bench-gated setting (bench_block, >= 2x).
+  std::size_t blockSpecs = 0;
   /// Lower-bound dominance pruning in run()/runBatch(): candidates whose
   /// provable (cycles, power, area) lower bound is strictly dominated by an
   /// already-evaluated incumbent skip full evaluation. The resulting

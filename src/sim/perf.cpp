@@ -77,17 +77,40 @@ std::int64_t coveredExtents(const linalg::IntMatrix& coeff,
   return best;
 }
 
+/// coveredExtents over a packed |coefficient| block (rank rows x 3,
+/// row-major): same recursion, same result — the scalar version only reads
+/// the coefficients' zero pattern.
+std::int64_t coveredExtentsPacked(const std::int64_t* absC, std::size_t rank,
+                                  const std::int64_t* extents, std::size_t dim,
+                                  unsigned usedMask) {
+  if (dim == rank) return 1;
+  std::int64_t best = coveredExtentsPacked(absC, rank, extents, dim + 1, usedMask);
+  for (std::size_t j = 0; j < 3; ++j) {
+    if ((usedMask & (1u << j)) != 0 || absC[dim * 3 + j] == 0) continue;
+    best = std::max(best, linalg::checkedMul(
+                              extents[j],
+                              coveredExtentsPacked(absC, rank, extents, dim + 1,
+                                                   usedMask | (1u << j))));
+  }
+  return best;
+}
+
 }  // namespace
+
+PerfResult perfFromMapping(const stt::TileMapping& mapping,
+                           const stt::ArrayConfig& config) {
+  return finalizePerf(accumulate(mapping, config), config);
+}
 
 PerfResult estimatePerformance(const stt::DataflowSpec& spec,
                                const stt::ArrayConfig& config,
                                stt::MappingCache* mappings) {
   if (mappings != nullptr) {
     const auto mapping = mappings->get(spec, config);
-    return finalizePerf(accumulate(*mapping, config), config);
+    return perfFromMapping(*mapping, config);
   }
   const stt::TileMapping mapping = stt::computeMapping(spec, config);
-  return finalizePerf(accumulate(mapping, config), config);
+  return perfFromMapping(mapping, config);
 }
 
 std::int64_t cyclesLowerBound(const stt::DataflowSpec& spec,
@@ -150,6 +173,53 @@ std::int64_t cyclesLowerBound(const stt::DataflowSpec& spec,
                                 0, 0u));
     // floor, not ceil: immune to last-ulp rounding of the division while
     // still a valid integer lower bound.
+    bound = std::max(bound, static_cast<std::int64_t>(std::floor(
+                                static_cast<double>(minTraffic) / wordsPerCycle)));
+  }
+  return std::max<std::int64_t>(bound, 1);
+}
+
+std::int64_t cyclesLowerBound(const stt::SpecBlockSet& set, std::size_t i,
+                              const stt::ArrayConfig& config) {
+  // Mirrors the scalar overload term by term (see the comments there); the
+  // differential tests pin the two equal over whole enumerated spaces.
+  const std::int64_t macs = set.algebraMacs;
+  double rate = static_cast<double>(config.rows * config.cols);
+  if (rate <= 0.0) rate = 1.0;
+
+  const std::int64_t* absT = set.specAbsT(i);
+  const std::int64_t* extents = set.specExtents(i);
+  const double wordsPerCycle = config.wordsPerCycle();
+  if (wordsPerCycle > 0.0 && std::isfinite(wordsPerCycle)) {
+    std::int64_t caps[3];
+    for (std::size_t j = 0; j < 3; ++j) {
+      std::int64_t cap = extents[j];
+      if (absT[0 * 3 + j] != 0)
+        cap = std::min(cap, 1 + (config.rows - 1) / absT[0 * 3 + j]);
+      if (absT[1 * 3 + j] != 0)
+        cap = std::min(cap, 1 + (config.cols - 1) / absT[1 * 3 + j]);
+      caps[j] = std::max<std::int64_t>(cap, 1);
+    }
+    const double capProduct = static_cast<double>(
+        linalg::checkedMul(caps[0], linalg::checkedMul(caps[1], caps[2])));
+    double intensityCap = std::numeric_limits<double>::infinity();
+    for (std::size_t k = 0; k < set.tensorsPerSpec; ++k) {
+      const double matched = static_cast<double>(coveredExtentsPacked(
+          set.tensorAbsC(i, k), set.tensorRank[k], caps, 0, 0u));
+      intensityCap = std::min(intensityCap, capProduct / matched);
+    }
+    rate = std::min(rate, wordsPerCycle * intensityCap);
+  }
+  std::int64_t bound =
+      static_cast<std::int64_t>(std::floor(static_cast<double>(macs) / rate));
+
+  if (wordsPerCycle > 0.0 && std::isfinite(wordsPerCycle)) {
+    const std::int64_t outer = set.outer[i];
+    std::int64_t minTraffic = 0;
+    for (std::size_t k = 0; k < set.tensorsPerSpec; ++k)
+      minTraffic += linalg::checkedMul(
+          outer, coveredExtentsPacked(set.tensorAbsC(i, k), set.tensorRank[k],
+                                      extents, 0, 0u));
     bound = std::max(bound, static_cast<std::int64_t>(std::floor(
                                 static_cast<double>(minTraffic) / wordsPerCycle)));
   }

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <string>
 
+#include "stt/block.hpp"
 #include "stt/mapping.hpp"
 
 namespace tensorlib::sim {
@@ -40,6 +41,12 @@ PerfResult estimatePerformance(const stt::DataflowSpec& spec,
 /// zero/invalid frequency yield 0 utilization/throughput, never NaN or inf.
 PerfResult finalizePerf(PerfResult raw, const stt::ArrayConfig& config);
 
+/// Closed-form performance of an already-computed tile mapping — the shared
+/// core behind estimatePerformance and the block evaluation path, so both
+/// are bit-identical by construction given the same mapping.
+PerfResult perfFromMapping(const stt::TileMapping& mapping,
+                           const stt::ArrayConfig& config);
+
 /// Provable lower bound on estimatePerformance(spec, config).totalCycles,
 /// computed without the tile-mapping search (a few dozen operations):
 ///   * compute: total MACs / PEs — a full-rank transform maps at most one
@@ -55,6 +62,14 @@ PerfResult finalizePerf(PerfResult raw, const stt::ArrayConfig& config);
 /// The bound is exact for some specs (e.g. utilization-1.0 GEMM designs)
 /// and never exceeds the true cycle count — see the pruning soundness tests.
 std::int64_t cyclesLowerBound(const stt::DataflowSpec& spec,
+                              const stt::ArrayConfig& config);
+
+/// cyclesLowerBound on packed data: the same arithmetic in the same order
+/// over SpecBlockSet slot `i`, bit-identical to the scalar overload on
+/// (*set.source)[i] (every term is sign-invariant, so the |.|-packed
+/// coefficients lose nothing). This is the block pruning pass's inner loop:
+/// no spec, matrix or vector is touched, only contiguous int64 arrays.
+std::int64_t cyclesLowerBound(const stt::SpecBlockSet& set, std::size_t i,
                               const stt::ArrayConfig& config);
 
 }  // namespace tensorlib::sim

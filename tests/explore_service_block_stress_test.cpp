@@ -1,0 +1,120 @@
+// Block-pipeline stress (runs under TSan via the service-stress label):
+// repeated mixed batches — both backends, duplicate queries, a
+// deadline-bounded query — through the struct-of-arrays path at 8 workers
+// must stay bit-identical run to run and match the scalar pipeline, while
+// every query keeps exact cache-bucket accounting. Concurrent submit()
+// traffic shares the same caches without racing the batch path.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <string>
+#include <vector>
+
+#include "cost/backend.hpp"
+#include "driver/explore_service.hpp"
+#include "tensor/workloads.hpp"
+
+namespace tensorlib::driver {
+namespace {
+
+namespace wl = tensor::workloads;
+
+ServiceOptions stressOptions(std::size_t threads, std::size_t blockSpecs) {
+  ServiceOptions o;
+  o.threads = threads;
+  o.workUnitSpecs = 32;
+  o.blockSpecs = blockSpecs;
+  return o;
+}
+
+ExploreQuery query(tensor::TensorAlgebra algebra, cost::BackendKind backend) {
+  ExploreQuery q(std::move(algebra));
+  q.array.rows = q.array.cols = 4;
+  q.backend = backend;
+  return q;
+}
+
+void expectSameResult(const QueryResult& a, const QueryResult& b) {
+  EXPECT_EQ(a.designs, b.designs);
+  ASSERT_EQ(a.frontier.size(), b.frontier.size());
+  for (std::size_t i = 0; i < a.frontier.size(); ++i) {
+    EXPECT_EQ(a.frontier[i].spec.label(), b.frontier[i].spec.label());
+    EXPECT_EQ(a.frontier[i].perf.totalCycles, b.frontier[i].perf.totalCycles);
+    EXPECT_EQ(a.frontier[i].figures().powerMw, b.frontier[i].figures().powerMw);
+    EXPECT_EQ(a.frontier[i].figures().area, b.frontier[i].figures().area);
+  }
+}
+
+void expectExactAccounting(const QueryResult& r) {
+  EXPECT_EQ(r.cache.hits + r.cache.misses + r.cache.pruned + r.cache.skipped,
+            r.designs);
+}
+
+std::vector<ExploreQuery> mixedBatch() {
+  std::vector<ExploreQuery> batch;
+  batch.push_back(query(wl::gemm(6, 6, 6), cost::BackendKind::Asic));
+  batch.push_back(query(wl::gemm(6, 6, 6), cost::BackendKind::Fpga));
+  batch.push_back(query(wl::gemm(6, 6, 6), cost::BackendKind::Asic));  // dup
+  batch.push_back(query(wl::attention(6, 6, 6), cost::BackendKind::Asic));
+  ExploreQuery bounded = query(wl::attention(6, 6, 6), cost::BackendKind::Fpga);
+  bounded.deadlineMs = 60'000;  // armed but generous: exercises the checks
+  batch.push_back(bounded);
+  return batch;
+}
+
+TEST(BlockStress, RepeatedMixedBatchesStayBitIdentical) {
+  const auto batch = mixedBatch();
+
+  ExplorationService scalar(stressOptions(1, 0));
+  const auto reference = scalar.runBatch(batch);
+
+  for (int round = 0; round < 3; ++round) {
+    ExplorationService block(stressOptions(8, 16));
+    const auto results = block.runBatch(batch);
+    ASSERT_EQ(results.size(), reference.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      SCOPED_TRACE("round " + std::to_string(round) + " query " +
+                   std::to_string(i));
+      EXPECT_FALSE(results[i].timedOut);
+      expectSameResult(reference[i], results[i]);
+      expectExactAccounting(results[i]);
+    }
+  }
+}
+
+TEST(BlockStress, WarmRepeatOnOneServiceStaysBitIdentical) {
+  const auto batch = mixedBatch();
+  ExplorationService block(stressOptions(8, 16));
+  const auto cold = block.runBatch(batch);
+  const auto warm = block.runBatch(batch);
+  ASSERT_EQ(cold.size(), warm.size());
+  for (std::size_t i = 0; i < cold.size(); ++i) {
+    SCOPED_TRACE("query " + std::to_string(i));
+    expectSameResult(cold[i], warm[i]);
+    expectExactAccounting(warm[i]);
+  }
+}
+
+TEST(BlockStress, ConcurrentSubmitsShareCachesSafely) {
+  ExplorationService scalar(stressOptions(1, 0));
+  ExplorationService block(stressOptions(8, 16));
+
+  std::vector<ExploreQuery> queries;
+  queries.push_back(query(wl::gemm(5, 5, 5), cost::BackendKind::Asic));
+  queries.push_back(query(wl::gemm(5, 5, 5), cost::BackendKind::Fpga));
+  queries.push_back(query(wl::attention(5, 5, 5), cost::BackendKind::Asic));
+  queries.push_back(query(wl::gemm(5, 5, 5), cost::BackendKind::Asic));
+
+  std::vector<std::future<QueryResult>> futures;
+  futures.reserve(queries.size());
+  for (const auto& q : queries) futures.push_back(block.submit(q));
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    SCOPED_TRACE("query " + std::to_string(i));
+    const QueryResult result = futures[i].get();
+    expectSameResult(scalar.run(queries[i]), result);
+    expectExactAccounting(result);
+  }
+}
+
+}  // namespace
+}  // namespace tensorlib::driver
