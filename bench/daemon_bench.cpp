@@ -14,7 +14,7 @@
 // change how fast answers arrive, never what they are.
 //
 // Merges a "daemon" section into BENCH_hotpaths.json next to the
-// service/pruning gates (gate: restored >= 2x cold, full mode only).
+// service/pruning gates (gate: restored >= 1.3x cold, full mode only).
 //
 // Usage: bench_daemon [--smoke] [--out <path>]
 //   --smoke   maxEntry=1 spaces, correctness asserts only, no timing gates
@@ -40,7 +40,12 @@ double msSince(Clock::time_point start) {
   return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
 }
 
-constexpr double kGateMinSpeedup = 2.0;
+// Was 2.0 when the cold start ran the scalar pipeline. With blockSpecs=64
+// the default cold start is itself ~3x faster and the block path skips the
+// tile-mapping memo entirely (snapshots carry 0 mappings), so the restore's
+// remaining win is the eval cache + candidate lists: measured 1.70x
+// (cold ~740 ms, restored ~435 ms) on the reference container.
+constexpr double kGateMinSpeedup = 1.3;
 
 struct DaemonReport {
   std::size_t designs = 0;  ///< design points across the batch

@@ -16,6 +16,11 @@
 //            bench — GEMM under ASIC+FPGA objectives, attention, duplicate
 //            traffic (gate: >= 2x).
 //
+// Both sides pin blockSpecs=0: this bench isolates the SCALAR path's
+// dominance cut and mapping memo, which the packed block pipeline (the
+// default since blockSpecs flipped to 64) subsumes differently — block-path
+// pruning has its own gates in the "block" and "enum3" sections.
+//
 // Merges a "pruning" section into BENCH_hotpaths.json next to the PR-1/3
 // gates. Gates apply in full mode only.
 //
@@ -51,6 +56,13 @@ driver::ServiceOptions exhaustiveOptions() {
   driver::ServiceOptions o;
   o.enablePruning = false;
   o.mappingCacheCapacity = 0;
+  o.blockSpecs = 0;  // scalar path (see file comment)
+  return o;
+}
+
+driver::ServiceOptions prunedOptions() {
+  driver::ServiceOptions o;
+  o.blockSpecs = 0;  // scalar path (see file comment)
   return o;
 }
 
@@ -80,7 +92,7 @@ PruningReport benchPruning(int maxEntry) {
     r.singleExhaustiveMs = msSince(t);
   }
   {
-    driver::ExplorationService service;
+    driver::ExplorationService service(prunedOptions());
     const auto t = Clock::now();
     pruned1.push_back(service.run(single));
     r.singlePrunedMs = msSince(t);
@@ -100,7 +112,7 @@ PruningReport benchPruning(int maxEntry) {
     r.batchedExhaustiveMs = msSince(t);
   }
   {
-    driver::ExplorationService service;
+    driver::ExplorationService service(prunedOptions());
     const auto t = Clock::now();
     prunedB = service.runBatch(batch);
     r.batchedPrunedMs = msSince(t);

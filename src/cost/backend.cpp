@@ -23,6 +23,16 @@ std::size_t CostBackend::blockSlotCount(const stt::SpecBlockSet&) const {
   return 0;
 }
 
+CostBound CostBackend::lowerBoundPartial(const stt::PartialTransform&,
+                                         const stt::ArrayConfig&) const {
+  // Trivial-but-admissible: every evaluation costs >= 1 cycle and >= 0
+  // power/area, and no frontier point strictly dominates all three, so a
+  // backend without a real partial bound simply never cuts.
+  CostBound b;
+  b.cycles = 1.0;
+  return b;
+}
+
 void CostBackend::lowerBoundBlock(const stt::SpecBlockSet& set,
                                   const std::size_t* indices,
                                   std::size_t count,
@@ -93,6 +103,22 @@ class AsicBackend final : public CostBackend {
     CostBound b;
     b.cycles = static_cast<double>(sim::cyclesLowerBound(spec, array));
     b.figures = estimateAsic(spec, array, dataWidth_, table_).figures();
+    return b;
+  }
+
+  CostBound lowerBoundPartial(const stt::PartialTransform& partial,
+                              const stt::ArrayConfig& array) const override {
+    // Cycles: the partial packed bound equals the packed bound of every
+    // completion (the formula never reads the time row). Figures: the
+    // class-independent inventory floor — addTensorStructures only
+    // increments fields and asicFromInventory is monotone in all of them,
+    // so this never exceeds any completion's exact figures.
+    CostBound b;
+    b.cycles = static_cast<double>(sim::cyclesLowerBound(partial, array));
+    b.figures = asicFromInventory(
+                    baseStructureInventory(partial.geometry->inputCount, array),
+                    dataWidth_, table_)
+                    .figures();
     return b;
   }
 
@@ -175,6 +201,25 @@ class FpgaBackend final : public CostBackend {
     b.cycles = static_cast<double>(
         sim::cyclesLowerBound(spec, fpgaPerfConfig(spec, array, config_)));
     b.figures = estimateFpgaResources(spec, array, config_).figures();
+    return b;
+  }
+
+  CostBound lowerBoundPartial(const stt::PartialTransform& partial,
+                              const stt::ArrayConfig& array) const override {
+    // A completion's frequency tier depends on class tags that don't exist
+    // yet, so price at tier 2 — the lowest post-route frequency, which
+    // maximizes wordsPerCycle (smallest admissible cycle bound) and
+    // minimizes the frequency-scaled power term; tier frequencies only
+    // grow from there (221 < 231 < 263 MHz). Resources use the
+    // class-independent inventory floor, monotone under completion.
+    CostBound b;
+    b.cycles = static_cast<double>(
+        sim::cyclesLowerBound(partial, tierPerfConfig(array, 2)));
+    const std::int64_t pes = array.rows * array.cols;
+    b.figures = fpgaFromInventory(
+                    baseStructureInventory(partial.geometry->inputCount, array),
+                    fpgaTierFrequencyMHz(2, config_), pes, config_)
+                    .figures();
     return b;
   }
 

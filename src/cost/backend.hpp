@@ -80,6 +80,17 @@ class CostBackend {
   virtual CostBound lowerBound(const stt::DataflowSpec& spec,
                                const stt::ArrayConfig& array) const = 0;
 
+  /// Lower bound over EVERY full-rank completion of a partial transform
+  /// (both space rows placed, time row free): for any completion c,
+  /// lowerBoundPartial(p) <= lowerBound(c) <= true figures, in every axis.
+  /// This is the bound-first enumeration's subtree cut predicate — it runs
+  /// before a DataflowSpec or SpecContext exists. The base implementation
+  /// returns the trivial bound (1 cycle, zero figures), which no incumbent
+  /// can strictly dominate, so custom backends stay correct without
+  /// opting in (they just never cut).
+  virtual CostBound lowerBoundPartial(const stt::PartialTransform& partial,
+                                      const stt::ArrayConfig& array) const;
+
   // ---- block-shaped entry points -------------------------------------
   // The struct-of-arrays siblings of lowerBound/estimatePerf/evaluate:
   // same results bit for bit, but reading packed SpecBlockSet arrays in

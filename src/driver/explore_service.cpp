@@ -45,7 +45,8 @@ std::string enumKey(const stt::EnumerationOptions& o) {
   std::ostringstream os;
   os << "e" << o.maxEntry << (o.requireUnimodular ? "u" : "-")
      << (o.canonicalize ? "c" : "-") << (o.dedupeBySignature ? "d" : "-")
-     << (o.dropFullReuse ? "f" : "-") << (o.dropAllUnicast ? "a" : "-");
+     << (o.dropFullReuse ? "f" : "-") << (o.dropAllUnicast ? "a" : "-")
+     << (o.boundFirst ? "b" : "-");
   return os.str();
 }
 
@@ -57,6 +58,18 @@ std::string specKey(const stt::DataflowSpec& spec) {
   for (std::size_t idx : spec.selection().indices()) os << idx << ".";
   os << "|" << spec.letters() << "|" << spec.transform().str();
   return os.str();
+}
+
+/// Packs a partial transform's six |entry| values (each < 2^10 for any
+/// sane maxEntry) into the bound-memo key. The bound depends only on these
+/// and the selection geometry, so the memo is scoped per selection.
+std::uint64_t partialBoundKey(const stt::PartialTransform& p) {
+  std::uint64_t k = 0;
+  for (int j = 0; j < 3; ++j)
+    k = (k << 10) | static_cast<std::uint64_t>(p.absRow0[j] & 1023);
+  for (int j = 0; j < 3; ++j)
+    k = (k << 10) | static_cast<std::uint64_t>(p.absRow1[j] & 1023);
+  return k;
 }
 
 std::shared_ptr<const cost::CostBackend> makeBackend(const ExploreQuery& q) {
@@ -315,18 +328,42 @@ std::vector<QueryResult> ExplorationService::runBatch(
   // Phase 1: resolve each query's backend and (cached) design space. The
   // block path additionally packs the list into its SoA view (once per
   // list) and sizes a per-query mapping store (one slot per mapping class
-  // times the backend's operating-point fan-out).
+  // times the backend's operating-point fan-out). Bound-first queries
+  // never materialize a spec list at all — they resolve per-selection
+  // contexts and geometries instead, and the search streams candidates
+  // into packed windows inside their (single) work unit.
   const bool useBlocks = impl_->options.blockSpecs > 0;
+  struct BoundFirstQueryData {
+    std::vector<stt::SpecContextPtr> contexts;     ///< one per selection
+    std::vector<stt::SelectionGeometry> geometries;
+    std::vector<std::string> selKeyPrefixes;  ///< "0.1.2.|" per selection
+  };
   std::vector<std::shared_ptr<const cost::CostBackend>> backends(n);
   std::vector<std::shared_ptr<Impl::SpecListEntry>> listEntries(n);
   std::vector<std::shared_ptr<const std::vector<stt::DataflowSpec>>> lists(n);
   std::vector<std::string> prefixes(n);
   std::vector<std::unique_ptr<stt::BlockMappingStore>> stores(n);
+  std::vector<std::unique_ptr<BoundFirstQueryData>> boundFirst(n);
   parallelForOn(impl_->pool, n, [&](std::size_t i) {
     backends[i] = makeBackend(batch[i]);
+    prefixes[i] = impl_->evalPrefix(batch[i], *backends[i]);
+    if (batch[i].enumeration.boundFirst) {
+      auto data = std::make_unique<BoundFirstQueryData>();
+      for (const stt::LoopSelection& sel :
+           stt::allLoopSelections(batch[i].algebra)) {
+        auto context = stt::makeSpecContext(batch[i].algebra, sel);
+        data->geometries.push_back(stt::makeSelectionGeometry(*context));
+        std::ostringstream os;
+        for (std::size_t idx : sel.indices()) os << idx << ".";
+        os << "|";
+        data->selKeyPrefixes.push_back(os.str());
+        data->contexts.push_back(std::move(context));
+      }
+      boundFirst[i] = std::move(data);
+      return;
+    }
     listEntries[i] = impl_->specEntry(batch[i]);
     lists[i] = listEntries[i]->specs;
-    prefixes[i] = impl_->evalPrefix(batch[i], *backends[i]);
     if (useBlocks) {
       impl_->ensureBlock(*listEntries[i]);
       stores[i] = std::make_unique<stt::BlockMappingStore>(
@@ -336,11 +373,18 @@ std::vector<QueryResult> ExplorationService::runBatch(
 
   // Phase 2: shard every query's space into work units; fan the whole
   // batch's units out together so a wide query cannot serialize the batch.
+  // A bound-first query is one serial unit — its branch-and-bound sweep is
+  // inherently sequential (the streaming incumbent IS the cut), and the
+  // batch still parallelizes across queries.
   struct Unit {
     std::size_t query, begin, end;
   };
   std::vector<Unit> units;
   for (std::size_t i = 0; i < n; ++i) {
+    if (boundFirst[i]) {
+      units.push_back({i, 0, 0});
+      continue;
+    }
     const std::size_t total = lists[i]->size();
     for (std::size_t b = 0; b < total; b += impl_->options.workUnitSpecs)
       units.push_back({i, b, std::min(total, b + impl_->options.workUnitSpecs)});
@@ -350,6 +394,7 @@ std::vector<QueryResult> ExplorationService::runBatch(
     ParetoFrontier frontier;
     std::unordered_map<std::size_t, DesignReport> kept;  ///< order -> report
     std::uint64_t hits = 0, misses = 0, pruned = 0, skipped = 0;
+    std::uint64_t designs = 0;  ///< bound-first only: candidates handled
   };
   std::vector<UnitOut> outs(units.size());
 
@@ -386,7 +431,6 @@ std::vector<QueryResult> ExplorationService::runBatch(
   parallelForOn(impl_->pool, units.size(), [&](std::size_t u) {
     const Unit& unit = units[u];
     const ExploreQuery& q = batch[unit.query];
-    const auto& specs = *lists[unit.query];
     const cost::CostBackend& backend = *backends[unit.query];
     UnitOut& out = outs[u];
     DeadlineState& deadline = deadlines[unit.query];
@@ -414,7 +458,154 @@ std::vector<QueryResult> ExplorationService::runBatch(
       snapshot = incumbents[unit.query].frontier;
     }
     std::vector<std::size_t> evicted;
-    if (useBlocks) {
+    if (boundFirst[unit.query]) {
+      // Bound-first branch-and-bound: stream the search's survivors into a
+      // reusable packed window, evaluate windows through the block models,
+      // and fold into the unit's own streaming frontier — which doubles as
+      // the incumbent the partial-transform cut prices against (one unit
+      // per query, so there is nothing to snapshot). DataflowSpecs are
+      // materialized lazily, only for frontier keepers.
+      const BoundFirstQueryData& bf = *boundFirst[unit.query];
+      const std::size_t windowSize =
+          impl_->options.blockSpecs > 0 ? impl_->options.blockSpecs : 64;
+      stt::SpecBlockSet window;
+      std::vector<linalg::IntMatrix> matrices;  ///< signed, for lazy analyze
+      std::vector<std::size_t> orders;          ///< running rep order/window
+      std::vector<std::string> keys;
+      std::vector<std::shared_ptr<Impl::EvalEntry>> resident;
+      std::vector<std::uint8_t> state;
+      std::vector<std::size_t> pendingIdx;
+      std::vector<cost::CostBound> bounds;
+      std::unordered_map<std::uint64_t, cost::CostBound> boundMemo;
+      std::size_t repCounter = 0;
+      const auto expired = [&] {
+        if (!deadline.armed) return false;
+        if (deadline.expired.load(std::memory_order_relaxed)) return true;
+        if (Clock::now() >= deadline.at) {
+          deadline.expired.store(true, std::memory_order_relaxed);
+          return true;
+        }
+        return false;
+      };
+      for (std::size_t s = 0; s < bf.contexts.size(); ++s) {
+        if (expired()) break;  // unreached candidates are not designs
+        const stt::SelectionGeometry& geometry = bf.geometries[s];
+        boundMemo.clear();  // the partial bound reads this geometry
+        const auto resetWindow = [&] {
+          stt::resetSpecBlocks(window, geometry);
+          matrices.clear();
+          orders.clear();
+          keys.clear();
+        };
+        resetWindow();
+        const auto flushWindow = [&] {
+          const std::size_t count = window.count;
+          if (count == 0) return;
+          if (expired()) {  // emitted but never evaluated -> skipped
+            out.skipped += count;
+            resetWindow();
+            return;
+          }
+          stt::assignSpecBlockClasses(window);
+          stt::BlockMappingStore store(backend.blockSlotCount(window));
+          // The list block path's three passes: cache peek, packed bounds
+          // (tighter than the partial cut — they see class structures and
+          // the exact per-candidate intensity), evaluate survivors.
+          resident.assign(count, nullptr);
+          state.assign(count, 0);
+          pendingIdx.clear();
+          if (prune) {
+            for (std::size_t i = 0; i < count; ++i) {
+              std::shared_ptr<Impl::EvalEntry> entry =
+                  impl_->peekEntry(keys[i]);
+              state[i] = entry ? 1 : 0;
+              resident[i] = std::move(entry);
+              if (state[i] == 0) pendingIdx.push_back(i);
+            }
+            if (!pendingIdx.empty()) {
+              bounds.resize(pendingIdx.size());
+              backend.lowerBoundBlock(window, pendingIdx.data(),
+                                      pendingIdx.size(), q.array,
+                                      bounds.data());
+              for (std::size_t p = 0; p < pendingIdx.size(); ++p) {
+                const ParetoCost boundCost{bounds[p].cycles,
+                                           bounds[p].figures.powerMw,
+                                           bounds[p].figures.area, 0.0};
+                if (finiteCost(boundCost) &&
+                    out.frontier.strictlyDominates(boundCost)) {
+                  ++out.pruned;
+                  state[pendingIdx[p]] = 2;
+                }
+              }
+            }
+          }
+          for (std::size_t i = 0; i < count; ++i) {
+            if (state[i] == 2) continue;
+            std::shared_ptr<Impl::EvalEntry> entry = std::move(resident[i]);
+            bool hit = state[i] == 1;
+            if (!entry) std::tie(entry, hit) = impl_->evalEntry(keys[i]);
+            impl_->forceBlock(entry, window, i, q.array, backend, store);
+            (hit ? out.hits : out.misses) += 1;
+            evicted.clear();
+            if (out.frontier.insert(
+                    paretoEntryOf(entry->perf, entry->cost.figures, orders[i],
+                                  window.labels[i]),
+                    &evicted)) {
+              // Only frontier keepers ever pay for a DataflowSpec.
+              stt::DataflowSpec spec = stt::analyzeDataflow(
+                  bf.contexts[s], stt::SpaceTimeTransform(matrices[i]));
+              out.kept.emplace(
+                  orders[i],
+                  DesignReport(std::move(spec), entry->perf, entry->cost));
+            }
+            for (std::size_t o : evicted) out.kept.erase(o);
+          }
+          resetWindow();
+        };
+        stt::BoundFirstHooks hooks;
+        if (prune)
+          hooks.cut = [&](const stt::PartialTransform& partial) {
+            const std::uint64_t k = partialBoundKey(partial);
+            auto it = boundMemo.find(k);
+            if (it == boundMemo.end())
+              it = boundMemo
+                       .emplace(k, backend.lowerBoundPartial(partial, q.array))
+                       .first;
+            // Memoize only the BOUND: the incumbent frontier grows during
+            // the sweep, so the cut decision is re-taken every time.
+            const ParetoCost boundCost{it->second.cycles,
+                                       it->second.figures.powerMw,
+                                       it->second.figures.area, 0.0};
+            if (finiteCost(boundCost) &&
+                out.frontier.strictlyDominates(boundCost)) {
+              ++out.pruned;
+              ++out.designs;
+              return true;
+            }
+            return false;
+          };
+        hooks.emit = [&](const stt::BoundFirstCandidate& c) {
+          stt::appendSpecBlock(window, geometry, *c.matrix, c.classTag,
+                               c.absDir, c.systolicDt,
+                               geometry.selectionLabel + "-" + c.letters);
+          matrices.push_back(*c.matrix);
+          orders.push_back(repCounter++);
+          keys.push_back(prefixes[unit.query] + bf.selKeyPrefixes[s] +
+                         c.letters + "|" + c.matrix->str());
+          ++out.designs;
+          if (window.count >= windowSize) flushWindow();
+        };
+        if (deadline.armed) hooks.shouldStop = expired;
+        const stt::BoundFirstStats st = stt::enumerateBoundFirst(
+            bf.contexts[s], geometry, q.enumeration, hooks);
+        if (st.stopped) {
+          out.skipped += window.count;
+          break;
+        }
+        flushWindow();
+      }
+    } else if (useBlocks) {
+      const auto& specs = *lists[unit.query];
       const stt::SpecBlockSet& set = *listEntries[unit.query]->block;
       const std::vector<std::string>& specKeys = *listEntries[unit.query]->specKeys;
       stt::BlockMappingStore& store = *stores[unit.query];
@@ -503,6 +694,7 @@ std::vector<QueryResult> ExplorationService::runBatch(
         }
       }
     } else {
+    const auto& specs = *lists[unit.query];
     std::size_t sinceSnapshot = 0;
     for (std::size_t i = unit.begin; i < unit.end; ++i) {
       if (deadline.armed && (deadline.expired.load(std::memory_order_relaxed) ||
@@ -568,6 +760,7 @@ std::vector<QueryResult> ExplorationService::runBatch(
     ParetoFrontier frontier;
     std::unordered_map<std::size_t, DesignReport> kept;
     std::vector<std::size_t> pruned;
+    std::uint64_t boundFirstDesigns = 0;
     for (std::size_t u = 0; u < units.size(); ++u) {
       if (units[u].query != i) continue;
       UnitOut& out = outs[u];
@@ -575,6 +768,7 @@ std::vector<QueryResult> ExplorationService::runBatch(
       results[i].cache.misses += out.misses;
       results[i].cache.pruned += out.pruned;
       results[i].cache.skipped += out.skipped;
+      boundFirstDesigns += out.designs;
       for (const ParetoEntry& e : out.frontier.entries()) {
         pruned.clear();
         if (frontier.insert(e, &pruned))
@@ -583,7 +777,9 @@ std::vector<QueryResult> ExplorationService::runBatch(
       }
     }
     const std::vector<ParetoEntry> ordered = frontier.sorted();
-    results[i].designs = lists[i]->size();
+    results[i].designs = boundFirst[i]
+                             ? static_cast<std::size_t>(boundFirstDesigns)
+                             : lists[i]->size();
     results[i].timedOut = deadlines[i].expired.load(std::memory_order_relaxed);
     const QueryCacheCounts& c = results[i].cache;
     TL_CHECK(c.hits + c.misses + c.pruned + c.skipped == results[i].designs,
@@ -705,7 +901,8 @@ bool ExplorationService::saveSnapshot(const std::string& path,
     w.i64(entry.maxEntry);
     w.u8(static_cast<std::uint8_t>((entry.requireUnimodular ? 1 : 0) |
                                    (entry.canonicalize ? 2 : 0) |
-                                   (entry.legacyEngine ? 4 : 0)));
+                                   (entry.legacyEngine ? 4 : 0) |
+                                   (entry.boundFirst ? 8 : 0)));
     w.u64(entry.matrices->size());
     for (const linalg::IntMatrix& m : *entry.matrices) snap::writeMatrix(w, m);
   }
@@ -776,6 +973,7 @@ snapshot::RestoreResult ExplorationService::restoreSnapshot(
       entry.requireUnimodular = (flags & 1) != 0;
       entry.canonicalize = (flags & 2) != 0;
       entry.legacyEngine = (flags & 4) != 0;
+      entry.boundFirst = (flags & 8) != 0;
       const std::uint64_t count = r.u64();
       std::vector<linalg::IntMatrix> matrices;
       matrices.reserve(count);

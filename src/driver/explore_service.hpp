@@ -77,6 +77,8 @@ struct QueryCacheCounts {
   /// Candidates skipped by the lower-bound dominance cut: an incumbent
   /// frontier point strictly dominated the candidate's provable lower
   /// bound, so its full evaluation was provably irrelevant to the frontier.
+  /// Bound-first queries also count candidates cut at the partial-transform
+  /// stage (before any DataflowSpec existed) here.
   std::uint64_t pruned = 0;
   /// Candidates never reached because the query's deadline expired first.
   /// Every enumerated design lands in exactly one bucket:
@@ -92,7 +94,11 @@ struct QueryResult {
   std::vector<DesignReport> frontier;
   /// The query-objective winner (canonical tie-breaks; see pickBest).
   std::optional<DesignReport> best;
-  std::size_t designs = 0;  ///< design points in the enumerated space
+  /// Design points handled: the enumerated space's size, or — for
+  /// bound-first queries — candidates visited by the search (cut at the
+  /// partial stage + emitted representatives; class-quotiented duplicates
+  /// are not designs). Partial when timedOut.
+  std::size_t designs = 0;
   QueryCacheCounts cache;
   /// True iff the query's deadline expired before every design point was
   /// handled; the frontier (and best) then cover only the evaluated prefix
@@ -120,18 +126,21 @@ struct ServiceOptions {
   std::size_t cacheCapacity = 1u << 16;   ///< cached evaluations (FIFO/shard)
   std::size_t specListCacheCapacity = 8;  ///< enumerated design spaces kept
   std::size_t workUnitSpecs = 128;        ///< specs per scheduled work unit
-  /// Specs per evaluation block inside a work unit. 0 (default) keeps the
-  /// scalar per-candidate path; > 0 switches run()/runBatch() to the
-  /// struct-of-arrays block pipeline: each enumerated list is packed once
-  /// into contiguous arrays (stt::SpecBlockSet), every block peeks the
-  /// eval cache, lower-bounds all non-resident candidates in one packed
-  /// pass, prunes whole blocks against a per-block incumbent snapshot
-  /// *before* any tile search, and evaluates survivors through a per-query
-  /// mapping store (one tile search per mapping class). Frontiers, winners
-  /// and evaluateAll() stay bit-identical either way at any thread count
-  /// (tests/block_eval_test.cpp); only speed and the hits/misses/pruned
-  /// split change. 64 is the bench-gated setting (bench_block, >= 2x).
-  std::size_t blockSpecs = 0;
+  /// Specs per evaluation block inside a work unit. The default (64, the
+  /// bench-gated setting — bench_block, >= 2x) runs run()/runBatch()
+  /// through the struct-of-arrays block pipeline: each enumerated list is
+  /// packed once into contiguous arrays (stt::SpecBlockSet), every block
+  /// peeks the eval cache, lower-bounds all non-resident candidates in one
+  /// packed pass, prunes whole blocks against a per-block incumbent
+  /// snapshot *before* any tile search, and evaluates survivors through a
+  /// per-query mapping store (one tile search per mapping class). 0 is the
+  /// escape hatch back to the scalar per-candidate path. Frontiers,
+  /// winners and evaluateAll() stay bit-identical either way at any thread
+  /// count (tests/block_eval_test.cpp); only speed and the
+  /// hits/misses/pruned split change. Bound-first queries
+  /// (EnumerationOptions::boundFirst) always evaluate through packed
+  /// windows; for them this knob only sets the window size (0 -> 64).
+  std::size_t blockSpecs = 64;
   /// Lower-bound dominance pruning in run()/runBatch(): candidates whose
   /// provable (cycles, power, area) lower bound is strictly dominated by an
   /// already-evaluated incumbent skip full evaluation. The resulting

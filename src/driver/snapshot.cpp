@@ -37,19 +37,20 @@ std::string restoreStatusName(RestoreStatus status) {
 }
 
 std::string cacheSchemaFingerprint(const stt::EnumerationOptions& defaults) {
-  // "keys-v1" names the cache KEY schema (algebra/array/backend/spec key
+  // "keys-v2" names the cache KEY schema (algebra/array/backend/spec key
   // rendering in explore_service.cpp plus the mapping-memo key); bump it
   // whenever any key function changes so stale snapshots cold-start
   // instead of silently never hitting. The spec-defining enumeration knobs
   // follow; the perf knobs (engine choice, memoization, parallelism) are
   // excluded because they never change what any key means.
   std::ostringstream os;
-  os << "keys-v1;e" << defaults.maxEntry
+  os << "keys-v2;e" << defaults.maxEntry
      << (defaults.requireUnimodular ? "u" : "-")
      << (defaults.canonicalize ? "c" : "-")
      << (defaults.dedupeBySignature ? "d" : "-")
      << (defaults.dropFullReuse ? "f" : "-")
-     << (defaults.dropAllUnicast ? "a" : "-");
+     << (defaults.dropAllUnicast ? "a" : "-")
+     << (defaults.boundFirst ? "b" : "-");
   return os.str();
 }
 

@@ -18,6 +18,7 @@
 // scalar counterparts by tests/block_eval_test.cpp.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -91,6 +92,65 @@ inline constexpr std::size_t kBlockMaxRank = 8;
 /// shared by every query over it). The returned set aliases `specs`.
 std::shared_ptr<const SpecBlockSet> packSpecBlocks(
     std::shared_ptr<const std::vector<DataflowSpec>> specs);
+
+/// Everything the packed models read that is fixed by the (algebra,
+/// selection) pair alone — i.e. the transform-independent slice of a
+/// SpecBlockSet. Built once per selection, it lets the bound-first search
+/// price partial matrices and pack survivors without ever materializing a
+/// DataflowSpec.
+struct SelectionGeometry {
+  std::array<std::int64_t, 3> extents{};  ///< selected loop extents
+  std::int64_t outer = 1;                 ///< outer-iteration product
+  std::int64_t macs = 0;                  ///< algebra().totalMacs()
+  std::size_t inputCount = 0;
+  std::size_t tensorCount = 0;
+  std::size_t rankStride = 1;             ///< max rank: absC row block
+  std::vector<std::size_t> tensorRank;      ///< per tensor, label order
+  std::vector<std::uint8_t> tensorIsOutput;
+  /// |restricted access| coefficients: per tensor a rankStride x 3 row-major
+  /// block, rows beyond the tensor's rank zero-padded (SpecBlockSet layout).
+  std::vector<std::int64_t> absC;
+  std::string selectionLabel;  ///< selection().label(), e.g. "MNK"
+
+  const std::int64_t* tensorAbsC(std::size_t k) const {
+    return absC.data() + k * rankStride * 3;
+  }
+};
+
+SelectionGeometry makeSelectionGeometry(const SpecContext& context);
+
+/// A partially placed transform: both space rows fixed (as absolute
+/// values), the time row still free. Every packed model term that prices
+/// cycles reads only |space rows| and the selection geometry, so a bound
+/// computed from a PartialTransform is a provable lower bound over EVERY
+/// time-row completion — the branch-and-bound cut predicate.
+struct PartialTransform {
+  const SelectionGeometry* geometry = nullptr;
+  std::array<std::int64_t, 3> absRow0{};  ///< |row p1|
+  std::array<std::int64_t, 3> absRow1{};  ///< |row p2|
+};
+
+/// Initializes `set` as an empty bound-first window over one selection:
+/// per-list constants come from the geometry, `source` stays null (no
+/// DataflowSpec exists yet — the driver materializes specs lazily, only for
+/// frontier keepers). Clears any previous window contents, so one set is
+/// reused across windows without reallocation.
+void resetSpecBlocks(SpecBlockSet& set, const SelectionGeometry& geometry);
+
+/// Appends one survivor of the bound-first search: |T| from its matrix,
+/// per-tensor class data from the fast classifier (`classTag` has
+/// tensorCount entries, `absDir` 2 per tensor, `systolicDt` 1 per tensor),
+/// selection constants replicated from the geometry. Returns its index.
+/// Call assignSpecBlockClasses once per window before evaluating.
+std::size_t appendSpecBlock(SpecBlockSet& set, const SelectionGeometry& geometry,
+                            const linalg::IntMatrix& matrix,
+                            const std::uint8_t* classTag,
+                            const std::int64_t* absDir,
+                            const std::int64_t* systolicDt, std::string label);
+
+/// (Re)builds the mapping-class partition of a window in place, keyed on
+/// exactly the same read set as packSpecBlocks (extents, outer, |T|, |C|).
+void assignSpecBlockClasses(SpecBlockSet& set);
 
 /// computeMapping on packed data: bit-identical to
 /// computeMapping((*set.source)[i], config) — pinned by tests — but

@@ -8,10 +8,12 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <numeric>
 #include <optional>
 #include <set>
 #include <tuple>
 
+#include "linalg/solve.hpp"
 #include "support/error.hpp"
 #include "support/threadpool.hpp"
 
@@ -180,7 +182,7 @@ using CandidateList = std::shared_ptr<const std::vector<linalg::IntMatrix>>;
 /// instrumented (mirrors the exploration service's cache pattern): distinct
 /// EnumerationOptions keys no longer grow the process footprint forever.
 struct CandidateCache {
-  using Key = std::tuple<int, bool, bool, bool>;
+  using Key = std::tuple<int, bool, bool, bool, bool>;
   std::mutex mutex;
   std::map<Key, CandidateList> map;
   std::deque<Key> fifo;
@@ -200,7 +202,8 @@ struct CandidateCache {
 CandidateList candidateMatrices(const EnumerationOptions& options) {
   const CandidateCache::Key key =
       std::make_tuple(options.maxEntry, options.requireUnimodular,
-                      options.canonicalize, options.useLegacyEnumeration);
+                      options.canonicalize, options.useLegacyEnumeration,
+                      options.boundFirst);
   CandidateCache& cache = CandidateCache::instance();
   if (options.cacheCandidates) {
     std::lock_guard<std::mutex> lock(cache.mutex);
@@ -281,6 +284,84 @@ class HashSet64 {
   std::size_t size_ = 0;
 };
 
+/// T-independent slice of analyzeReuse: a tensor's reuse nullspace basis
+/// depends only on the restricted access, so one bound-first sweep computes
+/// it once per tensor instead of once per (tensor, candidate).
+struct TensorReuseBasis {
+  std::size_t rank = 0;
+  std::array<std::array<std::int64_t, 3>, 3> cols{};  ///< basis columns
+};
+
+std::int64_t gcd3(std::int64_t a, std::int64_t b, std::int64_t c) {
+  return std::gcd(std::gcd(a, b), c);
+}
+
+/// classify(analyzeReuse(access, T)) without materializing either: the
+/// same arithmetic on the same integers, specialized to the packed-model
+/// read set (class tag, |primitive direction| spatial components, |exact
+/// dt| for Systolic). Rank-1 zero patterns survive primitivization and the
+/// rank-2 tests are rational-span facts (inSpan reduces to the 2x2
+/// determinant below for independent columns), so every branch lands on
+/// exactly the class classify() assigns — pinned by the differential tests.
+void classifyFast(const linalg::IntMatrix& m, const TensorReuseBasis& basis,
+                  std::uint8_t& classTag, std::int64_t* absDir,
+                  std::int64_t& systolicDt) {
+  absDir[0] = 0;
+  absDir[1] = 0;
+  systolicDt = 0;
+  switch (basis.rank) {
+    case 0:
+      classTag = static_cast<std::uint8_t>(DataflowClass::Unicast);
+      return;
+    case 1: {
+      std::int64_t e[3];
+      for (std::size_t i = 0; i < 3; ++i)
+        e[i] = m.at(i, 0) * basis.cols[0][0] + m.at(i, 1) * basis.cols[0][1] +
+               m.at(i, 2) * basis.cols[0][2];
+      const bool spatialZero = e[0] == 0 && e[1] == 0;
+      const bool timeZero = e[2] == 0;
+      DataflowClass cls;
+      if (spatialZero)
+        cls = DataflowClass::Stationary;
+      else if (timeZero)
+        cls = DataflowClass::Multicast;
+      else
+        cls = DataflowClass::Systolic;
+      classTag = static_cast<std::uint8_t>(cls);
+      const std::int64_t g =
+          gcd3(std::abs(e[0]), std::abs(e[1]), std::abs(e[2]));
+      absDir[0] = std::abs(e[0]) / g;
+      absDir[1] = std::abs(e[1]) / g;
+      if (cls == DataflowClass::Systolic) systolicDt = std::abs(e[2]);
+      return;
+    }
+    case 2: {
+      std::int64_t e0[3], e1[3];
+      for (std::size_t i = 0; i < 3; ++i) {
+        e0[i] = m.at(i, 0) * basis.cols[0][0] + m.at(i, 1) * basis.cols[0][1] +
+                m.at(i, 2) * basis.cols[0][2];
+        e1[i] = m.at(i, 0) * basis.cols[1][0] + m.at(i, 1) * basis.cols[1][1] +
+                m.at(i, 2) * basis.cols[1][2];
+      }
+      if (e0[2] == 0 && e1[2] == 0)
+        classTag = static_cast<std::uint8_t>(DataflowClass::Broadcast2D);
+      else if (e0[0] * e1[1] - e0[1] * e1[0] == 0)
+        classTag = static_cast<std::uint8_t>(DataflowClass::MulticastStationary);
+      else
+        classTag = static_cast<std::uint8_t>(DataflowClass::SystolicMulticast);
+      return;
+    }
+    default:
+      classTag = static_cast<std::uint8_t>(DataflowClass::FullReuse);
+      return;
+  }
+}
+
+std::uint64_t mix64(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
 bool passesFilters(const DataflowSpec& spec, const EnumerationOptions& options) {
   if (options.dropFullReuse) {
     for (const auto& t : spec.tensors())
@@ -301,6 +382,20 @@ bool passesFilters(const DataflowSpec& spec, const EnumerationOptions& options) 
 /// Core of enumerateTransforms over a prebuilt shared context.
 std::vector<DataflowSpec> enumerateTransformsOn(const SpecContextPtr& context,
                                                 const EnumerationOptions& options) {
+  if (options.boundFirst) {
+    // Uncut bound-first sweep materialized as a scalar list: the class
+    // quotient (or, with dedupeBySignature off, the raw filtered stream)
+    // analyzed into real specs. Keeps every scalar consumer coherent with
+    // what the bound-first service path evaluates.
+    const SelectionGeometry geometry = makeSelectionGeometry(*context);
+    std::vector<DataflowSpec> out;
+    BoundFirstHooks hooks;
+    hooks.emit = [&](const BoundFirstCandidate& c) {
+      out.push_back(analyzeDataflow(context, SpaceTimeTransform(*c.matrix)));
+    };
+    enumerateBoundFirst(context, geometry, options, hooks);
+    return out;
+  }
   const CandidateList candidates = candidateMatrices(options);
   const std::size_t n = candidates->size();
 
@@ -362,7 +457,7 @@ std::vector<CandidateCacheEntry> exportCandidateCache() {
     if (it == cache.map.end()) continue;
     CandidateCacheEntry entry;
     std::tie(entry.maxEntry, entry.requireUnimodular, entry.canonicalize,
-             entry.legacyEngine) = key;
+             entry.legacyEngine, entry.boundFirst) = key;
     entry.matrices = it->second;
     out.push_back(std::move(entry));
   }
@@ -377,7 +472,7 @@ std::size_t importCandidateCache(const std::vector<CandidateCacheEntry>& entries
     if (!entry.matrices) continue;
     const CandidateCache::Key key = std::make_tuple(
         entry.maxEntry, entry.requireUnimodular, entry.canonicalize,
-        entry.legacyEngine);
+        entry.legacyEngine, entry.boundFirst);
     if (!cache.map.try_emplace(key, entry.matrices).second) continue;
     cache.fifo.push_back(key);
     ++inserted;
@@ -448,6 +543,132 @@ std::optional<DataflowSpec> findDataflow(const tensor::TensorAlgebra& algebra,
     if (spec.letters() == letters) return spec;
   }
   return std::nullopt;
+}
+
+linalg::IntMatrix canonicalTransform(const linalg::IntMatrix& m) {
+  return canonicalize(m);
+}
+
+std::vector<linalg::IntMatrix> symmetryOrbit(const linalg::IntMatrix& m) {
+  // All 16 group elements: destination-row sign flips (8) composed with the
+  // space-row swap (2); duplicates collapse for matrices fixed by a
+  // nontrivial element (equal space rows never occur in full-rank inputs,
+  // but the helper stays total).
+  std::set<std::array<std::int64_t, 9>> seen;
+  std::vector<linalg::IntMatrix> out;
+  for (int signs = 0; signs < 8; ++signs)
+    for (int swap = 0; swap < 2; ++swap) {
+      linalg::IntMatrix g(3, 3);
+      for (std::size_t r = 0; r < 3; ++r) {
+        const std::size_t src = (swap != 0 && r < 2) ? 1 - r : r;
+        const std::int64_t s = ((signs >> r) & 1) != 0 ? -1 : 1;
+        for (std::size_t j = 0; j < 3; ++j) g.at(r, j) = s * m.at(src, j);
+      }
+      if (seen.insert(flat(g)).second) out.push_back(std::move(g));
+    }
+  return out;
+}
+
+std::shared_ptr<const std::vector<linalg::IntMatrix>> candidateTransformMatrices(
+    const EnumerationOptions& options) {
+  return candidateMatrices(options);
+}
+
+BoundFirstStats enumerateBoundFirst(const SpecContextPtr& context,
+                                    const SelectionGeometry& geometry,
+                                    const EnumerationOptions& options,
+                                    const BoundFirstHooks& hooks) {
+  BoundFirstStats stats;
+  const std::size_t T = context->restrictedAccesses.size();
+  TL_CHECK(T >= 1 && T <= kBlockMaxTensors,
+           "bound-first enumeration: tensor count out of range");
+
+  std::array<TensorReuseBasis, kBlockMaxTensors> bases;
+  for (std::size_t k = 0; k < T; ++k) {
+    const linalg::IntMatrix b =
+        linalg::nullspaceBasis(context->restrictedAccesses[k].coeff());
+    TL_CHECK(b.cols() <= 3, "reuse nullspace rank out of range");
+    bases[k].rank = b.cols();
+    for (std::size_t j = 0; j < b.cols(); ++j)
+      for (std::size_t i = 0; i < 3; ++i) bases[k].cols[j][i] = b.at(i, j);
+  }
+
+  // The spec-level filters are selection-level facts here: Unicast (rank 0)
+  // and FullReuse (rank 3) are transform-independent, so either every
+  // candidate of this selection passes them or none does.
+  if (options.dropFullReuse)
+    for (std::size_t k = 0; k < T; ++k)
+      if (bases[k].rank == 3) return stats;
+  if (options.dropAllUnicast && bases[T - 1].rank == 0)
+    for (std::size_t k = 0; k + 1 < T; ++k)
+      if (bases[k].rank == 0) return stats;
+
+  const CandidateList candidates = candidateMatrices(options);
+  PartialTransform partial;
+  partial.geometry = &geometry;
+  std::uint8_t classTag[kBlockMaxTensors];
+  std::int64_t absDir[kBlockMaxTensors * 2];
+  std::int64_t systolicDt[kBlockMaxTensors];
+  char letters[kBlockMaxTensors + 1];
+  letters[T] = '\0';
+  HashSet64 classes;
+
+  for (std::size_t i = 0; i < candidates->size(); ++i) {
+    if ((i & 255u) == 0 && hooks.shouldStop && hooks.shouldStop()) {
+      stats.stopped = true;
+      break;
+    }
+    const linalg::IntMatrix& m = (*candidates)[i];
+    ++stats.visited;
+
+    for (std::size_t j = 0; j < 3; ++j) {
+      partial.absRow0[j] = std::abs(m.at(0, j));
+      partial.absRow1[j] = std::abs(m.at(1, j));
+    }
+    if (hooks.cut && hooks.cut(partial)) {
+      ++stats.cut;
+      continue;
+    }
+
+    for (std::size_t k = 0; k < T; ++k) {
+      classifyFast(m, bases[k], classTag[k], absDir + k * 2, systolicDt[k]);
+      letters[k] = dataflowLetter(static_cast<DataflowClass>(classTag[k]));
+    }
+
+    if (options.dedupeBySignature) {
+      // Evaluation-class quotient: two candidates hashing equal here have
+      // identical packed read sets (|T|, class tags, |direction|, |dt| —
+      // extents/outer/|C| are selection constants), so every packed model
+      // evaluates them bit-identically and keeping one representative
+      // loses nothing the frontier could see.
+      std::uint64_t h = 0xcbf29ce484222325ull;
+      for (std::size_t r = 0; r < 3; ++r)
+        for (std::size_t j = 0; j < 3; ++j)
+          h = mix64(h, static_cast<std::uint64_t>(std::abs(m.at(r, j))));
+      for (std::size_t k = 0; k < T; ++k) {
+        h = mix64(h, classTag[k]);
+        h = mix64(h, static_cast<std::uint64_t>(absDir[k * 2 + 0]));
+        h = mix64(h, static_cast<std::uint64_t>(absDir[k * 2 + 1]));
+        h = mix64(h, static_cast<std::uint64_t>(systolicDt[k]));
+      }
+      if (!classes.insert(h)) {
+        ++stats.deduped;
+        continue;
+      }
+    }
+
+    if (hooks.emit) {
+      BoundFirstCandidate c;
+      c.matrix = &m;
+      c.classTag = classTag;
+      c.absDir = absDir;
+      c.systolicDt = systolicDt;
+      c.letters = letters;
+      hooks.emit(c);
+    }
+    ++stats.emitted;
+  }
+  return stats;
 }
 
 std::optional<DataflowSpec> findDataflowByLabel(const tensor::TensorAlgebra& algebra,

@@ -1,0 +1,278 @@
+// Bound-first branch-and-bound enumeration: admissibility of the
+// partial-transform cost bounds, exact/value-set differentials against the
+// classic enumerate-then-dedupe pipeline, and the service-level contract
+// (designs accounting, blockSpecs default + escape hatch, snapshot flags,
+// deadlines).
+//
+//   * Partial-bound admissibility fuzz (200 random algebras): for every
+//     sampled candidate, lowerBoundPartial <= lowerBound(completion) <=
+//     true evaluated figures, per axis, on both backends. A violated
+//     inequality would let the search cut a frontier resident.
+//   * Exact differential: boundFirst with dedupeBySignature=false emits the
+//     IDENTICAL spec stream (order, labels, matrices) as the classic
+//     engine, at maxEntry 1 and 2.
+//   * Value-set differential: with dedupe on, the class quotient keeps
+//     different representatives than signature dedupe, but the frontier's
+//     (label, cycles, power, area, utilization) value set is equal — at
+//     maxEntry 2 on both backends and at maxEntry 3 (small extents) on the
+//     ASIC backend, against the uncut classic run.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "cost/backend.hpp"
+#include "driver/explore_service.hpp"
+#include "driver/snapshot.hpp"
+#include "stt/block.hpp"
+#include "stt/enumerate.hpp"
+#include "tensor/workloads.hpp"
+#include "verify/fuzz.hpp"
+
+namespace tensorlib::driver {
+namespace {
+
+namespace wl = tensor::workloads;
+
+using FrontierValue = std::tuple<std::string, double, double, double, double>;
+
+/// The mode-independent content of a frontier: its unique value tuples.
+/// Class-quotient and signature-dedupe keep different representatives (and
+/// different tie multiplicities), but labels and evaluated figures are
+/// class-determined, so the unique sets must match exactly.
+std::set<FrontierValue> frontierValues(const QueryResult& r) {
+  std::set<FrontierValue> values;
+  for (const DesignReport& d : r.frontier) {
+    const auto f = d.figures();
+    values.insert({d.spec.label(), static_cast<double>(d.perf.totalCycles),
+                   f.powerMw, f.area, d.perf.utilization});
+  }
+  return values;
+}
+
+ExploreQuery gemmQuery(std::int64_t extent, int maxEntry, bool boundFirst,
+                       cost::BackendKind backend = cost::BackendKind::Asic) {
+  ExploreQuery q(wl::gemm(extent, extent, extent));
+  q.backend = backend;
+  q.enumeration.maxEntry = maxEntry;
+  q.enumeration.boundFirst = boundFirst;
+  return q;
+}
+
+void expectAxisLE(const cost::CostBound& lo, const cost::CostBound& hi,
+                  const char* what) {
+  EXPECT_LE(lo.cycles, hi.cycles) << what;
+  EXPECT_LE(lo.figures.powerMw, hi.figures.powerMw) << what;
+  EXPECT_LE(lo.figures.area, hi.figures.area) << what;
+}
+
+TEST(BoundFirst, PartialBoundAdmissibilityFuzz) {
+  const auto asic = cost::makeAsicBackend();
+  const auto fpga = cost::makeFpgaBackend();
+  const stt::ArrayConfig array;
+  stt::EnumerationOptions eo;  // maxEntry=1; sampling covers completions
+  std::size_t checked = 0;
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    const tensor::TensorAlgebra algebra = verify::randomAlgebra(seed);
+    const auto mats = stt::candidateTransformMatrices(eo);
+    const std::size_t stride = std::max<std::size_t>(1, mats->size() / 25);
+    for (const stt::LoopSelection& sel : stt::allLoopSelections(algebra)) {
+      const auto context = stt::makeSpecContext(algebra, sel);
+      const stt::SelectionGeometry geometry =
+          stt::makeSelectionGeometry(*context);
+      for (std::size_t i = seed % stride; i < mats->size(); i += stride) {
+        const linalg::IntMatrix& m = (*mats)[i];
+        stt::PartialTransform partial;
+        partial.geometry = &geometry;
+        for (int j = 0; j < 3; ++j) {
+          partial.absRow0[j] = std::llabs(m.at(0, j));
+          partial.absRow1[j] = std::llabs(m.at(1, j));
+        }
+        const stt::DataflowSpec spec =
+            stt::analyzeDataflow(context, stt::SpaceTimeTransform(m));
+        for (const auto& backend : {asic, fpga}) {
+          const cost::CostBound partialBound =
+              backend->lowerBoundPartial(partial, array);
+          const cost::CostBound fullBound = backend->lowerBound(spec, array);
+          expectAxisLE(partialBound, fullBound, "partial > completion bound");
+          if (checked % 7 == 0) {
+            // Close the chain to the true figures on a subsample (the full
+            // evaluation pays for a tile-mapping search).
+            const auto perf = backend->estimatePerf(spec, array);
+            const auto cost = backend->evaluate(spec, array);
+            EXPECT_LE(fullBound.cycles,
+                      static_cast<double>(perf.totalCycles));
+            EXPECT_LE(fullBound.figures.powerMw, cost.figures.powerMw);
+            EXPECT_LE(fullBound.figures.area, cost.figures.area);
+          }
+        }
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 1000u);
+}
+
+TEST(BoundFirst, NoDedupeStreamIsExactlyClassic) {
+  for (int maxEntry = 1; maxEntry <= 2; ++maxEntry) {
+    const tensor::TensorAlgebra g = wl::gemm(4, 4, 4);
+    stt::EnumerationOptions classic;
+    classic.maxEntry = maxEntry;
+    classic.dedupeBySignature = false;
+    stt::EnumerationOptions bound = classic;
+    bound.boundFirst = true;
+    const auto a = stt::enumerateDesignSpace(g, classic);
+    const auto b = stt::enumerateDesignSpace(g, bound);
+    ASSERT_EQ(a.size(), b.size()) << "maxEntry=" << maxEntry;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a[i].label(), b[i].label()) << i;
+      ASSERT_EQ(a[i].transform().str(), b[i].transform().str()) << i;
+    }
+  }
+}
+
+TEST(BoundFirst, ServiceValueSetMatchesClassicMaxEntry2) {
+  for (const auto backend : {cost::BackendKind::Asic, cost::BackendKind::Fpga}) {
+    ExplorationService classic{ServiceOptions{}};
+    ExplorationService bound{ServiceOptions{}};
+    const QueryResult ra = classic.run(gemmQuery(16, 2, false, backend));
+    const QueryResult rb = bound.run(gemmQuery(16, 2, true, backend));
+    EXPECT_FALSE(ra.timedOut);
+    EXPECT_FALSE(rb.timedOut);
+    EXPECT_EQ(frontierValues(ra), frontierValues(rb));
+    ASSERT_TRUE(ra.best && rb.best);
+    EXPECT_EQ(ra.best->perf.totalCycles, rb.best->perf.totalCycles);
+    EXPECT_EQ(ra.best->figures().powerMw, rb.best->figures().powerMw);
+    EXPECT_EQ(ra.best->figures().area, rb.best->figures().area);
+    // The quotient visits every classic candidate (cut or classified), so
+    // designs can only shrink through never-visited duplicates.
+    EXPECT_GT(rb.designs, 0u);
+  }
+}
+
+TEST(BoundFirst, ServiceValueSetMatchesClassicMaxEntry3SmallExtents) {
+  // The maxEntry=3 differential on a small workload: bound-first (cuts +
+  // class quotient) against the uncut classic sweep of the same space.
+  ExplorationService classic{ServiceOptions{}};
+  ExplorationService bound{ServiceOptions{}};
+  const QueryResult ra = classic.run(gemmQuery(4, 3, false));
+  const QueryResult rb = bound.run(gemmQuery(4, 3, true));
+  EXPECT_FALSE(ra.timedOut);
+  EXPECT_FALSE(rb.timedOut);
+  EXPECT_EQ(frontierValues(ra), frontierValues(rb));
+  ASSERT_TRUE(ra.best && rb.best);
+  EXPECT_EQ(ra.best->perf.totalCycles, rb.best->perf.totalCycles);
+  EXPECT_EQ(ra.best->figures().powerMw, rb.best->figures().powerMw);
+  EXPECT_EQ(ra.best->figures().area, rb.best->figures().area);
+}
+
+TEST(BoundFirst, BlockSpecsDefaultsTo64WithScalarEscapeHatch) {
+  // Satellite contract: the block pipeline is on by default; 0 remains the
+  // scalar escape hatch and produces bit-identical results.
+  EXPECT_EQ(ServiceOptions{}.blockSpecs, 64u);
+  ServiceOptions scalar;
+  scalar.blockSpecs = 0;
+  ExplorationService defaulted{ServiceOptions{}};
+  ExplorationService escaped{scalar};
+  const QueryResult a = defaulted.run(gemmQuery(8, 1, false));
+  const QueryResult b = escaped.run(gemmQuery(8, 1, false));
+  EXPECT_EQ(a.designs, b.designs);
+  ASSERT_EQ(a.frontier.size(), b.frontier.size());
+  for (std::size_t i = 0; i < a.frontier.size(); ++i) {
+    EXPECT_EQ(a.frontier[i].spec.label(), b.frontier[i].spec.label());
+    EXPECT_EQ(a.frontier[i].perf.totalCycles, b.frontier[i].perf.totalCycles);
+  }
+  // Bound-first also honors the escape hatch (windows fall back to 64).
+  const QueryResult c = escaped.run(gemmQuery(8, 1, true));
+  const QueryResult d = defaulted.run(gemmQuery(8, 1, true));
+  EXPECT_EQ(frontierValues(c), frontierValues(d));
+}
+
+TEST(BoundFirst, CandidateMemoKeyAndSnapshotFlagRoundTrip) {
+  stt::clearCandidateCache();
+  stt::EnumerationOptions bound;
+  bound.boundFirst = true;
+  (void)stt::candidateTransformMatrices(bound);
+  (void)stt::candidateTransformMatrices(stt::EnumerationOptions{});
+  const auto exported = stt::exportCandidateCache();
+  ASSERT_GE(exported.size(), 2u);
+  bool sawBoundFirst = false, sawClassic = false;
+  for (const auto& entry : exported) {
+    (entry.boundFirst ? sawBoundFirst : sawClassic) = true;
+  }
+  EXPECT_TRUE(sawBoundFirst);
+  EXPECT_TRUE(sawClassic);
+
+  // The flag survives a snapshot save/restore byte-exactly.
+  const std::string path = "boundfirst_snapshot_test.bin";
+  const std::string fingerprint =
+      snapshot::cacheSchemaFingerprint(stt::EnumerationOptions{});
+  ExplorationService service{ServiceOptions{}};
+  ASSERT_TRUE(service.saveSnapshot(path, fingerprint));
+  stt::clearCandidateCache();
+  ExplorationService restored{ServiceOptions{}};
+  EXPECT_EQ(restored.restoreSnapshot(path, fingerprint).status,
+            snapshot::RestoreStatus::Restored);
+  bool restoredBoundFirst = false;
+  for (const auto& entry : stt::exportCandidateCache())
+    if (entry.boundFirst) restoredBoundFirst = true;
+  EXPECT_TRUE(restoredBoundFirst);
+  std::remove(path.c_str());
+}
+
+TEST(BoundFirst, SchemaFingerprintSeparatesBoundFirstDefaults) {
+  // Differently-bounded snapshots must degrade to a clean cold start: the
+  // schema fingerprint differs when the spec-defining boundFirst default
+  // differs, and names the v2 key schema.
+  stt::EnumerationOptions classic;
+  stt::EnumerationOptions bound;
+  bound.boundFirst = true;
+  const std::string a = snapshot::cacheSchemaFingerprint(classic);
+  const std::string b = snapshot::cacheSchemaFingerprint(bound);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a.rfind("keys-v2;", 0), 0u) << a;
+}
+
+TEST(BoundFirst, DeadlineProducesPartialAccountedResult) {
+  // A 1 ms budget on a maxEntry=2 sweep: whatever happens, the result must
+  // come back with coherent accounting (the service TL_CHECKs
+  // hits + misses + pruned + skipped == designs internally).
+  ExplorationService service{ServiceOptions{}};
+  ExploreQuery q = gemmQuery(16, 2, true);
+  q.deadlineMs = 1;
+  const QueryResult r = service.run(q);
+  const auto& c = r.cache;
+  EXPECT_EQ(c.hits + c.misses + c.pruned + c.skipped, r.designs);
+  if (!r.timedOut) EXPECT_EQ(c.skipped, 0u);
+}
+
+TEST(BoundFirst, StatsAccounting) {
+  // Direct search-level accounting: visited == cut + deduped + emitted on
+  // a full (unstopped) sweep, and pruning only ever removes work.
+  const tensor::TensorAlgebra g = wl::gemm(8, 8, 8);
+  const auto sels = stt::allLoopSelections(g);
+  ASSERT_EQ(sels.size(), 1u);
+  const auto context = stt::makeSpecContext(g, sels[0]);
+  const stt::SelectionGeometry geometry = stt::makeSelectionGeometry(*context);
+  stt::EnumerationOptions eo;
+  eo.maxEntry = 2;
+  eo.boundFirst = true;
+  std::size_t emitted = 0;
+  stt::BoundFirstHooks hooks;
+  hooks.emit = [&](const stt::BoundFirstCandidate&) { ++emitted; };
+  const stt::BoundFirstStats st =
+      stt::enumerateBoundFirst(context, geometry, eo, hooks);
+  EXPECT_FALSE(st.stopped);
+  EXPECT_EQ(st.cut, 0u);  // no cut hook installed
+  EXPECT_EQ(st.emitted, emitted);
+  EXPECT_EQ(st.visited, st.cut + st.deduped + st.emitted);
+  EXPECT_GT(st.deduped, 0u);  // the class quotient must collapse something
+}
+
+}  // namespace
+}  // namespace tensorlib::driver
