@@ -1,0 +1,175 @@
+// Stitched model execution: compiled RTL tape vs legacy interpreter (the
+// PR-10 perf anchor).
+//
+// Builds the mlp-3 builtin model the same way the model oracle does — one
+// realizable design per layer, stitched into ONE merged netlist with
+// planner-sized inter-layer buffers — then executes the identical stitched
+// top under both RTL engines:
+//
+//   compiled  the flattened evaluation tape (hwir::SimEngine::Compiled),
+//             the engine the model oracle and the daemon run on.
+//   legacy    the node-walking interpreter (hwir::SimEngine::Legacy), the
+//             semantics reference.
+//
+// Element-exactness is asserted every run, gates or not: both engines must
+// match the composed dense reference bit for bit (the same contract
+// verify_model_conformance_test enforces). Gate: compiled >= 2x legacy on
+// the full run (full mode only).
+//
+// Merges a "model_rtl" section into BENCH_hotpaths.json next to the
+// earlier gates.
+//
+// Usage: bench_model_rtl [--smoke] [--out <path>]
+//   --smoke   one rep, correctness asserts only, no timing gates
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "arch/model.hpp"
+#include "bench_util.hpp"
+#include "stt/enumerate.hpp"
+#include "support/error.hpp"
+#include "tensor/network.hpp"
+#include "tensor/reference.hpp"
+#include "tensor/workloads.hpp"
+
+namespace {
+
+using namespace tensorlib;
+using Clock = std::chrono::steady_clock;
+
+double msSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+constexpr double kGateMinSpeedup = 2.0;
+constexpr const char* kModel = "mlp-3";
+
+/// First enumerated design the netlist generator can realize — the same
+/// cheap spec source the buffer-property tests use (no cost models, no
+/// exploration service; engine time is what this bench measures).
+stt::DataflowSpec firstRealizableSpec(const tensor::TensorAlgebra& algebra,
+                                      bool allowAllUnicast,
+                                      const arch::ModelBuildOptions& options) {
+  stt::EnumerationOptions enumeration;
+  enumeration.dropAllUnicast = !allowAllUnicast;
+  arch::HardwareConfig hw = options.hw;
+  hw.injectEverywhere = true;
+  for (const stt::DataflowSpec& spec :
+       stt::enumerateDesignSpace(algebra, enumeration)) {
+    try {
+      (void)arch::generateAccelerator(spec, options.array, hw);
+      return spec;
+    } catch (const Error&) {
+      continue;
+    }
+  }
+  fail("no realizable design for " + algebra.str());
+}
+
+struct ModelRtlReport {
+  std::size_t layers = 0;
+  std::int64_t cycles = 0;  ///< stitched schedule length (both engines)
+  double compiledMs = 0, legacyMs = 0;
+  double speedup() const { return legacyMs / compiledMs; }
+};
+
+ModelRtlReport benchModelRtl(int reps) {
+  const tensor::NetworkSpec* network = tensor::workloads::findNetwork(kModel);
+  if (network == nullptr) fail(std::string("missing builtin model ") + kModel);
+
+  arch::ModelBuildOptions options;
+  std::vector<std::pair<std::string, stt::DataflowSpec>> layerSpecs;
+  for (const auto& layer : network->layers())
+    layerSpecs.emplace_back(
+        layer.name,
+        firstRealizableSpec(layer.algebra, layer.allowAllUnicast, options));
+  const arch::ModelAccelerator model =
+      arch::buildModelAccelerator(layerSpecs, options);
+
+  std::vector<tensor::TensorEnv> envs;
+  for (std::size_t l = 0; l < model.layers.size(); ++l)
+    envs.push_back(
+        tensor::makeRandomInputs(model.layers[l].acc.spec.algebra(), l + 1));
+  const std::vector<tensor::DenseTensor> golden =
+      arch::composedReference(model, envs);
+
+  ModelRtlReport r;
+  r.layers = model.layers.size();
+  for (const hwir::SimEngine engine :
+       {hwir::SimEngine::Compiled, hwir::SimEngine::Legacy}) {
+    double bestMs = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      arch::ModelRunOptions runOptions;
+      runOptions.engine = engine;
+      const auto t = Clock::now();
+      const arch::ModelRunResult run =
+          arch::runModelAccelerator(model, envs, runOptions);
+      const double ms = msSince(t);
+      if (rep == 0 || ms < bestMs) bestMs = ms;
+      r.cycles = run.cyclesRun;
+      // Element-exactness on every rep: the speed comparison is only
+      // meaningful while both engines compute the same model.
+      if (run.outputs.size() != golden.size())
+        fail("stitched run returned the wrong layer count");
+      for (std::size_t l = 0; l < golden.size(); ++l)
+        if (golden[l].maxAbsDiff(run.outputs[l]) != 0.0)
+          fail("stitched engine diverged from the composed reference at "
+               "layer " +
+               std::to_string(l));
+    }
+    (engine == hwir::SimEngine::Compiled ? r.compiledMs : r.legacyMs) = bestMs;
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out = "BENCH_hotpaths.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out = argv[++i];
+    else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--out <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  try {
+    bench::printHeader(smoke ? "Stitched model RTL engines (smoke)"
+                             : "Stitched model: compiled tape vs legacy");
+    const ModelRtlReport r = benchModelRtl(smoke ? 1 : 3);
+    std::printf(
+        "  %s  compiled %.1f ms | legacy %.1f ms (%.2fx)  [%zu layers, %lld "
+        "cycles, both engines element-exact vs composed reference]\n",
+        kModel, r.compiledMs, r.legacyMs, r.speedup(), r.layers,
+        static_cast<long long>(r.cycles));
+
+    const bool pass = smoke || r.speedup() >= kGateMinSpeedup;
+    if (!smoke) {
+      std::ostringstream line;
+      line << "\"model_rtl\": {\"model\": \"" << kModel
+           << "\", \"layers\": " << r.layers << ", \"cycles\": " << r.cycles
+           << ", \"compiled_ms\": " << r.compiledMs
+           << ", \"legacy_ms\": " << r.legacyMs
+           << ", \"speedup\": " << r.speedup()
+           << ", \"gate_min_speedup\": " << kGateMinSpeedup
+           << ", \"pass\": " << (pass ? "true" : "false") << "}";
+      bench::mergeJsonSection(out, "model_rtl", line.str());
+      std::printf("  merged into %s\n", out.c_str());
+    }
+
+    if (!pass)
+      std::printf("  GATE FAIL: compiled speedup %.2f < %.1f\n", r.speedup(),
+                  kGateMinSpeedup);
+    return pass ? 0 : 1;
+  } catch (const tensorlib::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,5 +1,6 @@
 #include "arch/testbench.hpp"
 
+#include <algorithm>
 #include <map>
 #include <sstream>
 
@@ -39,23 +40,27 @@ struct TbSchedule {
   std::int64_t lastCycle = 0;
 };
 
-
-void appendTbSchedule(const GeneratedAccelerator& acc,
-                      const tensor::TensorEnv& env,
-                      const linalg::IntVector& shape,
-                      const linalg::IntVector& origin,
-                      const linalg::IntVector& outerFixed,
-                      std::int64_t baseCycle, TbSchedule& sched) {
+/// Builds the symbolic schedule of ONE stage (one tile at one outer-loop
+/// iteration). Cycles are stage-relative; resolving against an environment
+/// at a base cycle reproduces the historical per-stage stimulus exactly
+/// (stationary loads in resident-map order first, then injections in trace
+/// order, then the per-class sampling plan).
+StageSchedule buildStageScheduleFor(const GeneratedAccelerator& acc,
+                                    const linalg::IntVector& shape,
+                                    const linalg::IntVector& origin,
+                                    const linalg::IntVector& outerFixed) {
   const auto& spec = acc.spec;
   const sim::TileTrace trace =
       sim::buildTileTrace(spec, shape, origin, outerFixed);
-  const std::int64_t computeEnd = baseCycle + acc.loadCycles + acc.computeCycles;
-  const std::int64_t loadBase = baseCycle;
-  const std::int64_t computeBase = baseCycle + acc.loadCycles;
+  const std::int64_t loadBase = 0;
+  const std::int64_t computeBase = acc.loadCycles;
+  const std::int64_t computeEnd = acc.loadCycles + acc.computeCycles;
 
-  // ---- Stimulus: cycle -> (port, value) pokes.
-  auto& stimulus = sched.stimulus;
-  const auto& selIdxStim = spec.selection().indices();
+  StageSchedule st;
+  st.tileShape = shape;
+  st.tileOrigin = origin;
+  st.outerFixed = outerFixed;
+  const auto& selIdx = spec.selection().indices();
 
   // Stationary-family tensors (incl. multicast+stationary): every PE holds
   // exactly one element for the whole pass; derive the PE -> element map
@@ -68,7 +73,7 @@ void appendTbSchedule(const GeneratedAccelerator& acc,
     for (const auto& ap : trace.active) {
       linalg::IntVector x = outerFixed;
       for (std::size_t j = 0; j < 3; ++j)
-        x[selIdxStim[j]] = origin[j] + ap.iteration[j];
+        x[selIdx[j]] = origin[j] + ap.iteration[j];
       const linalg::IntVector element = role.fullAccess.evaluate(x);
       const PeCoord pe{ap.p1, ap.p2};
       const auto it = resident.find(pe);
@@ -81,57 +86,57 @@ void appendTbSchedule(const GeneratedAccelerator& acc,
       }
     }
     for (const auto& [pe, element] : resident) {
-      const double value = env.at(role.tensor).at(element);
-      stimulus[loadBase + pe.p2].push_back(
-          {bundle.rowLoadPorts.at(pe.p1), encode(value, acc.config)});
-      stimulus[loadBase + pe.p2].push_back(
-          {bundle.rowLoadValidPorts.at(pe.p1), 1});
+      st.pokes.push_back({loadBase + pe.p2, bundle.rowLoadPorts.at(pe.p1), i,
+                          element, /*isValid=*/false});
+      st.pokes.push_back({loadBase + pe.p2, bundle.rowLoadValidPorts.at(pe.p1),
+                          i, element, /*isValid=*/true});
     }
   }
 
   for (const auto& inj : trace.injections) {
-    const auto& role = spec.tensors()[inj.tensorIndex];
     const auto& bundle = acc.inputs[inj.tensorIndex];
     if (!bundle.rowLoadPorts.empty()) continue;  // handled above
-    const double value = env.at(role.tensor).at(inj.element);
-    const std::uint64_t bits = encode(value, acc.config);
     const PeCoord pe{inj.p1, inj.p2};
     const std::int64_t cycle = computeBase + inj.cycle;
+    NodeId dataPort = 0, validPort = 0;
 
     switch (bundle.dataflowClass) {
       case stt::DataflowClass::Systolic:
       case stt::DataflowClass::Unicast: {
-        stimulus[cycle].push_back({bundle.peDataPorts.at(pe), bits});
-        stimulus[cycle].push_back({bundle.peValidPorts.at(pe), 1});
+        dataPort = bundle.peDataPorts.at(pe);
+        validPort = bundle.peValidPorts.at(pe);
         break;
       }
       case stt::DataflowClass::Multicast: {
         const std::int64_t line =
             lineId(pe, bundle.direction[0], bundle.direction[1]);
-        stimulus[cycle].push_back({bundle.lineDataPorts.at(line), bits});
-        stimulus[cycle].push_back({bundle.lineValidPorts.at(line), 1});
+        dataPort = bundle.lineDataPorts.at(line);
+        validPort = bundle.lineValidPorts.at(line);
         break;
       }
       case stt::DataflowClass::SystolicMulticast: {
         const std::int64_t line =
             lineId(pe, bundle.busDirection[0], bundle.busDirection[1]);
-        stimulus[cycle].push_back({bundle.lineDataPorts.at(line), bits});
-        stimulus[cycle].push_back({bundle.lineValidPorts.at(line), 1});
+        dataPort = bundle.lineDataPorts.at(line);
+        validPort = bundle.lineValidPorts.at(line);
         break;
       }
       case stt::DataflowClass::Broadcast2D:
       case stt::DataflowClass::FullReuse: {
-        stimulus[cycle].push_back({bundle.lineDataPorts.at(0), bits});
-        stimulus[cycle].push_back({bundle.lineValidPorts.at(0), 1});
+        dataPort = bundle.lineDataPorts.at(0);
+        validPort = bundle.lineValidPorts.at(0);
         break;
       }
       default:
         fail("testbench: unsupported input class");
     }
+    st.pokes.push_back({cycle, dataPort, inj.tensorIndex, inj.element,
+                        /*isValid=*/false});
+    st.pokes.push_back({cycle, validPort, inj.tensorIndex, inj.element,
+                        /*isValid=*/true});
   }
 
   // ---- Sampling plan: cycle -> (port, output element).
-  auto& samples = sched.samples;
   const auto& out = acc.output;
   switch (out.dataflowClass) {
     case stt::DataflowClass::Stationary: {
@@ -140,8 +145,7 @@ void appendTbSchedule(const GeneratedAccelerator& acc,
         // after (p2Span-1 - p2) shifts, first visible at computeEnd+1.
         const std::int64_t cycle =
             computeEnd + 1 + (acc.grid.p2Span - 1 - ev.p2);
-        samples[cycle].push_back(
-            {out.rowDrainPorts.at(ev.p1), ev.element});
+        st.samples.push_back({cycle, out.rowDrainPorts.at(ev.p1), ev.element});
       }
       break;
     }
@@ -156,8 +160,9 @@ void appendTbSchedule(const GeneratedAccelerator& acc,
         const PeCoord exit = chains.at(key).back();
         const std::int64_t s = stepsBetween(pe, exit, step[0], step[1]);
         const std::int64_t cycle = computeBase + ev.cycle + (s + 1) * step[2];
-        samples[cycle].push_back(
-            {out.linePorts.at(chainId(exit, step[0], step[1])), ev.element});
+        st.samples.push_back(
+            {cycle, out.linePorts.at(chainId(exit, step[0], step[1])),
+             ev.element});
       }
       break;
     }
@@ -165,38 +170,85 @@ void appendTbSchedule(const GeneratedAccelerator& acc,
       for (const auto& ev : trace.outputs) {
         const std::int64_t line =
             lineId({ev.p1, ev.p2}, out.direction[0], out.direction[1]);
-        samples[computeBase + ev.cycle + 1].push_back(
-            {out.linePorts.at(line), ev.element});
+        st.samples.push_back(
+            {computeBase + ev.cycle + 1, out.linePorts.at(line), ev.element});
       }
       break;
     }
     case stt::DataflowClass::Unicast: {
       for (const auto& ev : trace.outputs)
-        samples[computeBase + ev.cycle + 1].push_back(
-            {out.pePorts.at({ev.p1, ev.p2}), ev.element});
+        st.samples.push_back({computeBase + ev.cycle + 1,
+                              out.pePorts.at({ev.p1, ev.p2}), ev.element});
       break;
     }
     default:
       fail("testbench: unsupported output class");
   }
 
-  // ---- Golden values: direct evaluation of the tile's active points.
+  // Normalize to per-cycle order (what the map-keyed schedule historically
+  // produced): stable sort keeps poke/sample order within a cycle.
+  std::stable_sort(st.pokes.begin(), st.pokes.end(),
+                   [](const SymbolicPoke& a, const SymbolicPoke& b) {
+                     return a.cycle < b.cycle;
+                   });
+  std::stable_sort(st.samples.begin(), st.samples.end(),
+                   [](const SymbolicSample& a, const SymbolicSample& b) {
+                     return a.cycle < b.cycle;
+                   });
+
+  st.lastCycle = computeEnd + acc.drainCycles;
+  if (!st.samples.empty())
+    st.lastCycle = std::max(st.lastCycle, st.samples.back().cycle);
+  return st;
+}
+
+/// Resolves one symbolic stage against a tensor environment into the
+/// concrete testbench schedule, offset to `baseCycle`.
+void resolveStage(const GeneratedAccelerator& acc, const tensor::TensorEnv& env,
+                  const StageSchedule& st, std::int64_t baseCycle,
+                  TbSchedule& sched) {
+  for (const auto& p : st.pokes) {
+    const std::uint64_t bits =
+        p.isValid
+            ? 1
+            : encode(env.at(acc.spec.tensors()[p.tensorIndex].tensor)
+                         .at(p.element),
+                     acc.config);
+    sched.stimulus[baseCycle + p.cycle].push_back({p.port, bits});
+  }
+  for (const auto& s : st.samples)
+    sched.samples[baseCycle + s.cycle].push_back({s.port, s.element});
+  sched.lastCycle = std::max(sched.lastCycle, baseCycle + st.lastCycle);
+}
+
+/// Golden values of one stage: direct evaluation over the stage's tile box
+/// (the active points of a tile trace are exactly the box).
+void accumulateGolden(const GeneratedAccelerator& acc,
+                      const tensor::TensorEnv& env, const StageSchedule& st,
+                      tensor::DenseTensor& expected) {
+  const auto& spec = acc.spec;
   const auto& selIdx = spec.selection().indices();
-  for (const auto& ap : trace.active) {
-    linalg::IntVector x = outerFixed;
+  linalg::IntVector local(3, 0);
+  while (true) {
+    linalg::IntVector x = st.outerFixed;
     for (std::size_t j = 0; j < 3; ++j)
-      x[selIdx[j]] = origin[j] + ap.iteration[j];
+      x[selIdx[j]] = st.tileOrigin[j] + local[j];
     double prod = 1.0;
     for (const auto& role : spec.tensors()) {
       if (role.isOutput) continue;
       prod *= env.at(role.tensor).at(role.fullAccess.evaluate(x));
     }
-    sched.expected.at(spec.outputRole().fullAccess.evaluate(x)) += prod;
-  }
+    expected.at(spec.outputRole().fullAccess.evaluate(x)) += prod;
 
-  sched.lastCycle = std::max(sched.lastCycle, computeEnd + acc.drainCycles);
-  if (!samples.empty())
-    sched.lastCycle = std::max(sched.lastCycle, samples.rbegin()->first);
+    std::size_t d = 3;
+    bool done = false;
+    while (d-- > 0) {
+      if (++local[d] < st.tileShape[d]) break;
+      local[d] = 0;
+      if (d == 0) done = true;
+    }
+    if (done) break;
+  }
 }
 
 /// Single-tile schedule at origin 0 / outer 0 (the acc's own trace).
@@ -205,8 +257,11 @@ TbSchedule buildTbSchedule(const GeneratedAccelerator& acc,
   TbSchedule sched;
   const auto& algebra = acc.spec.algebra();
   sched.expected = tensor::DenseTensor(algebra.tensorShape(algebra.output()));
-  appendTbSchedule(acc, env, acc.tileShape, linalg::IntVector(3, 0),
-                   linalg::IntVector(algebra.loopCount(), 0), 0, sched);
+  const StageSchedule st = buildStageScheduleFor(
+      acc, acc.tileShape, linalg::IntVector(3, 0),
+      linalg::IntVector(algebra.loopCount(), 0));
+  resolveStage(acc, env, st, 0, sched);
+  accumulateGolden(acc, env, st, sched.expected);
   return sched;
 }
 
@@ -240,20 +295,10 @@ RtlRunResult runSchedule(const GeneratedAccelerator& acc,
 
 }  // namespace
 
-RtlRunResult runAcceleratorTile(const GeneratedAccelerator& acc,
-                                const tensor::TensorEnv& env,
-                                const RtlRunOptions& options) {
-  return runSchedule(acc, buildTbSchedule(acc, env), options);
-}
-
-RtlRunResult runAcceleratorFull(const GeneratedAccelerator& acc,
-                                const tensor::TensorEnv& env) {
+std::vector<StageSchedule> buildStageSchedules(const GeneratedAccelerator& acc) {
   const auto& spec = acc.spec;
   const auto& algebra = spec.algebra();
   const linalg::IntVector extents = spec.selection().extents();
-
-  TbSchedule sched;
-  sched.expected = tensor::DenseTensor(algebra.tensorShape(algebra.output()));
 
   // Tile origins per selected loop.
   std::vector<std::vector<std::int64_t>> origins(3);
@@ -261,9 +306,9 @@ RtlRunResult runAcceleratorFull(const GeneratedAccelerator& acc,
     for (std::int64_t o = 0; o < extents[j]; o += acc.tileShape[j])
       origins[j].push_back(o);
 
+  std::vector<StageSchedule> stages;
   const auto& outerIdx = spec.selection().outerIndices();
   linalg::IntVector outerFixed(algebra.loopCount(), 0);
-  std::int64_t stage = 0;
   while (true) {
     for (std::int64_t o0 : origins[0])
       for (std::int64_t o1 : origins[1])
@@ -272,9 +317,8 @@ RtlRunResult runAcceleratorFull(const GeneratedAccelerator& acc,
           linalg::IntVector shape(3);
           for (std::size_t j = 0; j < 3; ++j)
             shape[j] = std::min(acc.tileShape[j], extents[j] - origin[j]);
-          appendTbSchedule(acc, env, shape, origin, outerFixed,
-                           stage * acc.stagePeriod, sched);
-          ++stage;
+          stages.push_back(
+              buildStageScheduleFor(acc, shape, origin, outerFixed));
         }
     bool done = outerIdx.empty();
     for (std::size_t d = outerIdx.size(); d-- > 0;) {
@@ -285,8 +329,31 @@ RtlRunResult runAcceleratorFull(const GeneratedAccelerator& acc,
     }
     if (done) break;
   }
+  return stages;
+}
+
+RtlRunResult runAcceleratorTile(const GeneratedAccelerator& acc,
+                                const tensor::TensorEnv& env,
+                                const RtlRunOptions& options) {
+  return runSchedule(acc, buildTbSchedule(acc, env), options);
+}
+
+RtlRunResult runAcceleratorFull(const GeneratedAccelerator& acc,
+                                const tensor::TensorEnv& env) {
+  const auto& algebra = acc.spec.algebra();
+  TbSchedule sched;
+  sched.expected = tensor::DenseTensor(algebra.tensorShape(algebra.output()));
+
+  const std::vector<StageSchedule> stages = buildStageSchedules(acc);
+  for (std::size_t s = 0; s < stages.size(); ++s) {
+    resolveStage(acc, env, stages[s],
+                 static_cast<std::int64_t>(s) * acc.stagePeriod, sched);
+    accumulateGolden(acc, env, stages[s], sched.expected);
+  }
   // Run to the end of the last stage so final drains complete.
-  sched.lastCycle = std::max(sched.lastCycle, stage * acc.stagePeriod - 1);
+  sched.lastCycle = std::max(
+      sched.lastCycle,
+      static_cast<std::int64_t>(stages.size()) * acc.stagePeriod - 1);
   return runSchedule(acc, sched);
 }
 

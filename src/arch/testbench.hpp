@@ -31,6 +31,50 @@ struct RtlRunResult {
   bool matches() const { return maxAbsDiff == 0.0; }
 };
 
+/// One symbolic stimulus entry of a stage schedule: drive `port` at the
+/// stage-relative `cycle`. Data pokes (isValid == false) carry input
+/// tensor `tensorIndex` (index into spec.tensors(), label order) at
+/// `element`; valid pokes drive the constant 1.
+struct SymbolicPoke {
+  std::int64_t cycle = 0;
+  hwir::NodeId port = 0;
+  std::size_t tensorIndex = 0;
+  linalg::IntVector element;
+  bool isValid = false;
+};
+
+/// One symbolic output sample: read `port` at the stage-relative `cycle`
+/// and accumulate the decoded value into output element `element` (stages
+/// produce partial sums; the final value is the sum over all stages that
+/// write the element).
+struct SymbolicSample {
+  std::int64_t cycle = 0;
+  hwir::NodeId port = 0;
+  linalg::IntVector element;
+};
+
+/// The environment-independent schedule of one controller stage (one tile
+/// at one outer-loop iteration): which ports to poke / sample at which
+/// stage-relative cycles, with which tensor elements. Resolving the pokes
+/// against a concrete TensorEnv reproduces the testbench stimulus exactly;
+/// the model-level engine (arch/model.*) resolves chained tensors against
+/// inter-layer buffers instead.
+struct StageSchedule {
+  std::vector<SymbolicPoke> pokes;      ///< sorted by cycle, poke order kept
+  std::vector<SymbolicSample> samples;  ///< sorted by cycle, order kept
+  std::int64_t lastCycle = 0;  ///< last scheduled cycle incl. drain tail
+  linalg::IntVector tileShape;   ///< this stage's (possibly remainder) tile
+  linalg::IntVector tileOrigin;  ///< within the selected loops
+  linalg::IntVector outerFixed;  ///< full-nest outer-loop iteration
+};
+
+/// Symbolic schedules for EVERY stage of the complete workload — each
+/// (outer-loop iteration, tile origin) pair in execution order. Stage s of
+/// runAcceleratorFull starts at cycle s * acc.stagePeriod and resolves
+/// exactly these schedules, so engines built on them (arch/model.*)
+/// execute bit-identically to the single-accelerator path.
+std::vector<StageSchedule> buildStageSchedules(const GeneratedAccelerator& acc);
+
 /// Runs one tile (origin 0, outer iterations 0) of the generated
 /// accelerator against the tensor environment.
 RtlRunResult runAcceleratorTile(const GeneratedAccelerator& acc,

@@ -14,6 +14,7 @@
 #include "driver/wire.hpp"
 #include "support/error.hpp"
 #include "support/net.hpp"
+#include "verify/model_conformance.hpp"
 
 extern "C" {
 #include <netinet/in.h>
@@ -196,6 +197,26 @@ struct SocketServer::Impl {
             emitTo(conn, wire::networkResultLine(id, request.name,
                                                  *request.network, result,
                                                  options.maxFrontier));
+          } catch (...) {
+            finishPending();
+            throw;
+          }
+          finishPending();
+          return;
+        }
+        case wire::Request::Kind::ModelConformance: {
+          // Synchronous on this reader, like Network — but the oracle owns
+          // its own ExplorationService (verdicts must not depend on this
+          // daemon's warm caches). Counted as pending so drain() waits.
+          {
+            std::lock_guard<std::mutex> lock(mutex);
+            ++stats.requests;
+            ++pendingTotal;
+          }
+          try {
+            const auto report =
+                verify::checkModel(*request.model, request.modelOptions);
+            emitTo(conn, wire::modelConformanceResultLine(id, report));
           } catch (...) {
             finishPending();
             throw;

@@ -106,6 +106,46 @@ NetworkQuery parseNetworkQuery(const support::JsonObject& obj) {
   return q;
 }
 
+/// Fills the ModelConformance fields of `request` from the line. The target
+/// network comes from "model_conformance" (a builtin name) or, when that
+/// field is `true`, from the usual "network" / "network_file" fields.
+void parseModelConformance(const support::JsonObject& obj, Request* request) {
+  request->kind = Request::Kind::ModelConformance;
+  const auto name = obj.getString("model_conformance");
+  if (name) {
+    const auto* builtin = tensor::workloads::findNetwork(*name);
+    if (!builtin)
+      fail("unknown model '" + *name +
+           "' (see network_explorer --list-models)");
+    request->model = *builtin;
+  } else if (const auto file = obj.getString("network_file")) {
+    request->model = tensor::workloads::loadNetworkJsonl(*file);
+  } else if (const auto net = obj.getString("network")) {
+    const auto* builtin = tensor::workloads::findNetwork(*net);
+    if (!builtin)
+      fail("unknown network '" + *net +
+           "' (see network_explorer --list-models)");
+    request->model = *builtin;
+  } else {
+    fail("model_conformance request needs a model name, 'network', or "
+         "'network_file'");
+  }
+  request->name = request->model->name();
+
+  auto& o = request->modelOptions;
+  parseArrayFields(obj, &o.array);
+  if (const auto v = obj.getInt("data_seed"))
+    o.dataSeed = static_cast<std::uint64_t>(*v);
+  if (const auto v = obj.getInt("threads"))
+    o.threads = static_cast<std::size_t>(std::max<std::int64_t>(1, *v));
+  if (const auto v = obj.getInt("data_width"))
+    o.dataWidth = static_cast<int>(*v);
+  if (const auto v = obj.getInt("max_entry"))
+    o.enumeration.maxEntry = static_cast<int>(*v);
+  if (const auto v = obj.getBool("tamper_rtl_tape")) o.tamperRtlTape = *v;
+  if (const auto v = obj.getBool("also_legacy")) o.alsoLegacy = *v;
+}
+
 void appendNetworkDesign(std::ostringstream& os, const NetworkQuery& q,
                          const NetworkDesign& d) {
   const auto& array = q.arrays[d.arrayIndex];
@@ -136,6 +176,10 @@ Request parseRequest(const support::JsonObject& obj) {
     return request;
   }
   request.client = obj.getString("client").value_or("default");
+  if (obj.has("model_conformance")) {
+    parseModelConformance(obj, &request);
+    return request;
+  }
   if (obj.has("network") || obj.has("network_file")) {
     request.kind = Request::Kind::Network;
     request.network = parseNetworkQuery(obj);
@@ -212,6 +256,46 @@ std::string networkResultLine(std::size_t index, const std::string& name,
   }
   os << ", \"cache\": {\"hits\": " << cache.hits << ", \"misses\": "
      << cache.misses << ", \"pruned\": " << cache.pruned << "}}";
+  return os.str();
+}
+
+std::string modelConformanceResultLine(
+    std::size_t index, const verify::ModelConformanceReport& report) {
+  std::ostringstream os;
+  os << "{\"query\": " << index << ", \"model_conformance\": \""
+     << support::jsonEscape(report.model) << "\", \"pass\": "
+     << (report.pass() ? "true" : "false") << ", \"layers\": "
+     << report.picks.size() << ", \"data_seed\": " << report.dataSeed
+     << ", \"threads\": " << report.threads;
+  if (report.error.empty()) {
+    os << ", \"cycles\": " << report.cyclesRun << ", \"stall_slots\": "
+       << report.stallSlots << ", \"buffer_capacities\": [";
+    for (std::size_t i = 0; i < report.bufferCapacities.size(); ++i)
+      os << (i ? ", " : "") << report.bufferCapacities[i];
+    os << "], \"assignments\": [";
+    for (std::size_t i = 0; i < report.picks.size(); ++i) {
+      const auto& pick = report.picks[i];
+      os << (i ? ", " : "") << "{\"layer\": \""
+         << support::jsonEscape(pick.layer) << "\", \"dataflow\": \""
+         << support::jsonEscape(pick.used) << "\"";
+      if (pick.substituted) os << ", \"substituted\": true";
+      os << "}";
+    }
+    os << "]";
+  }
+  if (report.divergence) {
+    const auto& d = *report.divergence;
+    os << ", \"divergence\": {\"layer\": \"" << support::jsonEscape(d.layer)
+       << "\", \"layer_index\": " << d.layerIndex << ", \"element\": [";
+    for (std::size_t i = 0; i < d.element.size(); ++i)
+      os << (i ? ", " : "") << d.element[i];
+    os << "], \"cycle\": " << d.cycle << ", \"expected\": " << d.expected
+       << ", \"actual\": " << d.actual << ", \"engine\": \""
+       << support::jsonEscape(d.engine) << "\"}";
+  }
+  if (!report.error.empty())
+    os << ", \"error\": \"" << support::jsonEscape(report.error) << "\"";
+  os << "}";
   return os.str();
 }
 

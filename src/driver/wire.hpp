@@ -15,22 +15,28 @@
 #include "driver/daemon.hpp"
 #include "driver/network_explorer.hpp"
 #include "support/jsonl.hpp"
+#include "verify/model_conformance.hpp"
 
 namespace tensorlib::driver::wire {
 
 /// One decoded request line. Exactly one kind is active; `query` /
-/// `network` are engaged to match.
+/// `network` / `model` are engaged to match.
 struct Request {
   enum class Kind {
-    Query,       ///< one operator on one array (driver::ExploreQuery)
-    Network,     ///< whole-model request (driver::NetworkQuery)
-    CacheStats,  ///< {"cache_stats": true} control request
-    Shutdown,    ///< {"shutdown": true} control request
+    Query,             ///< one operator on one array (driver::ExploreQuery)
+    Network,           ///< whole-model request (driver::NetworkQuery)
+    ModelConformance,  ///< stitched-model oracle (verify::checkModel)
+    CacheStats,        ///< {"cache_stats": true} control request
+    Shutdown,          ///< {"shutdown": true} control request
   };
 
   Kind kind = Kind::Query;
   std::optional<ExploreQuery> query;
   std::optional<NetworkQuery> network;
+  std::optional<tensor::NetworkSpec> model;  ///< ModelConformance target
+  /// ModelConformance knobs (array/data_seed/threads/data_width; the
+  /// oracle owns its own ExplorationService, isolated from the server's).
+  verify::ModelConformanceOptions modelOptions;
   std::string name;    ///< workload or model name, echoed in the response
   std::string client;  ///< admission-fairness identity ("client" field)
 };
@@ -53,6 +59,12 @@ std::string networkResultLine(std::size_t index, const std::string& name,
                               const NetworkQuery& query,
                               const NetworkResult& result,
                               std::size_t maxFrontier);
+
+/// Response line for one completed model-conformance request: verdict,
+/// per-layer assignments (with substitutions), committed buffer depths,
+/// and — on failure — the first divergent (layer, element, cycle).
+std::string modelConformanceResultLine(
+    std::size_t index, const verify::ModelConformanceReport& report);
 
 /// Service-wide cache summary fragment: eval cache plus the tile-mapping
 /// and candidate-matrix memos (all three layers the snapshot persists).

@@ -180,6 +180,31 @@ NodeId Netlist::adderTree(const std::vector<NodeId>& leaves,
   return level[0];
 }
 
+NodeId Netlist::instantiate(const Netlist& sub, const std::string& prefix) {
+  const NodeId offset = static_cast<NodeId>(nodes_.size());
+  nodes_.reserve(nodes_.size() + sub.nodes_.size());
+  for (const Node& src : sub.nodes_) {
+    Node n = src;
+    for (NodeId& a : n.args) a += offset;
+    if (!n.name.empty() || src.op == Op::Input || src.op == Op::Output)
+      n.name = prefix + "/" + n.name;
+    const NodeId id = static_cast<NodeId>(nodes_.size());
+    nodes_.push_back(std::move(n));
+    if (src.op == Op::Input) {
+      TL_CHECK(!inputNames_.count(nodes_[id].name),
+               "instantiate: duplicate input port " + nodes_[id].name);
+      inputs_.push_back(id);
+      inputNames_[nodes_[id].name] = id;
+    } else if (src.op == Op::Output) {
+      TL_CHECK(!outputNames_.count(nodes_[id].name),
+               "instantiate: duplicate output port " + nodes_[id].name);
+      outputs_.push_back(id);
+      outputNames_[nodes_[id].name] = id;
+    }
+  }
+  return offset;
+}
+
 std::vector<NodeId> Netlist::validate() const {
   // Kahn topological sort over combinational edges; Reg outputs are sources
   // (their D inputs are consumed at the cycle boundary, not combinationally).

@@ -54,6 +54,14 @@ class Netlist {
   /// Balanced binary adder tree over the given leaves (>=1).
   NodeId adderTree(const std::vector<NodeId>& leaves, const std::string& name);
 
+  /// Clones every node of `sub` into this netlist and returns the id
+  /// offset: node k of `sub` becomes node (offset + k) here, with args
+  /// remapped. Named nodes (ports, registers) get "<prefix>/" prepended,
+  /// and `sub`'s inputs/outputs re-register as ports of the merged
+  /// netlist, so the result simulates and emits like a hand-built design.
+  /// Used by arch/model.* to stitch per-layer accelerators into one top.
+  NodeId instantiate(const Netlist& sub, const std::string& prefix);
+
   /// Verifies structural sanity: every arg exists, every Reg has a D input,
   /// no combinational cycles. Returns the topological order of evaluation.
   std::vector<NodeId> validate() const;

@@ -107,6 +107,22 @@ const LayerFactory* findFactory(const std::string& workload) {
 
 }  // namespace
 
+const std::vector<LayerFactoryInfo>& layerFactoryTable() {
+  static const std::vector<LayerFactoryInfo> table = [] {
+    std::vector<LayerFactoryInfo> out;
+    for (const LayerFactory& f : layerFactories()) {
+      LayerFactoryInfo info;
+      info.name = f.name;
+      for (const char* p : f.params) info.params.push_back(p);
+      info.defaults = f.defaults;
+      info.allowAllUnicast = f.allowAllUnicast;
+      out.push_back(std::move(info));
+    }
+    return out;
+  }();
+  return table;
+}
+
 NetworkLayer makeNetworkLayer(
     const std::string& layerName, const std::string& workload,
     const std::vector<std::pair<std::string, std::int64_t>>& extents) {
@@ -211,6 +227,50 @@ std::vector<NetworkSpec> builtinNetworks() {
        makeNetworkLayer("fc3", "gemm", {{"m", 32}, {"n", 8}, {"k", 32}}),
        makeNetworkLayer("scale", "pointwise-residual",
                         {{"b", 4}, {"i", 8}, {"j", 8}})}));
+  // Deep ResNet tail: four identical 2x2 convs chained by index-embedding
+  // (each conv's (4,4,4) output sits inside the next one's (4,5,5) halo'd
+  // input), three identical GEMMs chained exactly, and the residual scale
+  // reading the last GEMM row-major. Eight layers end to end — the
+  // deep-stitching stress model.
+  models.push_back(NetworkSpec(
+      "resnet-deep",
+      {makeNetworkLayer("conv1", "conv2d", {{"k", 4}, {"c", 4}, {"y", 4},
+                                            {"x", 4}, {"p", 2}, {"q", 2}}),
+       makeNetworkLayer("conv2", "conv2d", {{"k", 4}, {"c", 4}, {"y", 4},
+                                            {"x", 4}, {"p", 2}, {"q", 2}}),
+       makeNetworkLayer("conv3", "conv2d", {{"k", 4}, {"c", 4}, {"y", 4},
+                                            {"x", 4}, {"p", 2}, {"q", 2}}),
+       makeNetworkLayer("conv4", "conv2d", {{"k", 4}, {"c", 4}, {"y", 4},
+                                            {"x", 4}, {"p", 2}, {"q", 2}}),
+       makeNetworkLayer("fc1", "gemm", {{"m", 16}, {"n", 4}, {"k", 4}}),
+       makeNetworkLayer("fc2", "gemm", {{"m", 16}, {"n", 4}, {"k", 4}}),
+       makeNetworkLayer("fc3", "gemm", {{"m", 16}, {"n", 4}, {"k", 4}}),
+       makeNetworkLayer("scale", "pointwise-residual",
+                        {{"b", 4}, {"i", 4}, {"j", 4}})}));
+  // Transformer encoder stack: scores, the score-value contraction and the
+  // output projection (identical shapes), then the two FFN GEMMs and the
+  // residual scale — every adjacent pair chains exactly or row-major.
+  models.push_back(NetworkSpec(
+      "transformer-stack",
+      {makeNetworkLayer("qk-scores", "attention",
+                        {{"i", 8}, {"j", 8}, {"k", 8}}),
+       makeNetworkLayer("av", "gemm", {{"m", 8}, {"n", 8}, {"k", 8}}),
+       makeNetworkLayer("proj", "gemm", {{"m", 8}, {"n", 8}, {"k", 8}}),
+       makeNetworkLayer("ffn1", "gemm", {{"m", 8}, {"n", 16}, {"k", 8}}),
+       makeNetworkLayer("ffn2", "gemm", {{"m", 8}, {"n", 8}, {"k", 16}}),
+       makeNetworkLayer("out-scale", "pointwise-residual",
+                        {{"b", 2}, {"i", 8}, {"j", 4}})}));
+  // MoE-style mix: a gating GEMM, a widening/narrowing expert pair, a
+  // depthwise "expert" reading the activations row-major (flat-embed with a
+  // zero tail), and the mixing GEMM repeating the gate's shape.
+  models.push_back(NetworkSpec(
+      "moe-mix",
+      {makeNetworkLayer("gate", "gemm", {{"m", 16}, {"n", 4}, {"k", 4}}),
+       makeNetworkLayer("expert1", "gemm", {{"m", 16}, {"n", 32}, {"k", 4}}),
+       makeNetworkLayer("expert2", "gemm", {{"m", 16}, {"n", 4}, {"k", 32}}),
+       makeNetworkLayer("expert-dw", "depthwise",
+                        {{"k", 4}, {"y", 4}, {"x", 4}, {"p", 2}, {"q", 2}}),
+       makeNetworkLayer("mix", "gemm", {{"m", 16}, {"n", 4}, {"k", 4}})}));
   return models;
 }
 

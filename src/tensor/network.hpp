@@ -68,6 +68,20 @@ class NetworkSpec {
 
 namespace workloads {
 
+/// Metadata of one JSONL-loadable workload factory: the accepted extent
+/// field names (in factory-argument order) and the scenario-table default
+/// extents. Exposed so generators (the network fuzzer in src/verify) can
+/// build random-but-valid layers without duplicating the table.
+struct LayerFactoryInfo {
+  std::string name;
+  std::vector<std::string> params;
+  std::vector<std::int64_t> defaults;
+  bool allowAllUnicast = false;
+};
+
+/// All workload factories makeNetworkLayer accepts, in table order.
+const std::vector<LayerFactoryInfo>& layerFactoryTable();
+
 /// Builds one layer algebra from a workload factory name plus named extent
 /// fields ("gemm" reads m/n/k, "conv2d" reads k/c/y/x/p/q, ...); fields
 /// left unset fall back to the factory's scenario-table extents. Returns
@@ -89,10 +103,14 @@ NetworkSpec parseNetworkJsonl(std::istream& in, const std::string& sourceName);
 NetworkSpec loadNetworkJsonl(const std::string& path);
 
 /// The built-in model library: a ResNet-style conv stack ("resnet-block"),
-/// an attention block ("attention-block"), and a three-layer MLP with a
-/// residual scale ("mlp-3"). Every model has >= 4 layers and at least one
-/// repeated layer shape, so composed exploration always has cross-layer
-/// cache reuse to win.
+/// an attention block ("attention-block"), a three-layer MLP with a
+/// residual scale ("mlp-3"), a deep eight-layer ResNet tail
+/// ("resnet-deep"), a transformer encoder stack ("transformer-stack") and
+/// an MoE-style expert mix ("moe-mix"). Every model has >= 4 layers and at
+/// least one repeated layer shape, so composed exploration always has
+/// cross-layer cache reuse to win. Every model also chains
+/// shape-compatibly end to end, so it stitches into one model accelerator
+/// (arch/model.*, docs/ARCHITECTURE.md "Model stitching").
 std::vector<NetworkSpec> builtinNetworks();
 
 /// Built-in model lookup by name; nullptr when absent.

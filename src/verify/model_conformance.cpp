@@ -1,0 +1,197 @@
+#include "verify/model_conformance.hpp"
+
+#include <sstream>
+
+#include "arch/model.hpp"
+#include "driver/network_explorer.hpp"
+#include "support/error.hpp"
+#include "tensor/reference.hpp"
+
+namespace tensorlib::verify {
+
+namespace {
+
+std::uint64_t layerDataSeed(std::uint64_t base, std::size_t layer) {
+  // splitmix-style decorrelation so layers get independent tensor contents
+  // while staying a pure function of (dataSeed, layer index).
+  std::uint64_t z = base + 0x9e3779b97f4a7c15ULL * (layer + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::string formatElement(const linalg::IntVector& element) {
+  std::string out = "(";
+  for (std::size_t i = 0; i < element.size(); ++i) {
+    if (i) out += ",";
+    out += std::to_string(element[i]);
+  }
+  return out + ")";
+}
+
+/// First mismatching element between the stitched run and the composed
+/// reference, scanning layers in network order and elements row-major.
+std::optional<ModelDivergence> firstDivergence(
+    const arch::ModelAccelerator& model,
+    const std::vector<tensor::DenseTensor>& golden,
+    const arch::ModelRunResult& run, const std::string& engine) {
+  for (std::size_t l = 0; l < model.layers.size(); ++l) {
+    const auto& expect = golden[l].raw();
+    const auto& actual = run.outputs[l].raw();
+    for (std::size_t flat = 0; flat < expect.size(); ++flat) {
+      if (expect[flat] == actual[flat]) continue;
+      ModelDivergence d;
+      d.layerIndex = l;
+      d.layer = model.layers[l].name;
+      // Recover the multi-index from the row-major flat position.
+      const auto& algebra = model.layers[l].acc.spec.algebra();
+      const linalg::IntVector shape = algebra.tensorShape(algebra.output());
+      linalg::IntVector element(shape.size(), 0);
+      std::size_t rem = flat;
+      for (std::size_t d2 = shape.size(); d2-- > 0;) {
+        element[d2] = static_cast<std::int64_t>(
+            rem % static_cast<std::size_t>(shape[d2]));
+        rem /= static_cast<std::size_t>(shape[d2]);
+      }
+      d.element = element;
+      d.expected = expect[flat];
+      d.actual = actual[flat];
+      d.cycle =
+          static_cast<std::int64_t>(run.lastSampleCycle[l].raw()[flat]);
+      d.engine = engine;
+      return d;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+ModelConformanceReport checkModel(const tensor::NetworkSpec& network,
+                                  const ModelConformanceOptions& options) {
+  ModelConformanceReport report;
+  report.model = network.name();
+  report.dataSeed = options.dataSeed;
+  report.threads = options.threads;
+
+  try {
+    // Per-layer exploration: the exact NetworkExplorer path (layerQuery +
+    // one runBatch + composeLayerFrontiers), but keeping the per-layer
+    // frontiers so the winning labels can be resolved back to specs.
+    driver::NetworkQuery query(network);
+    query.arrays = {options.array};
+    query.enumeration = options.enumeration;
+    query.dataWidth = options.dataWidth;
+
+    driver::ServiceOptions serviceOptions;
+    serviceOptions.threads = options.threads;
+    driver::ExplorationService service(serviceOptions);
+    std::vector<driver::ExploreQuery> batch;
+    for (const auto& layer : network.layers())
+      batch.push_back(driver::layerQuery(query, options.array, layer));
+    std::vector<driver::QueryResult> results = service.runBatch(batch);
+
+    const driver::NetworkResult composed =
+        driver::composeLayerFrontiers(query, {results});
+    TL_CHECK(composed.best.has_value(),
+             "model conformance: empty network frontier for " +
+                 network.name());
+
+    // Resolve each layer's winning label to its DesignReport spec; when
+    // the netlist generator cannot realize the winner (rank-2 outputs),
+    // substitute the first realizable frontier design in canonical order.
+    arch::ModelBuildOptions build;
+    build.array = options.array;
+    build.hw.dataWidth = options.dataWidth;
+    build.topName = network.name();
+    std::vector<std::pair<std::string, stt::DataflowSpec>> layerSpecs;
+    for (std::size_t l = 0; l < network.layers().size(); ++l) {
+      const std::string& layerName = network.layers()[l].name;
+      const std::string winner = composed.best->layers[l].dataflow;
+      const stt::DataflowSpec* picked = nullptr;
+      std::vector<const stt::DataflowSpec*> candidates;
+      for (const auto& design : results[l].frontier)
+        if (design.spec.label() == winner) candidates.push_back(&design.spec);
+      for (const auto& design : results[l].frontier)
+        if (design.spec.label() != winner) candidates.push_back(&design.spec);
+      for (const stt::DataflowSpec* spec : candidates) {
+        try {
+          (void)arch::generateAccelerator(*spec, options.array, build.hw);
+          picked = spec;
+          break;
+        } catch (const Error&) {
+          continue;  // unrealizable at netlist level; try the next design
+        }
+      }
+      TL_CHECK(picked != nullptr,
+               "model conformance: no realizable design for layer '" +
+                   layerName + "'");
+      report.picks.push_back({layerName, winner, picked->label(),
+                              picked->label() != winner});
+      layerSpecs.emplace_back(layerName, *picked);
+    }
+
+    const arch::ModelAccelerator model =
+        arch::buildModelAccelerator(layerSpecs, build);
+    for (const auto& buffer : model.buffers)
+      report.bufferCapacities.push_back(buffer.capacity);
+
+    std::vector<tensor::TensorEnv> envs;
+    for (std::size_t l = 0; l < model.layers.size(); ++l)
+      envs.push_back(tensor::makeRandomInputs(
+          model.layers[l].acc.spec.algebra(),
+          layerDataSeed(options.dataSeed, l)));
+
+    const std::vector<tensor::DenseTensor> golden =
+        arch::composedReference(model, envs);
+
+    arch::ModelRunOptions runOptions;
+    runOptions.engine = hwir::SimEngine::Compiled;
+    runOptions.corruptTapeMasks = options.tamperRtlTape;
+    const arch::ModelRunResult run =
+        arch::runModelAccelerator(model, envs, runOptions);
+    report.cyclesRun = run.cyclesRun;
+    report.stallSlots = run.stallSlots;
+    report.divergence = firstDivergence(model, golden, run, "compiled");
+
+    if (!report.divergence && options.alsoLegacy) {
+      arch::ModelRunOptions legacyOptions;
+      legacyOptions.engine = hwir::SimEngine::Legacy;
+      const arch::ModelRunResult legacy =
+          arch::runModelAccelerator(model, envs, legacyOptions);
+      report.divergence = firstDivergence(model, golden, legacy, "legacy");
+    }
+  } catch (const Error& e) {
+    report.error = e.what();
+  }
+  return report;
+}
+
+std::string ModelConformanceReport::summary() const {
+  std::ostringstream out;
+  if (!error.empty()) {
+    out << "model '" << model << "' ERROR: " << error;
+    return out.str();
+  }
+  if (divergence) {
+    const ModelDivergence& d = *divergence;
+    out << "model '" << model << "' DIVERGED [" << d.engine << "] at layer "
+        << d.layerIndex << " '" << d.layer << "' element "
+        << formatElement(d.element) << " cycle " << d.cycle << ": expected "
+        << d.expected << " got " << d.actual
+        << "; replay: conformance_runner --model " << model
+        << " --data-seed " << dataSeed << " --threads " << threads;
+    return out.str();
+  }
+  std::size_t substituted = 0;
+  for (const auto& pick : picks)
+    if (pick.substituted) ++substituted;
+  out << "model '" << model << "': " << picks.size()
+      << " layers conformant in " << cyclesRun << " cycles (stall slots "
+      << stallSlots << ", seed " << dataSeed << ", threads " << threads;
+  if (substituted) out << ", " << substituted << " substituted designs";
+  out << ")";
+  return out.str();
+}
+
+}  // namespace tensorlib::verify

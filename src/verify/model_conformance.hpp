@@ -1,0 +1,96 @@
+// Model-level differential conformance oracle.
+//
+// Lifts the per-design oracle (verify/conformance.*) to whole models: run
+// NetworkExplorer's per-layer winners through the stitched model
+// accelerator (arch/model.*) — one merged netlist, one compiled RTL tape,
+// inter-layer buffers with back-pressure — and compare every layer's
+// collected output element-exactly against the composed dense reference
+// (per-layer referenceExecute chained through the same embed + requantize
+// contract the hardware applies). A divergence report names the FIRST
+// divergent (layer, element, cycle) and carries the replay seed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "stt/enumerate.hpp"
+#include "tensor/network.hpp"
+
+namespace tensorlib::verify {
+
+struct ModelConformanceOptions {
+  /// Shared array every layer is mapped onto (small keeps the stitched
+  /// netlist and the stage schedules small).
+  stt::ArrayConfig array{4, 4, 320.0, 32.0, 2};
+  /// Seed for the deterministic per-layer tensor contents (the replay
+  /// handle; layer l uses a seed mixed from this and l).
+  std::uint64_t dataSeed = 1;
+  /// Worker threads of the owned ExplorationService. The winner
+  /// assignment is bit-identical across thread counts, so the stitched
+  /// model — and this oracle's verdict — must be too.
+  std::size_t threads = 1;
+  /// Per-layer enumeration knobs (dropAllUnicast is overridden per layer).
+  stt::EnumerationOptions enumeration;
+  /// Stitched datapath width (32 keeps deep compositions exact alongside
+  /// the 8-bit inter-layer requantization).
+  int dataWidth = 32;
+  /// Fault injection: corrupt the compiled tape's width masks so the
+  /// oracle must localize a divergence to a (layer, element, cycle).
+  bool tamperRtlTape = false;
+  /// Additionally run the stitched top under the legacy interpreter and
+  /// require bit-identical outputs (slower; the engine cross-check).
+  bool alsoLegacy = false;
+};
+
+/// The first divergent element of a failed model run.
+struct ModelDivergence {
+  std::size_t layerIndex = 0;
+  std::string layer;            ///< NetworkLayer::name
+  linalg::IntVector element;    ///< into that layer's output tensor
+  double expected = 0.0;        ///< composed dense reference
+  double actual = 0.0;          ///< stitched RTL collected value
+  std::int64_t cycle = 0;       ///< cycle the element was last sampled
+  std::string engine;           ///< "compiled" or "legacy"
+};
+
+/// Which design each layer actually runs: the explorer's winner, unless
+/// the netlist generator cannot realize it (rank-2 outputs etc.), in which
+/// case the layer's frontier is walked in canonical order and the
+/// substitution recorded.
+struct ModelLayerPick {
+  std::string layer;
+  std::string winner;  ///< composed-assignment dataflow label
+  std::string used;    ///< label actually stitched
+  bool substituted = false;
+};
+
+struct ModelConformanceReport {
+  std::string model;  ///< NetworkSpec::name, for replay context
+  std::uint64_t dataSeed = 0;
+  std::size_t threads = 1;
+  std::vector<ModelLayerPick> picks;
+  std::vector<std::int64_t> bufferCapacities;  ///< committed depths
+  std::int64_t cyclesRun = 0;
+  std::int64_t stallSlots = 0;
+  std::optional<ModelDivergence> divergence;
+  std::string error;  ///< pipeline Error text; empty when none
+
+  bool pass() const { return !divergence && error.empty(); }
+  /// One line; a failure includes the replay handle
+  /// (conformance_runner --model ... --data-seed ...).
+  std::string summary() const;
+};
+
+/// The whole flow: explore every layer through an owned ExplorationService
+/// (options.threads workers), compose the per-layer frontiers into the
+/// network winner, stitch the winning specs into one model accelerator,
+/// execute it on the compiled RTL tape and compare against the composed
+/// dense reference. Pipeline Errors (non-stitchable shapes, no realizable
+/// design, buffer deadlock) are captured in `error`, not thrown.
+ModelConformanceReport checkModel(const tensor::NetworkSpec& network,
+                                  const ModelConformanceOptions& options = {});
+
+}  // namespace tensorlib::verify

@@ -1,0 +1,98 @@
+#include "verify/network_fuzz.hpp"
+
+#include "arch/model.hpp"
+#include "support/error.hpp"
+#include "support/prng.hpp"
+
+namespace tensorlib::verify {
+
+namespace {
+
+namespace wl = tensor::workloads;
+
+linalg::IntVector outputShape(const tensor::TensorAlgebra& algebra) {
+  return algebra.tensorShape(algebra.output());
+}
+
+linalg::IntVector firstInputShape(const tensor::TensorAlgebra& algebra) {
+  return algebra.tensorShape(algebra.inputs()[0]);
+}
+
+/// Small extents keep fuzzed models within the smoke-test budget: the
+/// stitched run costs tiles x stagePeriod cycles per layer.
+std::int64_t drawExtent(Prng& rng, const std::string& param) {
+  if (param == "stride" || param == "dilation") return 2;
+  if (param == "p" || param == "q") return rng.uniformInt(2, 3);
+  if (param == "b") return rng.uniformInt(2, 3);
+  return rng.uniformInt(2, 4);
+}
+
+tensor::NetworkLayer drawLayer(Prng& rng, const std::string& layerName) {
+  const auto& table = wl::layerFactoryTable();
+  const auto& factory = table[static_cast<std::size_t>(
+      rng.uniformInt(0, static_cast<std::int64_t>(table.size()) - 1))];
+  std::vector<std::pair<std::string, std::int64_t>> extents;
+  for (const std::string& param : factory.params)
+    extents.emplace_back(param, drawExtent(rng, param));
+  return wl::makeNetworkLayer(layerName, factory.name, extents);
+}
+
+/// Fallback consumer that chains from ANY producer: a GEMM whose
+/// activation A[m,k] row-major flat size equals the producer's output
+/// element count (FlatExact by construction).
+tensor::NetworkLayer fallbackLayer(const std::string& layerName,
+                                   const linalg::IntVector& producerOut) {
+  std::int64_t flat = 1;
+  for (const std::int64_t e : producerOut) flat *= e;
+  return wl::makeNetworkLayer(
+      layerName, "gemm", {{"m", flat}, {"n", 2}, {"k", 1}});
+}
+
+}  // namespace
+
+tensor::NetworkSpec randomNetwork(std::uint64_t seed) {
+  Prng rng(seed * 0x9e3779b97f4a7c15ULL + 0x4c957f2d8c2aULL);
+  const std::int64_t layerCount = rng.uniformInt(2, 6);
+  std::vector<tensor::NetworkLayer> layers;
+  for (std::int64_t i = 0; i < layerCount; ++i) {
+    const std::string name = "l" + std::to_string(i);
+    if (layers.empty()) {
+      layers.push_back(drawLayer(rng, name));
+      continue;
+    }
+    const linalg::IntVector producerOut = outputShape(layers.back().algebra);
+    bool placed = false;
+    for (int attempt = 0; attempt < 12 && !placed; ++attempt) {
+      tensor::NetworkLayer candidate = drawLayer(rng, name);
+      if (arch::chainRule(producerOut, firstInputShape(candidate.algebra))) {
+        layers.push_back(std::move(candidate));
+        placed = true;
+      }
+    }
+    if (!placed) layers.push_back(fallbackLayer(name, producerOut));
+  }
+  return tensor::NetworkSpec("fuzz-" + std::to_string(seed),
+                             std::move(layers));
+}
+
+tensor::NetworkSpec shrinkNetwork(const tensor::NetworkSpec& failing,
+                                  const NetworkFailurePredicate& stillFails) {
+  const auto& layers = failing.layers();
+  // Ascending window length: the first reproducing window is minimal. A
+  // contiguous window keeps every retained adjacency, so candidates stay
+  // stitchable whenever the original was.
+  for (std::size_t len = 1; len < layers.size(); ++len)
+    for (std::size_t start = 0; start + len <= layers.size(); ++start) {
+      std::vector<tensor::NetworkLayer> window(
+          layers.begin() + static_cast<std::ptrdiff_t>(start),
+          layers.begin() + static_cast<std::ptrdiff_t>(start + len));
+      tensor::NetworkSpec candidate(
+          failing.name() + "/shrink[" + std::to_string(start) + ".." +
+              std::to_string(start + len) + ")",
+          std::move(window));
+      if (stillFails(candidate)) return candidate;
+    }
+  return failing;
+}
+
+}  // namespace tensorlib::verify

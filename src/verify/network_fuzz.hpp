@@ -1,0 +1,39 @@
+// Seeded network fuzzer + shrinker for the model-level oracle.
+//
+// randomNetwork(seed) draws a 2-6 layer NetworkSpec from the JSONL workload
+// factory table (tensor::workloads::layerFactoryTable) with small random
+// extents, constrained so every adjacent pair satisfies the stitching
+// contract (arch::chainRule) — the generated models always build into a
+// stitched accelerator, so a checkModel failure on one is a real defect,
+// not a rejected input. shrinkNetwork minimizes a failing model to the
+// smallest contiguous layer window that still fails, which for chain bugs
+// is the divergent producer/consumer pair.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "tensor/network.hpp"
+
+namespace tensorlib::verify {
+
+/// Deterministic random model: same seed, same network (layer names
+/// "l0".."lN", network name "fuzz-<seed>"). Every adjacent layer pair is
+/// chainable by construction; a non-chainable draw is re-rolled, with a
+/// guaranteed GEMM fallback whose activation row-major matches the
+/// producer's output exactly.
+tensor::NetworkSpec randomNetwork(std::uint64_t seed);
+
+/// Does this (already stitch-valid) candidate still fail?
+using NetworkFailurePredicate =
+    std::function<bool(const tensor::NetworkSpec&)>;
+
+/// Minimizes a failing network to the smallest contiguous layer window
+/// whose spec still satisfies `stillFails` — windows preserve adjacency,
+/// so every candidate remains stitchable. Returns `failing` itself when no
+/// smaller window reproduces. The window's position is recorded in the
+/// shrunken network's name ("<name>/shrink[i..j)").
+tensor::NetworkSpec shrinkNetwork(const tensor::NetworkSpec& failing,
+                                  const NetworkFailurePredicate& stillFails);
+
+}  // namespace tensorlib::verify

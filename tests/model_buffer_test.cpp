@@ -1,0 +1,186 @@
+// Inter-layer buffer properties of the stitched model accelerator: the
+// planner-derived depths are SUFFICIENT (every builtin model executes with
+// no deadlock and no extra stalls at exactly the planner's peak occupancy)
+// and minimal-ish (one element less than the peak provably stalls — and on
+// a constructed single-stage producer, deadlocks — the pipeline). Also the
+// planner/engine equivalence the sizing argument rests on: the bounded
+// schedule at committed capacities replays the unbounded schedule.
+#include "arch/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stt/enumerate.hpp"
+#include "tensor/network.hpp"
+#include "tensor/reference.hpp"
+#include "tensor/workloads.hpp"
+
+namespace tensorlib::arch {
+namespace {
+
+namespace wl = tensor::workloads;
+
+/// First design of the layer's enumerated space the netlist generator can
+/// realize — the cheap spec source for planner-level tests (no exploration
+/// service, no cost models).
+stt::DataflowSpec firstRealizableSpec(const tensor::TensorAlgebra& algebra,
+                                      bool allowAllUnicast,
+                                      const ModelBuildOptions& options) {
+  stt::EnumerationOptions enumeration;
+  enumeration.dropAllUnicast = !allowAllUnicast;
+  HardwareConfig hw = options.hw;
+  hw.injectEverywhere = true;
+  for (const stt::DataflowSpec& spec :
+       stt::enumerateDesignSpace(algebra, enumeration)) {
+    try {
+      (void)generateAccelerator(spec, options.array, hw);
+      return spec;
+    } catch (const Error&) {
+      continue;
+    }
+  }
+  fail("no realizable design for " + algebra.str());
+}
+
+ModelAccelerator buildFromNetwork(const tensor::NetworkSpec& network,
+                                  const ModelBuildOptions& options = {}) {
+  std::vector<std::pair<std::string, stt::DataflowSpec>> layerSpecs;
+  for (const auto& layer : network.layers())
+    layerSpecs.emplace_back(
+        layer.name,
+        firstRealizableSpec(layer.algebra, layer.allowAllUnicast, options));
+  return buildModelAccelerator(layerSpecs, options);
+}
+
+/// A two-layer GEMM chain whose producer drains its whole output in ONE
+/// stage: the planner peak equals that stage's allocation, so peak - 1 can
+/// never admit it — the constructed deadlock case.
+ModelAccelerator singleStageChain(
+    const std::vector<std::int64_t>& bufferDepthOverride = {}) {
+  ModelBuildOptions options;
+  options.bufferDepthOverride = bufferDepthOverride;
+  return buildFromNetwork(
+      tensor::NetworkSpec(
+          "tiny-pair",
+          {wl::makeNetworkLayer("fc1", "gemm",
+                                {{"m", 4}, {"n", 4}, {"k", 4}}),
+           wl::makeNetworkLayer("fc2", "gemm",
+                                {{"m", 4}, {"n", 4}, {"k", 4}})}),
+      options);
+}
+
+TEST(ModelBuffer, PlannerDepthsSufficientForAllBuiltinModels) {
+  for (const tensor::NetworkSpec& network : wl::builtinNetworks()) {
+    const ModelAccelerator model = buildFromNetwork(network);
+    std::vector<std::int64_t> capacities;
+    for (const BufferPlan& buffer : model.buffers) {
+      EXPECT_EQ(buffer.capacity, buffer.peak) << network.name();
+      EXPECT_GT(buffer.capacity, 0) << network.name();
+      EXPECT_LE(buffer.peak, buffer.producerElements) << network.name();
+      capacities.push_back(buffer.capacity);
+    }
+    // The bounded schedule at the committed depths replays the unbounded
+    // one exactly: no deadlock, no extra stalls, same start cycles.
+    const ModelSchedulePlan unbounded = planModelSchedule(model, {});
+    const ModelSchedulePlan bounded = planModelSchedule(model, capacities);
+    EXPECT_EQ(bounded.totalCycles, unbounded.totalCycles) << network.name();
+    EXPECT_EQ(bounded.stallSlots, unbounded.stallSlots) << network.name();
+    EXPECT_EQ(bounded.stageStart, unbounded.stageStart) << network.name();
+  }
+}
+
+TEST(ModelBuffer, DepthBelowPeakStallsOrDeadlocksEveryBuiltinModel) {
+  for (const tensor::NetworkSpec& network : wl::builtinNetworks()) {
+    const ModelAccelerator model = buildFromNetwork(network);
+    const ModelSchedulePlan committed =
+        planModelSchedule(model, [&] {
+          std::vector<std::int64_t> caps;
+          for (const BufferPlan& b : model.buffers) caps.push_back(b.capacity);
+          return caps;
+        }());
+    // Shrink the FIRST buffer below its peak: the schedule must get
+    // strictly worse (back-pressure stalls) or deadlock outright.
+    std::vector<std::int64_t> caps;
+    for (const BufferPlan& b : model.buffers) caps.push_back(b.capacity);
+    ASSERT_FALSE(caps.empty()) << network.name();
+    caps[0] -= 1;
+    try {
+      const ModelSchedulePlan starved = planModelSchedule(model, caps);
+      EXPECT_GT(starved.totalCycles, committed.totalCycles)
+          << network.name() << ": depth-1 did not stall the pipeline";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("deadlock"), std::string::npos)
+          << network.name() << ": " << e.what();
+    }
+  }
+}
+
+TEST(ModelBuffer, SingleStageProducerDeadlocksOneBelowPeak) {
+  const ModelAccelerator model = singleStageChain();
+  ASSERT_EQ(model.buffers.size(), 1u);
+  const std::int64_t peak = model.buffers[0].peak;
+  // fc1's whole 4x4 output drains in one stage slot, so the peak is one
+  // stage's allocation and peak - 1 can never admit it.
+  EXPECT_THROW(planModelSchedule(model, {peak - 1}), Error);
+  try {
+    planModelSchedule(model, {peak - 1});
+  } catch (const Error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("deadlock"), std::string::npos) << message;
+    EXPECT_NE(message.find("buffer 0"), std::string::npos) << message;
+    // The PRODUCER is the blocked party: its stage cannot allocate.
+    EXPECT_NE(message.find("fc1"), std::string::npos) << message;
+  }
+  // And the engine honors the committed override the same way.
+  const ModelAccelerator starved = singleStageChain({peak - 1});
+  std::vector<tensor::TensorEnv> envs;
+  for (const auto& layer : starved.layers)
+    envs.push_back(tensor::makeRandomInputs(layer.acc.spec.algebra(), 1));
+  EXPECT_THROW(runModelAccelerator(starved, envs), Error);
+}
+
+TEST(ModelBuffer, SingleLayerModelNeedsNoBuffers) {
+  ModelBuildOptions options;
+  const auto layer =
+      wl::makeNetworkLayer("only", "gemm", {{"m", 8}, {"n", 8}, {"k", 8}});
+  const ModelAccelerator model = buildModelAccelerator(
+      {{layer.name,
+        firstRealizableSpec(layer.algebra, layer.allowAllUnicast, options)}},
+      options);
+  EXPECT_TRUE(model.buffers.empty());
+  const ModelSchedulePlan plan = planModelSchedule(model, {});
+  EXPECT_EQ(plan.stallSlots, 0);
+  // One stage per slot, back to back: the single-layer model times exactly
+  // like the standalone accelerator's full run.
+  const auto& starts = plan.stageStart[0];
+  for (std::size_t s = 0; s < starts.size(); ++s)
+    EXPECT_EQ(starts[s],
+              static_cast<std::int64_t>(s) * model.layers[0].acc.stagePeriod);
+}
+
+// The TSan-shard stress: run the stitched engine itself (not just the
+// planner) on a model with every chain kind, both engines, and verify
+// element-exactness against the composed reference.
+TEST(ModelBuffer, StitchedEngineStress) {
+  const tensor::NetworkSpec* network = wl::findNetwork("moe-mix");
+  ASSERT_NE(network, nullptr);
+  const ModelAccelerator model = buildFromNetwork(*network);
+  std::vector<tensor::TensorEnv> envs;
+  for (std::size_t l = 0; l < model.layers.size(); ++l)
+    envs.push_back(
+        tensor::makeRandomInputs(model.layers[l].acc.spec.algebra(), l + 1));
+  const std::vector<tensor::DenseTensor> golden =
+      composedReference(model, envs);
+  for (const hwir::SimEngine engine :
+       {hwir::SimEngine::Compiled, hwir::SimEngine::Legacy}) {
+    ModelRunOptions options;
+    options.engine = engine;
+    const ModelRunResult run = runModelAccelerator(model, envs, options);
+    ASSERT_EQ(run.outputs.size(), golden.size());
+    for (std::size_t l = 0; l < golden.size(); ++l)
+      EXPECT_EQ(golden[l].maxAbsDiff(run.outputs[l]), 0.0)
+          << network->name() << " layer " << l;
+  }
+}
+
+}  // namespace
+}  // namespace tensorlib::arch

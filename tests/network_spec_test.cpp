@@ -7,6 +7,7 @@
 
 #include <sstream>
 
+#include "arch/model.hpp"
 #include "support/error.hpp"
 #include "tensor/workloads.hpp"
 
@@ -143,6 +144,51 @@ TEST(NetworkSpecTest, BuiltinLibraryContract) {
   ASSERT_NE(wl::findNetwork("resnet-block"), nullptr);
   EXPECT_EQ(wl::findNetwork("resnet-block")->layerCount(), 5u);
   EXPECT_EQ(wl::findNetwork("no-such-model"), nullptr);
+}
+
+TEST(NetworkSpecTest, BuiltinLibraryIncludesStitchableDeepModels) {
+  ASSERT_GE(wl::builtinNetworks().size(), 6u);
+  ASSERT_NE(wl::findNetwork("resnet-deep"), nullptr);
+  EXPECT_GE(wl::findNetwork("resnet-deep")->layerCount(), 8u);
+  ASSERT_NE(wl::findNetwork("transformer-stack"), nullptr);
+  EXPECT_EQ(wl::findNetwork("transformer-stack")->layerCount(), 6u);
+  ASSERT_NE(wl::findNetwork("moe-mix"), nullptr);
+  EXPECT_EQ(wl::findNetwork("moe-mix")->layerCount(), 5u);
+}
+
+TEST(NetworkSpecTest, EveryBuiltinModelChainsEndToEnd) {
+  // Each model stitches into one accelerator: every adjacent pair's
+  // (producer output, consumer first input) satisfies the chain contract.
+  for (const NetworkSpec& model : wl::builtinNetworks()) {
+    for (std::size_t l = 1; l < model.layerCount(); ++l) {
+      const TensorAlgebra& prev = model.layers()[l - 1].algebra;
+      const TensorAlgebra& cur = model.layers()[l].algebra;
+      ASSERT_FALSE(cur.inputs().empty()) << model.name();
+      EXPECT_TRUE(arch::chainRule(prev.tensorShape(prev.output()),
+                                  cur.tensorShape(cur.inputs()[0]))
+                      .has_value())
+          << model.name() << ": " << model.layers()[l - 1].name << " -> "
+          << model.layers()[l].name;
+    }
+  }
+}
+
+TEST(NetworkSpecTest, LayerFactoryTableMatchesMakeNetworkLayer) {
+  const auto& table = wl::layerFactoryTable();
+  ASSERT_GE(table.size(), 12u);
+  for (const wl::LayerFactoryInfo& info : table) {
+    ASSERT_EQ(info.params.size(), info.defaults.size()) << info.name;
+    // Defaults round-trip: building with no extents equals building with
+    // the advertised defaults spelled out.
+    const NetworkLayer fromDefaults =
+        wl::makeNetworkLayer("t", info.name, {});
+    std::vector<std::pair<std::string, std::int64_t>> extents;
+    for (std::size_t i = 0; i < info.params.size(); ++i)
+      extents.emplace_back(info.params[i], info.defaults[i]);
+    const NetworkLayer spelled = wl::makeNetworkLayer("t", info.name, extents);
+    EXPECT_EQ(fromDefaults.algebra.str(), spelled.algebra.str()) << info.name;
+    EXPECT_EQ(fromDefaults.allowAllUnicast, info.allowAllUnicast) << info.name;
+  }
 }
 
 }  // namespace

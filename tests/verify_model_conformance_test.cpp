@@ -1,0 +1,243 @@
+// Model-level differential oracle: built-in models explored per layer,
+// stitched into ONE compiled-tape netlist with inter-layer buffers, and
+// executed element-exactly against the composed dense reference — at one
+// and at eight service threads (the winner assignment, and therefore the
+// verdict, must be thread-count invariant). Plus the fault-injection
+// localization contract, the JSONL model path, and the seeded network
+// fuzzer + shrinker built on the same oracle.
+#include "verify/model_conformance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "arch/model.hpp"
+#include "driver/wire.hpp"
+#include "support/jsonl.hpp"
+#include "verify/network_fuzz.hpp"
+
+namespace tensorlib::verify {
+namespace {
+
+namespace wl = tensor::workloads;
+
+const tensor::NetworkSpec& builtin(const std::string& name) {
+  const tensor::NetworkSpec* model = wl::findNetwork(name);
+  EXPECT_NE(model, nullptr) << name;
+  return *model;
+}
+
+ModelConformanceOptions withThreads(std::size_t threads) {
+  ModelConformanceOptions o;
+  o.threads = threads;
+  return o;
+}
+
+// The acceptance matrix: three stitched builtin models (including the
+// eight-layer resnet-deep) element-exact against the composed reference at
+// {1, 8} exploration threads, with identical per-layer assignments.
+TEST(ModelConformance, BuiltinModelsConformAtOneAndEightThreads) {
+  for (const char* name : {"resnet-deep", "transformer-stack", "mlp-3"}) {
+    std::vector<std::vector<ModelLayerPick>> picks;
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+      const ModelConformanceReport report =
+          checkModel(builtin(name), withThreads(threads));
+      EXPECT_TRUE(report.pass()) << report.summary();
+      EXPECT_GT(report.cyclesRun, 0) << report.summary();
+      picks.push_back(report.picks);
+    }
+    ASSERT_EQ(picks[0].size(), picks[1].size()) << name;
+    for (std::size_t l = 0; l < picks[0].size(); ++l) {
+      EXPECT_EQ(picks[0][l].used, picks[1][l].used)
+          << name << " layer " << picks[0][l].layer
+          << ": assignment differs across thread counts";
+    }
+  }
+}
+
+TEST(ModelConformance, DeepModelHasAtLeastEightLayers) {
+  EXPECT_GE(builtin("resnet-deep").layerCount(), 8u);
+  const ModelConformanceReport report =
+      checkModel(builtin("resnet-deep"), withThreads(1));
+  EXPECT_TRUE(report.pass()) << report.summary();
+  EXPECT_EQ(report.picks.size(), builtin("resnet-deep").layerCount());
+  EXPECT_EQ(report.bufferCapacities.size(),
+            builtin("resnet-deep").layerCount() - 1);
+  for (const std::int64_t capacity : report.bufferCapacities)
+    EXPECT_GT(capacity, 0) << report.summary();
+}
+
+TEST(ModelConformance, RemainingBuiltinsAlsoStitchAndConform) {
+  for (const char* name : {"resnet-block", "attention-block", "moe-mix"}) {
+    const ModelConformanceReport report =
+        checkModel(builtin(name), withThreads(1));
+    EXPECT_TRUE(report.pass()) << report.summary();
+  }
+}
+
+// Fault injection: corrupting the compiled tape's width masks must surface
+// as a divergence that names a (layer, element, cycle) and carries the
+// replay handle — the oracle's localization contract.
+TEST(ModelConformance, TamperedTapeDivergesWithReplayHandle) {
+  ModelConformanceOptions o = withThreads(1);
+  o.tamperRtlTape = true;
+  const ModelConformanceReport report = checkModel(builtin("mlp-3"), o);
+  ASSERT_TRUE(report.divergence.has_value())
+      << "tampered tape went undetected: " << report.summary();
+  EXPECT_EQ(report.divergence->engine, "compiled");
+  EXPECT_FALSE(report.divergence->layer.empty());
+  EXPECT_GE(report.divergence->cycle, 0);
+  const std::string summary = report.summary();
+  EXPECT_NE(summary.find("DIVERGED"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("--model mlp-3"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("--data-seed"), std::string::npos) << summary;
+}
+
+// The stitched engine-vs-engine cross-check: compiled and legacy
+// interpretations of the SAME merged netlist agree bit-exactly.
+TEST(ModelConformance, LegacyEngineAgreesOnStitchedTop) {
+  ModelConformanceOptions o = withThreads(1);
+  o.alsoLegacy = true;
+  const ModelConformanceReport report =
+      checkModel(builtin("transformer-stack"), o);
+  EXPECT_TRUE(report.pass()) << report.summary();
+}
+
+// The JSONL front door: a model described line by line stitches and
+// conforms exactly like a builtin.
+TEST(ModelConformance, JsonlModelConforms) {
+  std::istringstream jsonl(
+      "{\"model\": \"tiny-chain\"}\n"
+      "{\"layer\": \"fc1\", \"workload\": \"gemm\", \"m\": 8, \"n\": 8, "
+      "\"k\": 8}\n"
+      "{\"layer\": \"fc2\", \"workload\": \"gemm\", \"m\": 8, \"n\": 4, "
+      "\"k\": 8}\n");
+  const tensor::NetworkSpec network =
+      wl::parseNetworkJsonl(jsonl, "tiny-chain");
+  const ModelConformanceReport report = checkModel(network, withThreads(1));
+  EXPECT_TRUE(report.pass()) << report.summary();
+  EXPECT_EQ(report.model, "tiny-chain");
+}
+
+// --- wire protocol --------------------------------------------------------
+
+// The server-side request kind: {"model_conformance": ...} lines parse into
+// a ModelConformance request carrying the oracle's options verbatim.
+TEST(ModelConformance, WireRequestParsesOptionsAndTarget) {
+  const auto request = driver::wire::parseRequest(support::parseJsonLine(
+      "{\"model_conformance\": \"mlp-3\", \"data_seed\": 7, \"threads\": 8, "
+      "\"rows\": 8, \"cols\": 8, \"data_width\": 16, "
+      "\"tamper_rtl_tape\": true, \"also_legacy\": true}"));
+  EXPECT_EQ(request.kind, driver::wire::Request::Kind::ModelConformance);
+  ASSERT_TRUE(request.model.has_value());
+  EXPECT_EQ(request.name, "mlp-3");
+  EXPECT_EQ(request.modelOptions.dataSeed, 7u);
+  EXPECT_EQ(request.modelOptions.threads, 8u);
+  EXPECT_EQ(request.modelOptions.array.rows, 8);
+  EXPECT_EQ(request.modelOptions.array.cols, 8);
+  EXPECT_EQ(request.modelOptions.dataWidth, 16);
+  EXPECT_TRUE(request.modelOptions.tamperRtlTape);
+  EXPECT_TRUE(request.modelOptions.alsoLegacy);
+
+  EXPECT_THROW(driver::wire::parseRequest(support::parseJsonLine(
+                   "{\"model_conformance\": \"no-such-model\"}")),
+               Error);
+}
+
+TEST(ModelConformance, WireResultLineCarriesVerdictAndDivergence) {
+  ModelConformanceReport report;
+  report.model = "mlp-3";
+  report.dataSeed = 7;
+  report.threads = 2;
+  report.picks = {{"fc1", "MNK-SMM", "MNK-SMM", false},
+                  {"fc2", "MNK-SMM", "MNK-SSM", true}};
+  report.bufferCapacities = {252};
+  report.cyclesRun = 100;
+  report.stallSlots = 5;
+  {
+    const std::string line =
+        driver::wire::modelConformanceResultLine(3, report);
+    EXPECT_NE(line.find("\"query\": 3"), std::string::npos) << line;
+    EXPECT_NE(line.find("\"model_conformance\": \"mlp-3\""),
+              std::string::npos)
+        << line;
+    EXPECT_NE(line.find("\"pass\": true"), std::string::npos) << line;
+    EXPECT_NE(line.find("\"buffer_capacities\": [252]"), std::string::npos)
+        << line;
+    EXPECT_NE(line.find("\"substituted\": true"), std::string::npos) << line;
+    EXPECT_EQ(line.find("\"divergence\""), std::string::npos) << line;
+  }
+  ModelDivergence divergence;
+  divergence.layerIndex = 1;
+  divergence.layer = "fc2";
+  divergence.element = {2, 3};
+  divergence.expected = 31;
+  divergence.actual = 0;
+  divergence.cycle = 22;
+  divergence.engine = "compiled";
+  report.divergence = divergence;
+  const std::string line = driver::wire::modelConformanceResultLine(3, report);
+  EXPECT_NE(line.find("\"pass\": false"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"element\": [2, 3]"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"cycle\": 22"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"engine\": \"compiled\""), std::string::npos) << line;
+}
+
+// --- network fuzzer -------------------------------------------------------
+
+TEST(NetworkFuzz, RandomNetworksAreDeterministicAndStitchable) {
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    const tensor::NetworkSpec a = randomNetwork(seed);
+    const tensor::NetworkSpec b = randomNetwork(seed);
+    EXPECT_EQ(a.str(), b.str()) << "seed " << seed;
+    EXPECT_GE(a.layerCount(), 2u);
+    EXPECT_LE(a.layerCount(), 6u);
+    for (std::size_t l = 1; l < a.layers().size(); ++l) {
+      const auto& prev = a.layers()[l - 1].algebra;
+      const auto& cur = a.layers()[l].algebra;
+      EXPECT_TRUE(arch::chainRule(prev.tensorShape(prev.output()),
+                                  cur.tensorShape(cur.inputs()[0]))
+                      .has_value())
+          << "seed " << seed << " layers " << l - 1 << "->" << l;
+    }
+  }
+}
+
+TEST(NetworkFuzz, ShortSweepConforms) {
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const ModelConformanceReport report =
+        checkModel(randomNetwork(seed), withThreads(1));
+    EXPECT_TRUE(report.pass()) << "seed " << seed << "\n" << report.summary();
+  }
+}
+
+TEST(NetworkFuzz, ShrinkFindsMinimalWindow) {
+  const tensor::NetworkSpec net = builtin("resnet-deep");
+  // Synthetic predicate: "fails" whenever the window contains fc2 -> fc3;
+  // the shrinker must find exactly that pair.
+  const auto containsPair = [](const tensor::NetworkSpec& candidate) {
+    for (std::size_t l = 1; l < candidate.layers().size(); ++l)
+      if (candidate.layers()[l - 1].name == "fc2" &&
+          candidate.layers()[l].name == "fc3")
+        return true;
+    return false;
+  };
+  const tensor::NetworkSpec shrunk = shrinkNetwork(net, containsPair);
+  ASSERT_EQ(shrunk.layerCount(), 2u) << shrunk.str();
+  EXPECT_EQ(shrunk.layers()[0].name, "fc2");
+  EXPECT_EQ(shrunk.layers()[1].name, "fc3");
+  EXPECT_NE(shrunk.name().find("/shrink["), std::string::npos)
+      << shrunk.name();
+}
+
+TEST(NetworkFuzz, ShrinkKeepsOriginalWhenNothingSmallerFails) {
+  const tensor::NetworkSpec net = randomNetwork(7);
+  const tensor::NetworkSpec shrunk = shrinkNetwork(
+      net, [&](const tensor::NetworkSpec& candidate) {
+        return candidate.layerCount() == net.layerCount();
+      });
+  EXPECT_EQ(shrunk.layerCount(), net.layerCount());
+}
+
+}  // namespace
+}  // namespace tensorlib::verify

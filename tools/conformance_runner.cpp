@@ -5,21 +5,31 @@
 //   conformance_runner --seeds 200             # 200 random algebras
 //   conformance_runner --seeds 1000 --time-budget-ms 120000   # CI smoke
 //   conformance_runner --seeds 1 --seed-base 1337             # replay
+//   conformance_runner --model all             # stitched builtin models
+//   conformance_runner --model mlp-3 --threads 8
+//   conformance_runner --network-seeds 100     # fuzzed stitched models
 //
 // Every design point of every scenario runs through the dense reference,
 // the behavioral simulator with trace memoization on and off, and the
 // generated netlist under both RTL engines; the first divergent layer is
 // reported with the replay seed. Fuzz failures are shrunk to a minimal
-// failing algebra before printing. Exit code 0 iff everything conformed.
+// failing algebra before printing. --model / --network-seeds lift the
+// oracle to whole models: per-layer exploration winners stitched into ONE
+// compiled netlist with inter-layer buffers, executed element-exactly
+// against the composed dense reference (src/verify/model_conformance.*).
+// Exit code 0 iff everything conformed.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "support/error.hpp"
+#include "tensor/network.hpp"
 #include "tensor/workloads.hpp"
 #include "verify/conformance.hpp"
 #include "verify/fuzz.hpp"
+#include "verify/model_conformance.hpp"
+#include "verify/network_fuzz.hpp"
 
 namespace {
 
@@ -31,16 +41,21 @@ int usage() {
       "                          [--seed-base S] [--data-seed S]\n"
       "                          [--rows R --cols C] [--max-specs N]\n"
       "                          [--max-rtl N] [--time-budget-ms T]\n"
-      "                          [--no-shrink] [--list]\n"
-      "With no --seeds/--workload, checks every registered workload.\n");
+      "                          [--model NAME|all] [--network-seeds N]\n"
+      "                          [--threads T] [--no-shrink] [--list]\n"
+      "With no --seeds/--workload/--model/--network-seeds, checks every\n"
+      "registered workload. --model runs the stitched model oracle on a\n"
+      "builtin network (all of them with 'all'); --network-seeds fuzzes\n"
+      "random stitched models; --threads sets the exploration service\n"
+      "worker count for the model paths.\n");
   return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string workload;
-  std::int64_t seeds = 0, seedBase = 1;
+  std::string workload, model;
+  std::int64_t seeds = 0, seedBase = 1, networkSeeds = 0, threads = 1;
   std::int64_t timeBudgetMs = 0;
   bool shrink = true, list = false;
   verify::ConformanceOptions options;
@@ -61,6 +76,9 @@ int main(int argc, char** argv) {
       else if (a == "--max-specs") options.maxSpecsPerSelection = std::stoull(next());
       else if (a == "--max-rtl") options.maxRtlSpecs = std::stoull(next());
       else if (a == "--time-budget-ms") timeBudgetMs = std::stoll(next());
+      else if (a == "--model") model = next();
+      else if (a == "--network-seeds") networkSeeds = std::stoll(next());
+      else if (a == "--threads") threads = std::stoll(next());
       else if (a == "--no-shrink") shrink = false;
       else if (a == "--list") list = true;
       else return usage();
@@ -85,10 +103,17 @@ int main(int argc, char** argv) {
   };
 
   int tableDivergent = 0, fuzzDivergent = 0;
+  int modelDivergent = 0, networkFuzzDivergent = 0;
   std::int64_t checked = 0;
 
+  verify::ModelConformanceOptions modelOptions;
+  modelOptions.array = options.array;
+  modelOptions.dataSeed = options.dataSeed;
+  modelOptions.threads = static_cast<std::size_t>(threads > 0 ? threads : 1);
+
   // --- Scenario table ---------------------------------------------------
-  if (seeds == 0 || !workload.empty()) {
+  const bool modelMode = !model.empty() || networkSeeds > 0;
+  if ((seeds == 0 && !modelMode) || !workload.empty()) {
     for (const auto& w : tensor::workloads::allWorkloads()) {
       if (!workload.empty() && w.name != workload) continue;
       if (!budgetLeft()) {
@@ -168,5 +193,71 @@ int main(int argc, char** argv) {
                 static_cast<long long>(ran), fuzzDivergent);
   }
 
-  return tableDivergent + fuzzDivergent == 0 ? 0 : 1;
+  // --- Stitched builtin models ------------------------------------------
+  if (!model.empty()) {
+    bool found = false;
+    for (const auto& network : tensor::workloads::builtinNetworks()) {
+      if (model != "all" && network.name() != model) continue;
+      found = true;
+      if (!budgetLeft()) {
+        std::printf("time budget exhausted before model '%s'\n",
+                    network.name().c_str());
+        break;
+      }
+      const auto report = verify::checkModel(network, modelOptions);
+      std::printf("[%s] %s\n", report.pass() ? "PASS" : "FAIL",
+                  report.summary().c_str());
+      if (!report.pass()) ++modelDivergent;
+    }
+    if (!found) {
+      std::fprintf(stderr, "unknown model '%s' (builtins: ", model.c_str());
+      for (const auto& network : tensor::workloads::builtinNetworks())
+        std::fprintf(stderr, "%s ", network.name().c_str());
+      std::fprintf(stderr, ")\n");
+      return 2;
+    }
+  }
+
+  // --- Fuzzed stitched models -------------------------------------------
+  if (networkSeeds > 0) {
+    std::int64_t ran = 0;
+    for (std::int64_t s = 0; s < networkSeeds; ++s) {
+      if (!budgetLeft()) {
+        std::printf("time budget exhausted after %lld of %lld network seeds\n",
+                    static_cast<long long>(ran),
+                    static_cast<long long>(networkSeeds));
+        break;
+      }
+      const std::uint64_t seed = static_cast<std::uint64_t>(seedBase + s);
+      const auto network = verify::randomNetwork(seed);
+      const auto report = verify::checkModel(network, modelOptions);
+      ++ran;
+      if (report.pass()) continue;
+
+      ++networkFuzzDivergent;
+      std::printf("[FAIL] network fuzz seed %llu\n%s\n  %s\n",
+                  static_cast<unsigned long long>(seed),
+                  network.str().c_str(), report.summary().c_str());
+      if (shrink) {
+        const auto minimal = verify::shrinkNetwork(
+            network, [&](const tensor::NetworkSpec& candidate) {
+              return !verify::checkModel(candidate, modelOptions).pass();
+            });
+        std::printf("  shrunken to:\n%s\n", minimal.str().c_str());
+      }
+      std::printf(
+          "  replay: conformance_runner --network-seeds 1 --seed-base %llu "
+          "--data-seed %llu\n",
+          static_cast<unsigned long long>(seed),
+          static_cast<unsigned long long>(modelOptions.dataSeed));
+    }
+    std::printf("network fuzz: %lld seed(s) checked, %d divergent\n",
+                static_cast<long long>(ran), networkFuzzDivergent);
+  }
+
+  return tableDivergent + fuzzDivergent + modelDivergent +
+                     networkFuzzDivergent ==
+                 0
+             ? 0
+             : 1;
 }

@@ -7,7 +7,8 @@
 //   explore_server --serve --unix-socket /tmp/explore.sock
 //   explore_server --list-workloads
 //
-// Two request kinds share one stream (docs/PROTOCOL.md is the full schema):
+// Three request kinds share one stream (docs/PROTOCOL.md is the full
+// schema):
 //
 //   * batch query — one operator on one array:
 //       {"workload": "gemm", "rows": 8, "cols": 8,
@@ -17,6 +18,11 @@
 //     (JSONL model description) field:
 //       {"network": "resnet-block", "arrays": "8x8,16x16",
 //        "objective": "performance"}
+//   * model-conformance request — run the stitched-model differential
+//     oracle (explore every layer, stitch the winners into one compiled
+//     netlist, execute, compare element-exactly against the composed
+//     dense reference), marked by a "model_conformance" field:
+//       {"model_conformance": "mlp-3", "data_seed": 7, "threads": 8}
 //
 // Batch mode runs the whole stream against ONE ExplorationService: plain
 // queries as one batch, network queries through a NetworkExplorer borrowing
@@ -57,6 +63,7 @@
 #include "support/error.hpp"
 #include "support/jsonl.hpp"
 #include "tensor/workloads.hpp"
+#include "verify/model_conformance.hpp"
 
 namespace {
 
@@ -74,7 +81,8 @@ int usage() {
       "                      [--write-queue-bound N] [--send-buffer-bytes N]\n"
       "Reads one JSON request per line from --file (default stdin); runs\n"
       "the whole stream as one batched, cached exploration. A line with a\n"
-      "'network' or 'network_file' field is a network-level request. With\n"
+      "'network' or 'network_file' field is a network-level request; a line\n"
+      "with a 'model_conformance' field runs the stitched-model oracle. With\n"
       "--serve the server stays resident: bounded admission queue, optional\n"
       "deadlines, crash-safe cache snapshots; see docs/PROTOCOL.md. --port\n"
       "(0 = ephemeral) and/or --unix-socket serve concurrent socket\n"
@@ -147,6 +155,13 @@ int serveStdio(const driver::DaemonOptions& daemonOptions,
               explorer.explore(*request.network), maxFrontier));
           break;
         }
+        case driver::wire::Request::Kind::ModelConformance:
+          // The stitched-model oracle owns its own ExplorationService (the
+          // verdict must not depend on this daemon's warm caches), so it
+          // runs synchronously on the read loop like network requests.
+          out.emit(driver::wire::modelConformanceResultLine(
+              id, verify::checkModel(*request.model, request.modelOptions)));
+          break;
         case driver::wire::Request::Kind::Query: {
           const std::string workload = request.name;
           const std::string backend =
@@ -337,11 +352,19 @@ int main(int argc, char** argv) {
 
     driver::NetworkExplorer explorer(service);
     std::size_t nextPlain = 0;
-    std::size_t queries = 0, networks = 0;
+    std::size_t queries = 0, networks = 0, models = 0;
     for (std::size_t i = 0; i < requests.size(); ++i) {
       const Parsed& p = requests[i];
       if (!p.error.empty()) {
         std::printf("%s\n", driver::wire::errorLine(i, p.error).c_str());
+      } else if (p.request->kind ==
+                 driver::wire::Request::Kind::ModelConformance) {
+        ++models;
+        std::printf("%s\n",
+                    driver::wire::modelConformanceResultLine(
+                        i, verify::checkModel(*p.request->model,
+                                              p.request->modelOptions))
+                        .c_str());
       } else if (p.request->kind == driver::wire::Request::Kind::Query) {
         ++queries;
         std::printf(
@@ -364,9 +387,9 @@ int main(int argc, char** argv) {
     }
 
     std::printf(
-        "{\"batch\": {\"queries\": %zu, \"networks\": %zu, \"errors\": %zu, "
-        "\"cache\": %s}}\n",
-        queries, networks, parseErrors,
+        "{\"batch\": {\"queries\": %zu, \"networks\": %zu, "
+        "\"model_conformance\": %zu, \"errors\": %zu, \"cache\": %s}}\n",
+        queries, networks, models, parseErrors,
         driver::wire::cacheStatsJson(service.cacheStats()).c_str());
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
